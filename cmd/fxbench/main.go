@@ -1,0 +1,75 @@
+// Command fxbench regenerates the paper's quantitative comparisons:
+// Tables 7-9 (average largest response size per declustering method) and
+// the §5.2.2 CPU address-computation cost comparison.
+//
+// Usage:
+//
+//	fxbench                    # Tables 7-9 and the CPU cost comparison
+//	fxbench -table 9           # one table
+//	fxbench -cpu               # only the CPU cost comparison
+//	fxbench -format csv        # csv or json output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxdist/internal/analysis"
+	"fxdist/internal/cost"
+	"fxdist/internal/field"
+	"fxdist/internal/report"
+)
+
+func main() {
+	tableNum := flag.Int("table", 0, "table number to print (7-9); 0 prints all")
+	cpuOnly := flag.Bool("cpu", false, "print only the CPU cost comparison")
+	formatArg := flag.String("format", "text", "output format: text, csv or json")
+	flag.Parse()
+	if *tableNum != 0 && (*tableNum < 7 || *tableNum > 9) {
+		fmt.Fprintln(os.Stderr, "fxbench: -table must be 7..9")
+		os.Exit(2)
+	}
+	format, err := report.ParseFormat(*formatArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxbench:", err)
+		os.Exit(2)
+	}
+
+	printCPU := func() {
+		plan := field.MustPlan([]int{8, 8, 8, 8, 8, 8}, 32,
+			field.WithStrategy(field.RoundRobin), field.WithFamily(field.FamilyIU1))
+		if format == report.Text {
+			fmt.Println("§5.2.2 CPU computation time (bucket address computation, 6 fields)")
+		}
+		var rows []cost.Comparison
+		for _, cpu := range []cost.CPU{cost.MC68000, cost.I80286} {
+			rows = append(rows, cost.Compare(cpu, plan)...)
+		}
+		if err := report.CPUCost(os.Stdout, rows, format); err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *cpuOnly {
+		printCPU()
+		return
+	}
+	specs := []analysis.TableSpec{analysis.Table7(), analysis.Table8(), analysis.Table9()}
+	for i, ts := range specs {
+		if *tableNum != 0 && *tableNum != i+7 {
+			continue
+		}
+		if err := report.Table(os.Stdout, ts, format); err != nil {
+			fmt.Fprintln(os.Stderr, "fxbench:", err)
+			os.Exit(1)
+		}
+		if format == report.Text {
+			fmt.Println()
+		}
+	}
+	if *tableNum == 0 {
+		printCPU()
+	}
+}

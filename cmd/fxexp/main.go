@@ -1,0 +1,141 @@
+// Command fxexp runs the paper's complete evaluation and writes every
+// artifact into a results directory: Tables 7-9 and Figures 1-4 as CSV
+// and JSON, the CPU cost comparison, the extension experiments (M-sweep,
+// ablations), and a SUMMARY.md indexing everything — one command to
+// reproduce the paper.
+//
+// Usage:
+//
+//	fxexp -out results/            # everything (exact figures included)
+//	fxexp -out results/ -quick     # skip the exact-percentage figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fxdist/internal/analysis"
+	"fxdist/internal/cost"
+	"fxdist/internal/field"
+	"fxdist/internal/report"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	quick := flag.Bool("quick", false, "skip exact optimality percentages in figures")
+	flag.Parse()
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "fxexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var index []string
+	start := time.Now()
+
+	writeBoth := func(base string, textFn func(f *os.File, format report.Format) error) error {
+		for _, format := range []report.Format{report.CSV, report.JSON} {
+			path := filepath.Join(out, base+"."+string(format))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := textFn(f, format); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		index = append(index, fmt.Sprintf("- `%s.csv` / `%s.json`", base, base))
+		return nil
+	}
+
+	// Tables 7-9.
+	for _, spec := range []analysis.TableSpec{analysis.Table7(), analysis.Table8(), analysis.Table9()} {
+		spec := spec
+		base := strings.ToLower(strings.ReplaceAll(spec.Name, " ", ""))
+		fmt.Printf("computing %s...\n", spec.Name)
+		if err := writeBoth(base, func(f *os.File, format report.Format) error {
+			return report.Table(f, spec, format)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Figures 1-4.
+	for _, spec := range []analysis.FigureSpec{
+		analysis.Figure1(), analysis.Figure2(), analysis.Figure3(), analysis.Figure4(),
+	} {
+		spec := spec
+		base := strings.ToLower(strings.ReplaceAll(spec.Name, " ", ""))
+		fmt.Printf("computing %s...\n", spec.Name)
+		if err := writeBoth(base, func(f *os.File, format report.Format) error {
+			return report.Figure(f, spec, !quick, format)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// §5.2.2 CPU cost.
+	fmt.Println("computing CPU cost comparison...")
+	plan := field.MustPlan([]int{8, 8, 8, 8, 8, 8}, 32,
+		field.WithStrategy(field.RoundRobin), field.WithFamily(field.FamilyIU1))
+	var cpuRows []cost.Comparison
+	for _, cpu := range []cost.CPU{cost.MC68000, cost.I80286} {
+		cpuRows = append(cpuRows, cost.Compare(cpu, plan)...)
+	}
+	if err := writeBoth("cpucost", func(f *os.File, format report.Format) error {
+		return report.CPUCost(f, cpuRows, format)
+	}); err != nil {
+		return err
+	}
+
+	// Extension: M-sweep.
+	fmt.Println("computing M-sweep...")
+	pts, err := analysis.MSweep([]int{8, 8, 8, 8}, []int{8, 32, 128, 512}, field.FamilyIU2)
+	if err != nil {
+		return err
+	}
+	msweepPath := filepath.Join(out, "msweep.csv")
+	f, err := os.Create(msweepPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(f, "m,small_fields,fx_exact_pct,fx_certified_pct,md_exact_pct")
+	for _, p := range pts {
+		fmt.Fprintf(f, "%d,%d,%.4f,%.4f,%.4f\n", p.M, p.SmallFields, p.FXExactPct, p.FXCertifiedPct, p.ModuloExactPct)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	index = append(index, "- `msweep.csv` (extension: optimality vs device count)")
+
+	// Summary.
+	summary := filepath.Join(out, "SUMMARY.md")
+	sf, err := os.Create(summary)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(sf, "# fxdist evaluation artifacts\n\nGenerated in %v.\n\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintln(sf, "Reproduces Kim & Pramanik, SIGMOD 1988 — see EXPERIMENTS.md for")
+	fmt.Fprintln(sf, "paper-vs-measured notes.")
+	fmt.Fprintln(sf)
+	for _, line := range index {
+		fmt.Fprintln(sf, line)
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d artifacts to %s in %v\n", len(index), out, time.Since(start).Round(time.Millisecond))
+	return nil
+}

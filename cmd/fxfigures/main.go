@@ -1,0 +1,53 @@
+// Command fxfigures regenerates the data series behind the paper's
+// Figures 1-4: the percentage of partial match queries for which the
+// Modulo (MD) and FX (FD) distributions are certified strict optimal, as
+// a function of the number of fields whose sizes are less than the device
+// count M.
+//
+// Usage:
+//
+//	fxfigures                    # all four figures, text
+//	fxfigures -figure 3          # one figure
+//	fxfigures -exact             # additionally compute exact percentages
+//	fxfigures -format csv        # csv or json for plotting pipelines
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxdist/internal/analysis"
+	"fxdist/internal/report"
+)
+
+func main() {
+	figNum := flag.Int("figure", 0, "figure number to print (1-4); 0 prints all")
+	exact := flag.Bool("exact", false, "also compute exact optimality percentages by convolution")
+	formatArg := flag.String("format", "text", "output format: text, csv or json")
+	flag.Parse()
+	if *figNum < 0 || *figNum > 4 {
+		fmt.Fprintln(os.Stderr, "fxfigures: -figure must be 0..4")
+		os.Exit(2)
+	}
+	format, err := report.ParseFormat(*formatArg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxfigures:", err)
+		os.Exit(2)
+	}
+	figures := []analysis.FigureSpec{
+		analysis.Figure1(), analysis.Figure2(), analysis.Figure3(), analysis.Figure4(),
+	}
+	for i, spec := range figures {
+		if *figNum != 0 && *figNum != i+1 {
+			continue
+		}
+		if err := report.Figure(os.Stdout, spec, *exact, format); err != nil {
+			fmt.Fprintln(os.Stderr, "fxfigures:", err)
+			os.Exit(1)
+		}
+		if format == report.Text {
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command fxnode runs the distributed deployment pieces from the shell:
+// serve one device's partition of a snapshotted file over TCP, or act as
+// the coordinator and query a set of device servers.
+//
+// Usage:
+//
+//	# window 0..M-1: one server per device, all from the same snapshot
+//	fxnode serve -snapshot cars.snap -device 0 -listen 127.0.0.1:9000
+//	fxnode serve -snapshot cars.snap -device 1 -listen 127.0.0.1:9001
+//	...
+//
+//	# coordinator: schema comes from the same snapshot
+//	fxnode query -snapshot cars.snap -addrs 127.0.0.1:9000,127.0.0.1:9001 make=ford
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"fxdist"
+	"fxdist/internal/cliutil"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: fxnode {serve|query} [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fxnode:", err)
+		os.Exit(1)
+	}
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot file (with allocator spec)")
+	device := fs.Int("device", 0, "device id this node serves")
+	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot == "" {
+		return fmt.Errorf("missing -snapshot")
+	}
+	file, alloc, err := fxdist.LoadSnapshotFile(*snapshot)
+	if err != nil {
+		return err
+	}
+	if alloc == nil {
+		return fmt.Errorf("snapshot carries no allocator spec")
+	}
+	spec, err := fxdist.DescribeAllocator(alloc)
+	if err != nil {
+		return err
+	}
+	parts, err := fxdist.PartitionFile(file, alloc)
+	if err != nil {
+		return err
+	}
+	if *device < 0 || *device >= len(parts) {
+		return fmt.Errorf("device %d out of range [0,%d)", *device, len(parts))
+	}
+	srv, err := fxdist.NewDeviceServer(*device, spec, parts[*device])
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	buckets := 0
+	for range parts[*device] {
+		buckets++
+	}
+	fmt.Printf("fxnode: serving device %d (%d buckets) of %s on %s\n",
+		*device, buckets, alloc.Name(), l.Addr())
+	return srv.Serve(l)
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	snapshot := fs.String("snapshot", "", "snapshot file (schema source)")
+	addrsArg := fs.String("addrs", "", "comma-separated device addresses, in device order")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshot == "" || *addrsArg == "" {
+		return fmt.Errorf("missing -snapshot or -addrs")
+	}
+	file, _, err := fxdist.LoadSnapshotFile(*snapshot)
+	if err != nil {
+		return err
+	}
+	spec, err := cliutil.ParseTerms(fs.Args())
+	if err != nil {
+		return err
+	}
+	pm, err := file.Spec(spec)
+	if err != nil {
+		return err
+	}
+	coord, err := fxdist.DialCluster(file, strings.Split(*addrsArg, ","))
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	res, err := coord.Retrieve(pm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d matching records; buckets/device %v; largest %d\n",
+		len(res.Records), res.DeviceBuckets, res.LargestResponseSize)
+	for i, r := range res.Records {
+		if i == 20 {
+			fmt.Printf("... and %d more\n", len(res.Records)-20)
+			break
+		}
+		fmt.Println(" ", strings.Join(r, ", "))
+	}
+	return nil
+}

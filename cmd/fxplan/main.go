@@ -1,0 +1,125 @@
+// Command fxplan advises on declustering a file system: it plans FX field
+// transformations for the given field sizes and device count, reports how
+// much of the query space is certifiably and exactly strict-optimal,
+// names a failing query class when one exists, and can exhaustively
+// search all transform assignments.
+//
+// Usage:
+//
+//	fxplan -fields 8,8,8,16,16,16 -m 512
+//	fxplan -fields 2,2,2,2 -m 16 -search
+//	fxplan -fields 8,8 -m 32 -p 0.7    # weight query classes by spec prob.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fxdist"
+	"fxdist/internal/cliutil"
+)
+
+func main() {
+	fieldsArg := flag.String("fields", "", "comma-separated field sizes (powers of two)")
+	m := flag.Int("m", 0, "number of parallel devices (power of two)")
+	search := flag.Bool("search", false, "exhaustively search all transform assignments")
+	p := flag.Float64("p", 0.5, "per-field specification probability for the weighted score")
+	flag.Parse()
+
+	sizes, err := cliutil.ParseSizes(*fieldsArg)
+	if err != nil {
+		fatal(err)
+	}
+	fs, err := fxdist.NewFileSystem(sizes, *m)
+	if err != nil {
+		fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("file system: F = %v, M = %d (%d fields smaller than M)\n",
+		sizes, *m, fs.SmallFieldCount())
+	fmt.Printf("recommended plan: %v\n\n", fxdist.Kinds(fx))
+
+	n := fs.NumFields()
+	certified, err := fxdist.WeightedOptimality(n, *p, func(s []int) bool {
+		return fxdist.FXGuaranteed(fx, subsetQuery(n, s))
+	})
+	if err != nil {
+		fatal(err)
+	}
+	exact, err := fxdist.WeightedOptimality(n, *p, func(s []int) bool {
+		return fxdist.StrictOptimal(fx, subsetQuery(n, s))
+	})
+	if err != nil {
+		fatal(err)
+	}
+	modulo, err := fxdist.WeightedOptimality(n, *p, func(s []int) bool {
+		return fxdist.ModuloGuaranteed(fs, subsetQuery(n, s))
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("strict-optimal probability at specification probability p = %.2f:\n", *p)
+	fmt.Printf("  FX certified (§4.2 conditions): %6.2f%%\n", 100*certified)
+	fmt.Printf("  FX exact:                       %6.2f%%\n", 100*exact)
+	fmt.Printf("  Modulo certified [DuSo82]:      %6.2f%%\n", 100*modulo)
+
+	if w, ok := fxdist.FindWitness(fx); ok {
+		fmt.Printf("\nnot perfect optimal; smallest failing query class: unspecified fields %v "+
+			"(largest response %d, optimal bound %d)\n", w.Unspec, w.MaxLoad, w.Bound)
+	} else {
+		fmt.Println("\nperfect optimal: strict optimal for every partial match query")
+	}
+
+	if *search {
+		res, err := fxdist.SearchBestPlan(fs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nexhaustive search over %d assignments:\n", res.Evaluated)
+		fmt.Printf("  best:    %v at %.2f%% of query classes\n", res.Kinds, res.OptimalPct)
+		fmt.Printf("  planner: %v at %.2f%%\n", fxdist.Kinds(fx), res.PlannerPct)
+	}
+
+	// Workload-weighted method recommendation.
+	probs := make([]float64, n)
+	for i := range probs {
+		probs[i] = *p
+	}
+	basic, err := fxdist.NewBasicFX(fs)
+	if err != nil {
+		fatal(err)
+	}
+	candidates := []fxdist.GroupAllocator{fx, basic, fxdist.NewModulo(fs)}
+	rec, err := fxdist.RecommendMethod(candidates, probs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nexpected largest response size at p = %.2f:\n", *p)
+	for i, c := range candidates {
+		marker := " "
+		if i == rec.Best {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-24s %8.2f\n", marker, c.Name(), rec.Expected[i])
+	}
+	fmt.Printf("recommended method: %s\n", rec.Name)
+}
+
+// subsetQuery builds the canonical query with the given unspecified set.
+func subsetQuery(n int, unspec []int) fxdist.Query {
+	spec := make([]int, n)
+	for _, i := range unspec {
+		spec[i] = fxdist.Unspecified
+	}
+	return fxdist.NewQuery(spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fxplan:", err)
+	os.Exit(1)
+}

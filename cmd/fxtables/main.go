@@ -1,0 +1,98 @@
+// Command fxtables reprints the paper's worked examples (Tables 1-6):
+// the bucket-to-device mapping of Basic and Extended FX distribution on
+// small file systems, in the paper's format (binary field values, decimal
+// device numbers).
+//
+// Usage:
+//
+//	fxtables            # print all six tables
+//	fxtables -table 3   # print only Table 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fxdist/internal/bitsx"
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+)
+
+type tableDef struct {
+	num     int
+	caption string
+	sizes   []int
+	m       int
+	kinds   []field.Kind
+	// withModulo adds the paper's Modulo comparison column (Table 2).
+	withModulo bool
+}
+
+var tables = []tableDef{
+	{1, "Basic FX distribution", []int{2, 8}, 4, []field.Kind{field.I, field.I}, false},
+	{2, "FX distribution with I and U transformation (vs Modulo)", []int{4, 4}, 16, []field.Kind{field.I, field.U}, true},
+	{3, "FX distribution with I and IU1 transformation", []int{4, 4}, 16, []field.Kind{field.I, field.IU1}, false},
+	{4, "FX distribution with I, U and IU1 transformation", []int{2, 4, 2}, 8, []field.Kind{field.I, field.U, field.IU1}, false},
+	{5, "FX distribution with I and IU2 transformation", []int{8, 2}, 16, []field.Kind{field.I, field.IU2}, false},
+	{6, "FX distribution with I, U and IU2 transformation", []int{4, 2, 2}, 16, []field.Kind{field.I, field.U, field.IU2}, false},
+}
+
+func printTable(def tableDef) {
+	fs := decluster.MustFileSystem(def.sizes, def.m)
+	fx := decluster.MustFX(fs, field.WithKinds(def.kinds))
+	md := decluster.NewModulo(fs)
+
+	fmt.Printf("Table %d. %s\n", def.num, def.caption)
+	fmt.Printf("  file system: F = %v, M = %d, plan = %v\n\n", def.sizes, def.m, fx.Plan())
+
+	// Column headers: transformed field values, then device number(s).
+	// Each column prints log2(M) bits (the paper's convention), widened
+	// when an identity-transformed field is larger than M.
+	widths := make([]int, fs.NumFields())
+	for i, f := range def.sizes {
+		widths[i] = bitsx.Log2(def.m)
+		if fb := bitsx.Log2(f); fb > widths[i] {
+			widths[i] = fb
+		}
+	}
+	header := "  "
+	for i, fn := range fx.Plan().Funcs {
+		header += fmt.Sprintf("%-*s ", widths[i]+2, fmt.Sprintf("%v(f%d)", fn.Kind(), i+1))
+	}
+	header += "Device(FX)"
+	if def.withModulo {
+		header += "  Device(Modulo)"
+	}
+	fmt.Println(header)
+	fmt.Println("  " + strings.Repeat("-", len(header)))
+
+	fs.EachBucket(func(b []int) {
+		row := "  "
+		for i, v := range b {
+			t := fx.Plan().Funcs[i].Apply(v)
+			row += fmt.Sprintf("%-*s ", widths[i]+2, bitsx.Binary(t, widths[i]))
+		}
+		row += fmt.Sprintf("%10d", fx.Device(b))
+		if def.withModulo {
+			row += fmt.Sprintf("%16d", md.Device(b))
+		}
+		fmt.Println(row)
+	})
+	fmt.Println()
+}
+
+func main() {
+	tableNum := flag.Int("table", 0, "table number to print (1-6); 0 prints all")
+	flag.Parse()
+	if *tableNum < 0 || *tableNum > 6 {
+		fmt.Fprintln(os.Stderr, "fxtables: -table must be 0..6")
+		os.Exit(2)
+	}
+	for _, def := range tables {
+		if *tableNum == 0 || def.num == *tableNum {
+			printTable(def)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package fxdist_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"fxdist"
+)
+
+func buildTestFile(t *testing.T) *fxdist.File {
+	t.Helper()
+	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+		{Name: "a", Cardinality: 60},
+		{Name: "b", Cardinality: 15},
+	}}
+	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{3, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fxdist.GenerateRecords(spec, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := file.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return file
+}
+
+func TestPublicDistributedRetrieval(t *testing.T) {
+	file := buildTestFile(t)
+	fs, err := file.FileSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := fxdist.DialCluster(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	pm, err := file.Spec(map[string]string{"b": "b-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := coord.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := file.Search(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Errorf("distributed %d records, local %d", len(got.Records), len(want))
+	}
+}
+
+func TestPublicReplicatedFailover(t *testing.T) {
+	file := buildTestFile(t)
+	fs, _ := file.FileSystem(4)
+	fx, _ := fxdist.NewFX(fs)
+	addrs, stop, err := fxdist.DeployReplicatedLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := fxdist.DialCluster(file, addrs, fxdist.WithRequestTimeout(5e9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	pm, _ := file.Spec(map[string]string{"b": "b-5"})
+	want, _ := file.Search(pm)
+	got, err := coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Errorf("failover retrieve %d records, want %d", len(got.Records), len(want))
+	}
+}
+
+func TestPublicAllocatorSpecRoundTrip(t *testing.T) {
+	fs, _ := fxdist.NewFileSystem([]int{4, 8}, 8)
+	fx, _ := fxdist.NewFX(fs)
+	spec, err := fxdist.DescribeAllocator(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := fxdist.BuildAllocator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Name() != fx.Name() {
+		t.Errorf("rebuilt %q, want %q", rebuilt.Name(), fx.Name())
+	}
+}
+
+func TestPublicSnapshotRoundTrip(t *testing.T) {
+	file := buildTestFile(t)
+	fs, _ := file.FileSystem(4)
+	fx, _ := fxdist.NewFX(fs)
+	var buf bytes.Buffer
+	if err := fxdist.SaveSnapshot(&buf, file, fx); err != nil {
+		t.Fatal(err)
+	}
+	restored, alloc, err := fxdist.LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != file.Len() || alloc == nil {
+		t.Errorf("restored %d records, alloc %v", restored.Len(), alloc)
+	}
+}
+
+func TestPublicQueueSimulation(t *testing.T) {
+	fs, _ := fxdist.NewFileSystem([]int{4, 4}, 16)
+	fx, _ := fxdist.NewFX(fs)
+	queries := []fxdist.Query{fxdist.AllQuery(2), fxdist.AllQuery(2)}
+	jobs, err := fxdist.JobsFromQueries(fx, queries, fxdist.UniformArrivals(2, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := fxdist.RunQueue(jobs, fxdist.ParallelDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanResponse <= 0 || stats.Makespan <= 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if len(fxdist.PoissonArrivals(5, time.Second, 1)) != 5 {
+		t.Error("PoissonArrivals length wrong")
+	}
+}
+
+func TestPublicGrowthPlanning(t *testing.T) {
+	plans, err := fxdist.GrowthSeries([]int{4, 8}, 8, 0, 2,
+		func(fs fxdist.FileSystem) (fxdist.GroupAllocator, error) {
+			return fxdist.NewBasicFX(fs)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for _, p := range plans {
+		if p.MoveFraction() > 0.5 {
+			t.Errorf("Basic FX move fraction %.2f > 0.5", p.MoveFraction())
+		}
+	}
+}
+
+func TestPublicSearchAndWitness(t *testing.T) {
+	fs, _ := fxdist.NewFileSystem([]int{2, 2, 2, 2}, 16)
+	res, err := fxdist.SearchBestPlan(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalPct == 100 {
+		t.Error("L=4 all-small system cannot be perfect optimal")
+	}
+	bfx, _ := fxdist.NewBasicFX(fs)
+	if _, ok := fxdist.FindWitness(bfx); !ok {
+		t.Error("no witness for Basic FX on all-small system")
+	}
+	gres, err := fxdist.SearchGDM(fs, 2, 10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Evaluated != 10 {
+		t.Errorf("evaluated %d", gres.Evaluated)
+	}
+	p, err := fxdist.WeightedOptimality(4, 0.5, func(s []int) bool { return len(s) <= 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p >= 1 {
+		t.Errorf("weighted probability %v", p)
+	}
+}

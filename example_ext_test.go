@@ -1,0 +1,95 @@
+package fxdist_test
+
+import (
+	"fmt"
+	"time"
+
+	"fxdist"
+)
+
+// ExampleDesignDepths solves the directory design problem the paper
+// inherits from Aho-Ullman: give bits to often-specified fields.
+func ExampleDesignDepths() {
+	res, _ := fxdist.DesignDepths(8, []fxdist.DesignField{
+		{SpecProb: 0.9}, // hot: queries almost always specify it
+		{SpecProb: 0.5},
+		{SpecProb: 0.1}, // cold: rarely specified
+	})
+	fmt.Println("depths:", res.Depths)
+	fmt.Println("sizes: ", res.Sizes())
+	// Output:
+	// depths: [6 2 0]
+	// sizes:  [64 4 1]
+}
+
+// ExampleNewReplicaPlacement shows chained declustering absorbing a
+// device failure with bounded load growth.
+func ExampleNewReplicaPlacement() {
+	fs, _ := fxdist.NewFileSystem([]int{16, 16}, 8)
+	fx, _ := fxdist.NewFX(fs)
+	p := fxdist.NewReplicaPlacement(fx, fxdist.ChainedFailover)
+	_ = p.Fail(3)
+	d := p.Degradation(fxdist.AllQuery(2))
+	fmt.Printf("max load %d -> %d\n", d.HealthyMax, d.DegradedMax)
+	// Output:
+	// max load 32 -> 40
+}
+
+// ExampleRunQueue simulates two back-to-back whole-file queries on
+// parallel disks: the second queues behind the first.
+func ExampleRunQueue() {
+	fs, _ := fxdist.NewFileSystem([]int{4, 4}, 16)
+	fx, _ := fxdist.NewFX(fs)
+	queries := []fxdist.Query{fxdist.AllQuery(2), fxdist.AllQuery(2)}
+	jobs, _ := fxdist.JobsFromQueries(fx, queries, fxdist.UniformArrivals(2, time.Millisecond))
+	stats, _ := fxdist.RunQueue(jobs, fxdist.ParallelDisk)
+	fmt.Println(stats.PerQuery[0].Response, stats.PerQuery[1].Response)
+	// Output:
+	// 29ms 57ms
+}
+
+// ExampleNewButterfly routes one message through the simulated Butterfly
+// interconnect.
+func ExampleNewButterfly() {
+	nw, _ := fxdist.NewButterfly(8)
+	stats, _ := nw.Run([]fxdist.NetworkMessage{{Src: 5, Dst: 2}})
+	fmt.Printf("%d stages, delivered in %d cycles\n", nw.Stages(), stats.Cycles)
+	// Output:
+	// 3 stages, delivered in 4 cycles
+}
+
+// ExampleMSweep quantifies the paper's closing caveat: FX optimality as
+// the machine grows past fixed directory sizes.
+func ExampleMSweep() {
+	pts, _ := fxdist.MSweep([]int{8, 8, 8, 8}, []int{8, 64}, fxdist.FamilyIU2)
+	for _, p := range pts {
+		fmt.Printf("M=%d FX=%.1f%% Modulo=%.1f%%\n", p.M, p.FXExactPct, p.ModuloExactPct)
+	}
+	// Output:
+	// M=8 FX=100.0% Modulo=100.0%
+	// M=64 FX=93.8% Modulo=31.2%
+}
+
+// ExampleRecommendMethod picks a declustering method for an observed
+// workload.
+func ExampleRecommendMethod() {
+	fs, _ := fxdist.NewFileSystem([]int{4, 4, 8}, 32)
+	fx, _ := fxdist.NewFX(fs)
+	md := fxdist.NewModulo(fs)
+	rec, _ := fxdist.RecommendMethod([]fxdist.GroupAllocator{md, fx}, []float64{0.5, 0.5, 0.5})
+	fmt.Println(rec.Name)
+	// Output:
+	// FX[IU2 U I]
+}
+
+// ExamplePlanMigration costs a re-declustering: how many buckets move
+// when a Modulo file adopts FX.
+func ExamplePlanMigration() {
+	fs, _ := fxdist.NewFileSystem([]int{4, 4}, 16)
+	md := fxdist.NewModulo(fs)
+	fx, _ := fxdist.NewFX(fs)
+	plan, _ := fxdist.PlanMigration(md, fx)
+	fmt.Printf("%d of %d buckets move\n", plan.Moved, plan.Total)
+	// Output:
+	// 12 of 16 buckets move
+}

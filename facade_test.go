@@ -1,0 +1,148 @@
+package fxdist_test
+
+import (
+	"testing"
+
+	"fxdist"
+)
+
+// Sweep the thin facade wrappers that the deeper tests reach only through
+// internal packages, so the public surface is exercised end to end.
+func TestFacadeCoverage(t *testing.T) {
+	// Paper spec constructors.
+	for _, ts := range []fxdist.TableSpec{
+		fxdist.PaperTable7(), fxdist.PaperTable8(), fxdist.PaperTable9(),
+	} {
+		if len(ts.Methods) != 5 {
+			t.Errorf("%s: %d methods", ts.Name, len(ts.Methods))
+		}
+	}
+	for _, fig := range []fxdist.FigureSpec{
+		fxdist.PaperFigure1(), fxdist.PaperFigure2(),
+		fxdist.PaperFigure3(), fxdist.PaperFigure4(),
+	} {
+		if fig.N != 6 && fig.N != 10 {
+			t.Errorf("%s: n = %d", fig.Name, fig.N)
+		}
+	}
+
+	fs := mustFS(t, []int{4, 4}, 16)
+	fx, err := fxdist.NewFX(fs, fxdist.WithKinds([]fxdist.Kind{fxdist.I, fxdist.U}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, err := fxdist.ExpectedLargestResponse(fx, []float64{0.5, 0.5}); err != nil || e < 1 {
+		t.Errorf("ExpectedLargestResponse = %v, %v", e, err)
+	}
+
+	// Growth planning through the facade.
+	oldFX, _ := fxdist.NewBasicFX(mustFS(t, []int{4, 4}, 16))
+	newFX, _ := fxdist.NewBasicFX(mustFS(t, []int{8, 4}, 16))
+	plan, err := fxdist.PlanGrowth(oldFX, newFX, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Total != 32 {
+		t.Errorf("growth total = %d", plan.Total)
+	}
+
+	// Closed-loop queueing through the facade.
+	pool, err := fxdist.QueryLoadPool(fx, []fxdist.Query{fxdist.AllQuery(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := fxdist.RunClosedQueue(pool, 2, 10, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Makespan <= 0 {
+		t.Error("closed queue makespan not positive")
+	}
+
+	// Custom field hash through the facade.
+	constant := fxdist.FieldHash(func(string) uint64 { return 1 })
+	file, err := fxdist.NewFile(fxdist.Schema{
+		Fields: []string{"k"}, Depths: []int{2},
+	}, fxdist.WithFieldHash(0, constant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Insert(fxdist.Record{"anything"}); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := file.BucketOf(fxdist.Record{"other"})
+	if b[0] != 1 {
+		t.Errorf("custom hash ignored: %v", b)
+	}
+}
+
+// Replicated cluster and device-server wrappers.
+func TestFacadeReplicationSurface(t *testing.T) {
+	file := buildTestFile(t)
+	fs, _ := file.FileSystem(4)
+	fx, _ := fxdist.NewFX(fs)
+
+	rc, err := fxdist.NewReplicatedCluster(file, fx, fxdist.ChainedFailover, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rc.Fail(1); err != nil {
+		t.Fatal(err)
+	}
+	pm, _ := file.Spec(map[string]string{"b": "b-2"})
+	want, _ := file.Search(pm)
+	got, err := rc.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Errorf("replicated retrieve %d records, want %d", len(got.Records), len(want))
+	}
+
+	// Manual server construction via the facade.
+	spec, err := fxdist.DescribeAllocator(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := fxdist.PartitionFile(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fxdist.NewDeviceServer(0, spec, parts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fxdist.NewReplicatedDeviceServer(1, spec, parts[1], parts[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable cluster reopen through the facade.
+	dir := t.TempDir()
+	dc, err := fxdist.CreateDurableCluster(dir, file, fx, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc.Close()
+	re, err := fxdist.OpenDurableCluster(dir, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != file.Len() {
+		t.Errorf("reopened %d records, want %d", re.Len(), file.Len())
+	}
+}
+
+// ResponseTimeTable through the facade: the §5.2.1 composite on disks.
+func TestFacadeResponseTimeTable(t *testing.T) {
+	fs := mustFS(t, []int{4, 4}, 16)
+	fx, _ := fxdist.NewFX(fs)
+	md := fxdist.NewModulo(fs)
+	rows := fxdist.ResponseTimeTable(fs, []fxdist.GroupAllocator{md, fx}, []int{2},
+		fxdist.ParallelDisk.PerQuery, fxdist.ParallelDisk.PerBucket)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Avg[1] >= rows[0].Avg[0] {
+		t.Errorf("FX response %v not below Modulo %v", rows[0].Avg[1], rows[0].Avg[0])
+	}
+}

@@ -1,0 +1,104 @@
+package fxdist
+
+import (
+	"fxdist/internal/mkhash"
+	"fxdist/internal/storage"
+)
+
+// Record is one tuple of a multi-key hashed file.
+type Record = mkhash.Record
+
+// Schema names a file's fields and fixes the initial per-field directory
+// depths (field i starts with 2^Depths[i] hash cells).
+type Schema = mkhash.Schema
+
+// File is a multi-key hashed file: records hash field-wise into a bucket
+// grid, the substrate the paper's declustering operates on.
+type File = mkhash.File
+
+// PartialMatch is a value-level partial match query over a File; nil
+// entries are unspecified fields.
+type PartialMatch = mkhash.PartialMatch
+
+// FileOption configures NewFile.
+type FileOption = mkhash.Option
+
+// WithFieldHash overrides the hash function of one field.
+func WithFieldHash(fieldIdx int, h mkhash.FieldHash) FileOption {
+	return mkhash.WithHash(fieldIdx, h)
+}
+
+// NewFile builds an empty multi-key hashed file.
+func NewFile(schema Schema, opts ...FileOption) (*File, error) {
+	return mkhash.New(schema, opts...)
+}
+
+// Cluster distributes a File's buckets over M simulated parallel devices
+// according to a declustering allocator, and answers partial match queries
+// in parallel with per-device inverse mapping.
+type Cluster = storage.Cluster
+
+// CostModel is the simulated per-device service time model.
+type CostModel = storage.CostModel
+
+// Device service models for the paper's two environments (§5.2).
+var (
+	// ParallelDisk models late-1980s disks on a shared bus.
+	ParallelDisk = storage.ParallelDisk
+	// MainMemory models a Butterfly-style multiprocessor memory node.
+	MainMemory = storage.MainMemory
+)
+
+// RetrieveResult reports a parallel retrieval: matching records and the
+// simulated cost breakdown.
+type RetrieveResult = storage.Result
+
+// SimResult is a record-free simulated retrieval at bucket granularity.
+type SimResult = storage.SimResult
+
+// NewCluster distributes file's buckets over the allocator's devices.
+func NewCluster(file *File, alloc GroupAllocator, model CostModel) (*Cluster, error) {
+	return storage.NewCluster(file, alloc, model)
+}
+
+// Simulate computes the simulated parallel response time of a query from
+// its per-device load vector (see Loads): response time is the slowest
+// device's service time (§5.2.1's symmetric-device model).
+func Simulate(loads []int, model CostModel) SimResult {
+	return storage.Simulate(loads, model)
+}
+
+// ProjectResult reports a parallel projection with duplicate elimination
+// (Cluster.Project) — the relational operator the paper's Butterfly
+// citation [RoJa87] studies. Pass a ButterflyNetwork to cost the gather
+// phase on the simulated interconnect.
+type ProjectResult = storage.ProjectResult
+
+// ReplicatedCluster is a simulated cluster with chained-declustering
+// replication: each bucket is stored on its primary device and the ring
+// successor, devices can Fail and Restore, and retrieval keeps answering
+// through any single failure.
+type ReplicatedCluster = storage.ReplicatedCluster
+
+// NewReplicatedCluster distributes file's buckets with primary and backup
+// copies under the given failover mode.
+func NewReplicatedCluster(file *File, alloc GroupAllocator, mode ReplicaMode, model CostModel) (*ReplicatedCluster, error) {
+	return storage.NewReplicated(file, alloc, mode, model)
+}
+
+// DurableCluster is the disk-backed cluster: every device persists its
+// bucket partition in a crash-safe log under one directory, with the
+// schema and allocator spec in a metadata snapshot.
+type DurableCluster = storage.DurableCluster
+
+// CreateDurableCluster materialises file's buckets as per-device logs
+// under dir and writes the metadata snapshot.
+func CreateDurableCluster(dir string, file *File, alloc GroupAllocator, model CostModel) (*DurableCluster, error) {
+	return storage.CreateDurable(dir, file, alloc, model)
+}
+
+// OpenDurableCluster reopens a durable cluster; pass the same
+// WithFieldHash options the original file was built with, if any.
+func OpenDurableCluster(dir string, model CostModel, opts ...FileOption) (*DurableCluster, error) {
+	return storage.OpenDurable(dir, model, opts...)
+}

@@ -1,0 +1,3 @@
+module fxdist
+
+go 1.22

@@ -1,0 +1,171 @@
+package fxdist_test
+
+import (
+	"sort"
+	"testing"
+
+	"fxdist"
+)
+
+// The three retrieval paths — in-memory simulated cluster, disk-backed
+// durable cluster, and TCP-distributed coordinator — must all agree with
+// the single-device reference search on the same file, allocator and
+// query mix, and must report identical per-device bucket counts (they all
+// derive from the same inverse mapping).
+func TestRetrievalPathsAgree(t *testing.T) {
+	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+		{Name: "part", Cardinality: 400},
+		{Name: "supplier", Cardinality: 60},
+		{Name: "warehouse", Cardinality: 12},
+	}}
+	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{4, 3, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := fxdist.GenerateRecords(spec, 2000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := file.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := file.FileSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mem, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+	addrs, stop, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	net, err := fxdist.DialCluster(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	pms, err := fxdist.GeneratePartialMatches(spec, 25, 0.45, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func(r fxdist.Record) string { return r[0] + "|" + r[1] + "|" + r[2] }
+	keysOf := func(recs []fxdist.Record) []string {
+		out := make([]string, len(recs))
+		for i, r := range recs {
+			out[i] = key(r)
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for qi, pm := range pms {
+		want, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantKeys := keysOf(want)
+
+		memRes, err := mem.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		durRes, err := dur.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netRes, err := net.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for name, got := range map[string][]fxdist.Record{
+			"memory":      memRes.Records,
+			"durable":     durRes.Records,
+			"distributed": netRes.Records,
+		} {
+			gotKeys := keysOf(got)
+			if len(gotKeys) != len(wantKeys) {
+				t.Fatalf("query %d via %s: %d records, want %d", qi, name, len(gotKeys), len(wantKeys))
+			}
+			for i := range wantKeys {
+				if gotKeys[i] != wantKeys[i] {
+					t.Fatalf("query %d via %s: record sets differ", qi, name)
+				}
+			}
+		}
+		for d := 0; d < 8; d++ {
+			if memRes.DeviceBuckets[d] != durRes.DeviceBuckets[d] ||
+				memRes.DeviceBuckets[d] != netRes.DeviceBuckets[d] {
+				t.Fatalf("query %d device %d: bucket counts diverge (%d/%d/%d)",
+					qi, d, memRes.DeviceBuckets[d], durRes.DeviceBuckets[d], netRes.DeviceBuckets[d])
+			}
+		}
+	}
+}
+
+// Snapshot + durable cluster round trip: a snapshot taken from a live
+// file restores into a durable cluster that answers identically.
+func TestSnapshotToDurablePipeline(t *testing.T) {
+	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+		{Name: "a", Cardinality: 100},
+		{Name: "b", Cardinality: 40},
+	}}
+	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{3, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := fxdist.GenerateRecords(spec, 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if err := file.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, _ := file.FileSystem(4)
+	fx, _ := fxdist.NewFX(fs)
+
+	path := t.TempDir() + "/file.snap"
+	if err := fxdist.SaveSnapshotFile(path, file, fx); err != nil {
+		t.Fatal(err)
+	}
+	restored, alloc, err := fxdist.LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dur, err := fxdist.CreateDurableCluster(t.TempDir(), restored, alloc, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dur.Close()
+
+	pm, err := file.Spec(map[string]string{"b": "b-7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := file.Search(pm)
+	got, err := dur.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Errorf("pipeline returned %d records, want %d", len(got.Records), len(want))
+	}
+}

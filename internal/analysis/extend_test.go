@@ -1,0 +1,342 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+	"fxdist/internal/optimal"
+)
+
+func TestWeightedOptimalityBounds(t *testing.T) {
+	if _, err := WeightedOptimality(3, -0.1, func([]int) bool { return true }); err == nil {
+		t.Error("negative p accepted")
+	}
+	if _, err := WeightedOptimality(3, 1.1, func([]int) bool { return true }); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	// Always-true predicate integrates to 1 for any p.
+	for _, p := range []float64{0, 0.3, 0.5, 1} {
+		got, err := WeightedOptimality(4, p, func([]int) bool { return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1) > 1e-12 {
+			t.Errorf("p=%v: total probability %v, want 1", p, got)
+		}
+	}
+}
+
+func TestWeightedOptimalityDegenerateP(t *testing.T) {
+	// p = 1: only the exact-match class (no unspecified fields) has mass.
+	got, err := WeightedOptimality(3, 1, func(s []int) bool { return len(s) == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=1 exact-match mass = %v", got)
+	}
+	// p = 0: only the whole-file class has mass.
+	got, err = WeightedOptimality(3, 0, func(s []int) bool { return len(s) == 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=0 whole-file mass = %v", got)
+	}
+}
+
+// With p = 0.5 the weighted probability equals the uniform percentage.
+func TestWeightedMatchesUniformAtHalf(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 2, 4, 8}, 16)
+	fx := decluster.MustFX(fs)
+	pred := func(s []int) bool { return optimal.StrictForSubset(fx, s) }
+	weighted, err := WeightedOptimality(4, 0.5, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := percentOf(4, pred) / 100
+	if math.Abs(weighted-uniform) > 1e-12 {
+		t.Errorf("weighted %v != uniform %v", weighted, uniform)
+	}
+}
+
+// Lower specification probability means more unspecified fields and lower
+// optimality probability for Modulo in the all-small regime.
+func TestWeightedOptimalityMonotoneForModulo(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4, 4, 4}, 16)
+	pred := func(s []int) bool { return optimal.ModuloSufficient(fs, s) }
+	prev := -1.0
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		got, err := WeightedOptimality(4, p, pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Errorf("optimality probability decreased as p grew: %v after %v", got, prev)
+		}
+		prev = got
+	}
+}
+
+// The exhaustive plan search can never do worse than the default planner,
+// and on a Theorem 9 system both reach 100%.
+func TestSearchBestPlan(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 4, 8}, 16)
+	res, err := SearchBestPlan(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 64 { // 4^3 assignments
+		t.Errorf("evaluated %d assignments, want 64", res.Evaluated)
+	}
+	if res.OptimalPct < res.PlannerPct {
+		t.Errorf("search best %.1f%% below planner %.1f%%", res.OptimalPct, res.PlannerPct)
+	}
+	if res.PlannerPct != 100 {
+		t.Errorf("planner should be perfect optimal on L=3 (Theorem 9), got %.1f%%", res.PlannerPct)
+	}
+	if res.OptimalPct != 100 {
+		t.Errorf("search should find a perfect plan, got %.1f%%", res.OptimalPct)
+	}
+	if len(res.Kinds) != 3 {
+		t.Errorf("kinds = %v", res.Kinds)
+	}
+}
+
+// On an L=4 system (no method is always perfect optimal, [Sung87]), the
+// search must confirm that no FX transform assignment reaches 100%.
+func TestSearchConfirmsSungImpossibilityForFX(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 2, 2, 2}, 16)
+	res, err := SearchBestPlan(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalPct == 100 {
+		t.Errorf("an FX assignment reached 100%% on an L=4 all-small system: %v", res.Kinds)
+	}
+	if res.OptimalPct < res.PlannerPct {
+		t.Errorf("search (%.1f%%) below planner (%.1f%%)", res.OptimalPct, res.PlannerPct)
+	}
+}
+
+// Large fields are forced to identity; search space shrinks accordingly.
+func TestSearchBestPlanLargeFieldsForced(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{16, 4}, 8)
+	res, err := SearchBestPlan(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 4 {
+		t.Errorf("evaluated %d, want 4", res.Evaluated)
+	}
+	if res.Kinds[0] != field.I {
+		t.Errorf("large field kind = %v, want I", res.Kinds[0])
+	}
+}
+
+func TestSearchGDM(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 8, 8, 8}, 32)
+	res, err := SearchGDM(fs, 2, 40, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 40 {
+		t.Errorf("evaluated %d", res.Evaluated)
+	}
+	for _, a := range res.Multipliers {
+		if a%2 == 0 || a < 1 || a > 64 {
+			t.Errorf("multiplier %d not an odd value in range", a)
+		}
+	}
+	// Any found set must beat plain Modulo's 8.0 at k=2 here.
+	if res.AvgLargest >= 8.0 {
+		t.Errorf("best GDM avg %.2f no better than Modulo", res.AvgLargest)
+	}
+	// Determinism.
+	res2, _ := SearchGDM(fs, 2, 40, 64)
+	if res2.AvgLargest != res.AvgLargest {
+		t.Error("search not deterministic")
+	}
+	if _, err := SearchGDM(fs, 2, 0, 64); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// The exhaustive response table must agree with the convolution path on
+// group allocators (same definition, different engines), and must rank
+// the MSP heuristic: better than nothing, worse than or equal to FX.
+func TestResponseTableExhaustive(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 8)
+	fx := decluster.MustFX(fs)
+	md := decluster.NewModulo(fs)
+	ks := []int{1, 2}
+	fast := ResponseTable(fs, []decluster.GroupAllocator{fx, md}, ks)
+	slow := ResponseTableExhaustive(fs, []decluster.Allocator{fx, md}, ks)
+	for r := range fast {
+		for c := range fast[r].Avg {
+			if math.Abs(fast[r].Avg[c]-slow[r].Avg[c]) > 1e-9 {
+				t.Errorf("row %d col %d: convolution %.3f vs exhaustive %.3f",
+					r, c, fast[r].Avg[c], slow[r].Avg[c])
+			}
+		}
+		if math.Abs(fast[r].Optimal-slow[r].Optimal) > 1e-9 {
+			t.Errorf("row %d optimal differs", r)
+		}
+	}
+
+	msp := decluster.NewMSP(fs)
+	rows := ResponseTableExhaustive(fs, []decluster.Allocator{msp, fx, md}, []int{2})
+	mspAvg, fxAvg, mdAvg := rows[0].Avg[0], rows[0].Avg[1], rows[0].Avg[2]
+	if fxAvg > mspAvg+1e-9 {
+		t.Errorf("FX (%.2f) worse than MSP (%.2f)", fxAvg, mspAvg)
+	}
+	if mspAvg > mdAvg+1e-9 {
+		t.Logf("note: MSP (%.2f) worse than Modulo (%.2f) on this grid", mspAvg, mdAvg)
+	}
+}
+
+// ExpectedLargest at p = 0 reduces to the whole-file largest load; at
+// p = 1 to the exact-match load of 1.
+func TestExpectedLargestDegenerate(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs)
+	md := decluster.NewModulo(fs)
+	all0 := []float64{0, 0}
+	all1 := []float64{1, 1}
+	if e, _ := ExpectedLargest(fx, all0); e != 1 { // FX(I,U) whole-file max = 1
+		t.Errorf("FX p=0 expected largest = %v", e)
+	}
+	if e, _ := ExpectedLargest(md, all0); e != 4 { // Modulo triangle peak
+		t.Errorf("Modulo p=0 expected largest = %v", e)
+	}
+	for _, a := range []decluster.GroupAllocator{fx, md} {
+		if e, _ := ExpectedLargest(a, all1); e != 1 {
+			t.Errorf("%s p=1 expected largest = %v", a.Name(), e)
+		}
+	}
+	if _, err := ExpectedLargest(fx, []float64{0.5}); err == nil {
+		t.Error("prob count mismatch accepted")
+	}
+	if _, err := ExpectedLargest(fx, []float64{0.5, 1.5}); err == nil {
+		t.Error("prob out of range accepted")
+	}
+}
+
+// The recommender must pick FX over Modulo and Basic FX on a system where
+// FX's transforms matter.
+func TestRecommend(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4, 8}, 32)
+	fx := decluster.MustFX(fs)
+	basic, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := decluster.NewModulo(fs)
+	probs := []float64{0.5, 0.5, 0.5}
+	rec, err := Recommend([]decluster.GroupAllocator{md, basic, fx}, probs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Best != 2 || rec.Name != fx.Name() {
+		t.Errorf("recommended %q (index %d), expected %s; scores %v",
+			rec.Name, rec.Best, fx.Name(), rec.Expected)
+	}
+	for i, e := range rec.Expected {
+		if e < 1 {
+			t.Errorf("candidate %d expected largest %v < 1", i, e)
+		}
+	}
+	if _, err := Recommend(nil, probs); err == nil {
+		t.Error("empty candidates accepted")
+	}
+	if _, err := Recommend([]decluster.GroupAllocator{fx}, []float64{0.5}); err == nil {
+		t.Error("prob mismatch accepted")
+	}
+}
+
+// P-sweep: FX dominates Modulo at every specification probability, and
+// both reach certainty at p = 1 (exact match is always optimal). The
+// curve need not be monotone in p: weight shifts through the middle-k
+// query classes, which are the hardest to certify.
+func TestPSweep(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4, 4, 4}, 32)
+	pts, err := PSweep(fs, field.FamilyIU2, []float64{0.1, 0.5, 0.9, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.FXPct < p.ModuloPct-1e-12 {
+			t.Errorf("p=%.1f: FX %.3f below Modulo %.3f", p.P, p.FXPct, p.ModuloPct)
+		}
+		if p.FXPct < 0 || p.FXPct > 1 || p.ModuloPct < 0 || p.ModuloPct > 1 {
+			t.Errorf("p=%.1f: probabilities out of range: %+v", p.P, p)
+		}
+	}
+	last := pts[3]
+	if math.Abs(last.FXPct-1) > 1e-12 || math.Abs(last.ModuloPct-1) > 1e-12 {
+		t.Errorf("p=1 should be certain: FX=%v MD=%v", last.FXPct, last.ModuloPct)
+	}
+	if _, err := PSweep(fs, field.FamilyIU2, []float64{-0.5}); err == nil {
+		t.Error("invalid p accepted")
+	}
+}
+
+// M-sweep: optimality degrades as the machine outgrows the directories,
+// and FX stays above Modulo throughout.
+func TestMSweep(t *testing.T) {
+	pts, err := MSweep([]int{8, 8, 8, 8}, []int{4, 16, 64, 256}, field.FamilyIU2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// At M=4 every field is >= M: perfect for both.
+	if pts[0].FXExactPct != 100 || pts[0].ModuloExactPct != 100 {
+		t.Errorf("M=4: FX %.1f MD %.1f, want 100/100", pts[0].FXExactPct, pts[0].ModuloExactPct)
+	}
+	if pts[0].SmallFields != 0 || pts[3].SmallFields != 4 {
+		t.Errorf("small-field counts wrong: %+v", pts)
+	}
+	for i, p := range pts {
+		if p.FXExactPct < p.ModuloExactPct {
+			t.Errorf("M=%d: FX %.1f below Modulo %.1f", p.M, p.FXExactPct, p.ModuloExactPct)
+		}
+		if p.FXCertifiedPct > p.FXExactPct+1e-9 {
+			t.Errorf("M=%d: certified %.1f exceeds exact %.1f", p.M, p.FXCertifiedPct, p.FXExactPct)
+		}
+		if i > 0 && p.FXExactPct > pts[i-1].FXExactPct+1e-9 {
+			t.Errorf("FX optimality increased with M at %d", p.M)
+		}
+	}
+	if _, err := MSweep([]int{8}, []int{3}, field.FamilyIU2); err == nil {
+		t.Error("non-power-of-two M accepted")
+	}
+}
+
+func TestFindWitness(t *testing.T) {
+	// Perfect optimal: no witness.
+	fs := decluster.MustFileSystem([]int{2, 4, 8}, 16)
+	fx := decluster.MustFX(fs)
+	if w, ok := optimal.FindWitness(fx); ok {
+		t.Errorf("witness %v on a perfect optimal allocator", w)
+	}
+	// Basic FX on two small fields: witness must be the pair itself.
+	fs2 := decluster.MustFileSystem([]int{2, 8}, 16)
+	bfx, err := decluster.NewBasicFX(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := optimal.FindWitness(bfx)
+	if !ok {
+		t.Fatal("no witness on a non-optimal allocator")
+	}
+	if len(w.Unspec) != 2 || w.MaxLoad <= w.Bound {
+		t.Errorf("witness = %+v", w)
+	}
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"fxdist/internal/convolve"
+	"fxdist/internal/decluster"
+	"fxdist/internal/query"
+)
+
+// LoadStats summarises one per-device load vector.
+type LoadStats struct {
+	Min, Max int
+	Mean     float64
+	// CV is the coefficient of variation (stddev/mean); 0 for a perfectly
+	// even spread.
+	CV float64
+	// Balance is mean/max in (0, 1]; 1 means every device carries exactly
+	// the average (response time at its lower bound).
+	Balance float64
+}
+
+// StatsOf computes load statistics for a non-empty load vector with a
+// positive total.
+func StatsOf(loads []int) (LoadStats, error) {
+	if len(loads) == 0 {
+		return LoadStats{}, fmt.Errorf("analysis: empty load vector")
+	}
+	s := LoadStats{Min: loads[0], Max: loads[0]}
+	sum := 0
+	for _, l := range loads {
+		if l < s.Min {
+			s.Min = l
+		}
+		if l > s.Max {
+			s.Max = l
+		}
+		sum += l
+	}
+	if sum == 0 {
+		return LoadStats{}, fmt.Errorf("analysis: zero total load")
+	}
+	s.Mean = float64(sum) / float64(len(loads))
+	varSum := 0.0
+	for _, l := range loads {
+		d := float64(l) - s.Mean
+		varSum += d * d
+	}
+	s.CV = math.Sqrt(varSum/float64(len(loads))) / s.Mean
+	s.Balance = s.Mean / float64(s.Max)
+	return s, nil
+}
+
+// WorkloadBalance averages the Balance statistic of an allocator over a
+// query mix — a single scalar for "how close to ideal parallelism does
+// this method get on this workload" (1.0 = every query perfectly spread).
+func WorkloadBalance(a decluster.GroupAllocator, queries []query.Query) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("analysis: empty query mix")
+	}
+	total := 0.0
+	for i, q := range queries {
+		if err := q.Validate(a.FileSystem()); err != nil {
+			return 0, fmt.Errorf("analysis: query %d: %w", i, err)
+		}
+		st, err := StatsOf(convolve.Loads(a, q))
+		if err != nil {
+			return 0, fmt.Errorf("analysis: query %d: %w", i, err)
+		}
+		total += st.Balance
+	}
+	return total / float64(len(queries)), nil
+}

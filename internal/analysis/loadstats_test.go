@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+	"fxdist/internal/query"
+	"fxdist/internal/workload"
+)
+
+func TestStatsOfValidation(t *testing.T) {
+	if _, err := StatsOf(nil); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := StatsOf([]int{0, 0}); err == nil {
+		t.Error("zero total accepted")
+	}
+}
+
+func TestStatsOfUniform(t *testing.T) {
+	s, err := StatsOf([]int{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 4 || s.Max != 4 || s.Mean != 4 || s.CV != 0 || s.Balance != 1 {
+		t.Errorf("uniform stats = %+v", s)
+	}
+}
+
+func TestStatsOfSkewed(t *testing.T) {
+	s, err := StatsOf([]int{0, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Min != 0 || s.Max != 8 || s.Mean != 4 || s.Balance != 0.5 {
+		t.Errorf("skewed stats = %+v", s)
+	}
+	if math.Abs(s.CV-1.0) > 1e-12 {
+		t.Errorf("CV = %v, want 1", s.CV)
+	}
+}
+
+// FX's workload balance dominates Modulo's on the Table 2 file system.
+func TestWorkloadBalanceRanksMethods(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U}))
+	md := decluster.NewModulo(fs)
+	queries, err := workload.BucketQueries(fs.Sizes, 100, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fxBal, err := WorkloadBalance(fx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdBal, err := WorkloadBalance(md, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fxBal <= mdBal {
+		t.Errorf("FX balance %.3f not above Modulo %.3f", fxBal, mdBal)
+	}
+	if fxBal <= 0 || fxBal > 1 || mdBal <= 0 || mdBal > 1 {
+		t.Errorf("balances out of range: %v %v", fxBal, mdBal)
+	}
+	if _, err := WorkloadBalance(fx, nil); err == nil {
+		t.Error("empty mix accepted")
+	}
+	if _, err := WorkloadBalance(fx, []query.Query{query.New([]int{9, 0})}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"fmt"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+)
+
+// Family re-exports field.Family for curve construction.
+type Family = field.Family
+
+// TableSpec describes one of the paper's largest-response-size tables
+// (Tables 7-9): the file system, the methods in column order, and the row
+// range.
+type TableSpec struct {
+	Name    string
+	Caption string
+	FS      decluster.FileSystem
+	Methods []decluster.GroupAllocator
+	Ks      []int
+}
+
+// newCurveFX builds the FX allocator used by the paper's figures: I, U and
+// the family transform cycled over the fields smaller than M.
+func newCurveFX(fs decluster.FileSystem, fam Family) *decluster.FX {
+	return decluster.MustFX(fs,
+		field.WithStrategy(field.RoundRobin), field.WithFamily(fam))
+}
+
+// paperMethods assembles the Modulo, GDM1-3 and FX columns of Tables 7-9.
+func paperMethods(fs decluster.FileSystem, fam Family) []decluster.GroupAllocator {
+	return []decluster.GroupAllocator{
+		decluster.NewModulo(fs),
+		decluster.MustGDM(fs, decluster.GDM1Multipliers),
+		decluster.MustGDM(fs, decluster.GDM2Multipliers),
+		decluster.MustGDM(fs, decluster.GDM3Multipliers),
+		newCurveFX(fs, fam),
+	}
+}
+
+// Table7 reproduces the paper's Table 7: M = 32, six fields of size 8,
+// FX with I, U, IU1 cycled (fields 1,4 -> I; 2,5 -> U; 3,6 -> IU1).
+func Table7() TableSpec {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 8, 8, 8}, 32)
+	return TableSpec{
+		Name:    "Table 7",
+		Caption: "M = 32, F1 = ... = F6 = 8",
+		FS:      fs,
+		Methods: paperMethods(fs, field.FamilyIU1),
+		Ks:      []int{2, 3, 4, 5, 6},
+	}
+}
+
+// Table8 reproduces the paper's Table 8: M = 64, six fields of size 8.
+func Table8() TableSpec {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 8, 8, 8}, 64)
+	return TableSpec{
+		Name:    "Table 8",
+		Caption: "M = 64, F1 = ... = F6 = 8",
+		FS:      fs,
+		Methods: paperMethods(fs, field.FamilyIU1),
+		Ks:      []int{2, 3, 4, 5, 6},
+	}
+}
+
+// Table9 reproduces the paper's Table 9: M = 512, F1-3 = 8, F4-6 = 16,
+// FX with IU2 instead of IU1.
+func Table9() TableSpec {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 16, 16, 16}, 512)
+	return TableSpec{
+		Name:    "Table 9",
+		Caption: "M = 512, F1=F2=F3=8 and F4=F5=F6=16",
+		FS:      fs,
+		Methods: paperMethods(fs, field.FamilyIU2),
+		Ks:      []int{2, 3, 4, 5, 6},
+	}
+}
+
+// Rows computes the table's rows.
+func (ts TableSpec) Rows() []ResponseRow {
+	return ResponseTable(ts.FS, ts.Methods, ts.Ks)
+}
+
+// Header returns the column names in order.
+func (ts TableSpec) Header() []string {
+	h := make([]string, 0, len(ts.Methods)+2)
+	h = append(h, "k")
+	for _, m := range ts.Methods {
+		h = append(h, m.Name())
+	}
+	h = append(h, "Optimal")
+	return h
+}
+
+// FigureSpec describes one of the paper's probability-of-optimality
+// figures (Figures 1-4).
+type FigureSpec struct {
+	Name    string
+	Caption string
+	N       int
+	M       int
+	SmallF  int
+	LargeF  int
+	Family  Family
+}
+
+// Figure1 reproduces Figure 1: n = 6, any two fields satisfy FpFq >= M
+// (small fields of size 8 against M = 32), FX with I, U, IU1.
+func Figure1() FigureSpec {
+	return FigureSpec{
+		Name:    "Figure 1",
+		Caption: "n = 6, FpFq >= M for all pairs (M = 32, small F = 8), FX uses I/U/IU1",
+		N:       6, M: 32, SmallF: 8, LargeF: 32,
+		Family: field.FamilyIU1,
+	}
+}
+
+// Figure2 reproduces Figure 2: as Figure 1 with n = 10.
+func Figure2() FigureSpec {
+	f := Figure1()
+	f.Name = "Figure 2"
+	f.Caption = "n = 10, FpFq >= M for all pairs (M = 32, small F = 8), FX uses I/U/IU1"
+	f.N = 10
+	return f
+}
+
+// Figure3 reproduces Figure 3: n = 6, every pair of small fields has
+// FpFq < M but every triple has FpFqFr >= M (small fields of size 8
+// against M = 512), FX with I, U, IU2.
+func Figure3() FigureSpec {
+	return FigureSpec{
+		Name:    "Figure 3",
+		Caption: "n = 6, FpFq < M but FpFqFr >= M (M = 512, small F = 8), FX uses I/U/IU2",
+		N:       6, M: 512, SmallF: 8, LargeF: 512,
+		Family: field.FamilyIU2,
+	}
+}
+
+// Figure4 reproduces Figure 4: as Figure 3 with n = 10.
+func Figure4() FigureSpec {
+	f := Figure3()
+	f.Name = "Figure 4"
+	f.Caption = "n = 10, FpFq < M but FpFqFr >= M (M = 512, small F = 8), FX uses I/U/IU2"
+	f.N = 10
+	return f
+}
+
+// Points computes the figure's series; exact additionally computes the
+// exact percentages by convolution.
+func (fsp FigureSpec) Points(exact bool) []OptimalityPoint {
+	return OptimalityCurve(fsp.N, fsp.M, fsp.SmallF, fsp.LargeF, fsp.Family, exact)
+}
+
+// FormatRow renders a response row to the paper's one-decimal style.
+func FormatRow(r ResponseRow) string {
+	s := fmt.Sprintf("%d", r.K)
+	for _, v := range r.Avg {
+		s += fmt.Sprintf(" %10.1f", v)
+	}
+	s += fmt.Sprintf(" %10.1f", r.Optimal)
+	return s
+}

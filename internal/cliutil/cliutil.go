@@ -1,0 +1,47 @@
+// Package cliutil holds the small parsing helpers the command-line tools
+// share: comma-separated size vectors and field=value query terms.
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSizes parses a comma-separated list of positive integers, e.g.
+// "8,8,16".
+func ParseSizes(arg string) ([]int, error) {
+	if strings.TrimSpace(arg) == "" {
+		return nil, fmt.Errorf("empty size list")
+	}
+	parts := strings.Split(arg, ",")
+	sizes := make([]int, len(parts))
+	for i, s := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("size %q: %w", s, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("size %d must be positive", v)
+		}
+		sizes[i] = v
+	}
+	return sizes, nil
+}
+
+// ParseTerms parses query terms of the form field=value into a map.
+// Repeated fields and malformed terms are errors.
+func ParseTerms(args []string) (map[string]string, error) {
+	spec := make(map[string]string, len(args))
+	for _, arg := range args {
+		k, v, ok := strings.Cut(arg, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("query term %q is not field=value", arg)
+		}
+		if _, dup := spec[k]; dup {
+			return nil, fmt.Errorf("field %q specified twice", k)
+		}
+		spec[k] = v
+	}
+	return spec, nil
+}

@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := ParseSizes(" 8, 16 ,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{8, 16, 4}) {
+		t.Errorf("ParseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "  ", "8,", "8,x", "8,-2", "0"} {
+		if _, err := ParseSizes(bad); err == nil {
+			t.Errorf("ParseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTerms(t *testing.T) {
+	got, err := ParseTerms([]string{"make=ford", "year=1988", "model=a=b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"make": "ford", "year": "1988", "model": "a=b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ParseTerms = %v", got)
+	}
+	if len(mustFail(t, []string{"noequals"})) != 0 {
+		t.Error("malformed accepted")
+	}
+	if len(mustFail(t, []string{"=v"})) != 0 {
+		t.Error("empty field accepted")
+	}
+	if len(mustFail(t, []string{"a=1", "a=2"})) != 0 {
+		t.Error("duplicate field accepted")
+	}
+	empty, err := ParseTerms(nil)
+	if err != nil || len(empty) != 0 {
+		t.Error("nil args should parse to empty spec")
+	}
+}
+
+func mustFail(t *testing.T, args []string) map[string]string {
+	t.Helper()
+	got, err := ParseTerms(args)
+	if err == nil {
+		return got
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package convolve
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+	"fxdist/internal/query"
+)
+
+// Convolved loads must equal brute-force loads for every allocator family
+// and random queries: this is the correctness anchor for Tables 7-9.
+func TestLoadsEqualBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nf := 2 + r.Intn(3)
+		sizes := make([]int, nf)
+		mult := make([]int, nf)
+		for i := range sizes {
+			sizes[i] = 1 << (1 + r.Intn(3))
+			mult[i] = 1 + r.Intn(60)
+		}
+		m := 1 << (1 + r.Intn(5))
+		fs := decluster.MustFileSystem(sizes, m)
+		allocs := []decluster.GroupAllocator{
+			decluster.MustFX(fs),
+			decluster.NewModulo(fs),
+			decluster.MustGDM(fs, mult),
+		}
+		spec := make([]int, nf)
+		for i := range spec {
+			if r.Intn(2) == 0 {
+				spec[i] = query.Unspecified
+			} else {
+				spec[i] = r.Intn(sizes[i])
+			}
+		}
+		q := query.New(spec)
+		for _, a := range allocs {
+			fast := Loads(a, q)
+			slow := query.Loads(a, q)
+			if !reflect.DeepEqual(fast, slow) {
+				t.Fatalf("%s sizes=%v m=%d q=%v: convolve=%v brute=%v",
+					a.Name(), sizes, m, q, fast, slow)
+			}
+		}
+	}
+}
+
+// Translation invariance: the sorted load vector must be identical for
+// every choice of specified values with the same unspecified set. This is
+// the theorem that lets the analysis package average Tables 7-9 over all
+// queries by evaluating one profile per field subset.
+func TestLoadsTranslationInvariance(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 8, 4}, 16)
+	allocs := []decluster.GroupAllocator{
+		decluster.MustFX(fs),
+		decluster.NewModulo(fs),
+		decluster.MustGDM(fs, []int{3, 5, 7}),
+	}
+	unspec := []int{1}
+	for _, a := range allocs {
+		ref := Profile(a, unspec)
+		sort.Ints(ref)
+		for v0 := 0; v0 < 4; v0++ {
+			for v2 := 0; v2 < 4; v2++ {
+				q := query.New([]int{v0, query.Unspecified, v2})
+				got := Loads(a, q)
+				sort.Ints(got)
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("%s: sorted loads differ for %v: %v vs %v", a.Name(), q, got, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadsSumEqualsQualified(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{8, 8, 8}, 32)
+	fx := decluster.MustFX(fs)
+	q := query.New([]int{query.Unspecified, 3, query.Unspecified})
+	sum := 0
+	for _, v := range Loads(fx, q) {
+		sum += v
+	}
+	if sum != q.NumQualified(fs) {
+		t.Errorf("loads sum %d, want %d", sum, q.NumQualified(fs))
+	}
+}
+
+func TestProfileAndLargestLoad(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 8}, 4)
+	fx, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 1 file system: one unspecified field of size 8 over 4 devices
+	// gives 2 buckets per device.
+	p := Profile(fx, []int{1})
+	for dev, v := range p {
+		if v != 2 {
+			t.Errorf("device %d: %d, want 2", dev, v)
+		}
+	}
+	if got := LargestLoad(fx, []int{1}); got != 2 {
+		t.Errorf("LargestLoad = %d, want 2", got)
+	}
+	if got := LargestLoad(fx, nil); got != 1 {
+		t.Errorf("LargestLoad(exact) = %d, want 1", got)
+	}
+}
+
+func TestQualifiedCount(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 8, 2}, 4)
+	if got := QualifiedCount(fs, []int{0, 2}); got != 8 {
+		t.Errorf("QualifiedCount = %d, want 8", got)
+	}
+	if got := QualifiedCount(fs, nil); got != 1 {
+		t.Errorf("QualifiedCount(empty) = %d, want 1", got)
+	}
+}
+
+// Modulo skew from Table 2: f=(4,4), M=16, both fields unspecified.
+// Modulo piles up on middle devices (max 4... actually the triangle peaks
+// at sum=3 with 4 combinations), FX(I,U) spreads 1 per device.
+func TestTable2SkewReproduced(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U}))
+	md := decluster.NewModulo(fs)
+	if got := LargestLoad(fx, []int{0, 1}); got != 1 {
+		t.Errorf("FX largest load = %d, want 1", got)
+	}
+	if got := LargestLoad(md, []int{0, 1}); got != 4 {
+		t.Errorf("Modulo largest load = %d, want 4", got)
+	}
+}
+
+func TestLoadsPanicsOnInvalidQuery(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid query")
+		}
+	}()
+	Loads(fx, query.New([]int{9, 0}))
+}
+
+func BenchmarkLoadsConvolve(b *testing.B) {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 8, 8, 8}, 64)
+	fx := decluster.MustFX(fs)
+	q := query.All(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Loads(fx, q)
+	}
+}
+
+func BenchmarkLoadsBruteForce(b *testing.B) {
+	fs := decluster.MustFileSystem([]int{8, 8, 8, 8, 8, 8}, 64)
+	fx := decluster.MustFX(fs)
+	q := query.All(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		query.Loads(fx, q)
+	}
+}

@@ -1,0 +1,76 @@
+package convolve
+
+import (
+	"fxdist/internal/decluster"
+	"fxdist/internal/query"
+)
+
+// Walsh-Hadamard fast path for xor-convolutions. The direct convolution
+// in Loads costs O(M * distinct contributions) per unspecified field; in
+// the WHT domain each field costs a pointwise multiply, so a k-field
+// query costs O(M log M + k*M) — the better choice for large machines
+// (M = 512 figure sweeps) with many non-uniform fields.
+//
+// WHT(a xor-conv b) = WHT(a) .* WHT(b), with WHT self-inverse up to a
+// factor of M.
+
+// whtInPlace applies the (unnormalised) Walsh-Hadamard transform to vec,
+// whose length must be a power of two.
+func whtInPlace(vec []int64) {
+	n := len(vec)
+	for h := 1; h < n; h <<= 1 {
+		for i := 0; i < n; i += h << 1 {
+			for j := i; j < i+h; j++ {
+				x, y := vec[j], vec[j+h]
+				vec[j], vec[j+h] = x+y, x-y
+			}
+		}
+	}
+}
+
+// LoadsWHT computes the same per-device load vector as Loads, for
+// xor-group allocators only, via the Walsh-Hadamard transform. It panics
+// if the allocator's group is not XorGroup (additive allocators would
+// need a DFT; callers pick the engine that matches the group).
+func LoadsWHT(a decluster.GroupAllocator, q query.Query) []int {
+	if a.Op() != decluster.XorGroup {
+		panic("convolve: LoadsWHT requires a xor-group allocator")
+	}
+	fs := a.FileSystem()
+	if err := q.Validate(fs); err != nil {
+		panic(err)
+	}
+	m := fs.M
+
+	h := 0
+	for i, v := range q.Spec {
+		if v != query.Unspecified {
+			h = (h ^ a.Contribution(i, v)) & (m - 1)
+		}
+	}
+	acc := make([]int64, m)
+	acc[h] = 1
+	whtInPlace(acc)
+
+	spectrum := make([]int64, m)
+	for _, i := range q.UnspecifiedFields() {
+		hist := FieldHistogram(a, i)
+		for z, c := range hist {
+			spectrum[z] = int64(c)
+		}
+		whtInPlace(spectrum)
+		for z := range acc {
+			acc[z] *= spectrum[z]
+		}
+		for z := range spectrum {
+			spectrum[z] = 0
+		}
+	}
+
+	whtInPlace(acc) // inverse up to the factor m
+	out := make([]int, m)
+	for z, v := range acc {
+		out[z] = int(v / int64(m))
+	}
+	return out
+}

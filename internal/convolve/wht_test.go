@@ -1,0 +1,102 @@
+package convolve
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/query"
+)
+
+// WHT is self-inverse up to the factor n.
+func TestWHTSelfInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 8, 64} {
+		vec := make([]int64, n)
+		orig := make([]int64, n)
+		for i := range vec {
+			vec[i] = int64(r.Intn(100) - 50)
+			orig[i] = vec[i]
+		}
+		whtInPlace(vec)
+		whtInPlace(vec)
+		for i := range vec {
+			if vec[i] != orig[i]*int64(n) {
+				t.Fatalf("n=%d: WHT^2 [%d] = %d, want %d", n, i, vec[i], orig[i]*int64(n))
+			}
+		}
+	}
+}
+
+// The WHT engine must agree with direct convolution on random FX
+// configurations and queries.
+func TestLoadsWHTEqualsDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		nf := 2 + r.Intn(3)
+		sizes := make([]int, nf)
+		for i := range sizes {
+			sizes[i] = 1 << (1 + r.Intn(4))
+		}
+		m := 1 << (1 + r.Intn(6))
+		fs := decluster.MustFileSystem(sizes, m)
+		fx := decluster.MustFX(fs)
+		spec := make([]int, nf)
+		for i := range spec {
+			if r.Intn(2) == 0 {
+				spec[i] = query.Unspecified
+			} else {
+				spec[i] = r.Intn(sizes[i])
+			}
+		}
+		q := query.New(spec)
+		direct := Loads(fx, q)
+		fast := LoadsWHT(fx, q)
+		if !reflect.DeepEqual(direct, fast) {
+			t.Fatalf("sizes=%v m=%d q=%v: direct=%v wht=%v", sizes, m, q, direct, fast)
+		}
+	}
+}
+
+func TestLoadsWHTRejectsAdditiveGroup(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 8)
+	md := decluster.NewModulo(fs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("additive allocator accepted")
+		}
+	}()
+	LoadsWHT(md, query.All(2))
+}
+
+func TestLoadsWHTValidatesQuery(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 8)
+	fx := decluster.MustFX(fs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid query accepted")
+		}
+	}()
+	LoadsWHT(fx, query.New([]int{9, 0}))
+}
+
+func BenchmarkLoadsDirectLargeM(b *testing.B) {
+	fs := decluster.MustFileSystem([]int{256, 256, 256, 256}, 512)
+	fx := decluster.MustFX(fs)
+	q := query.All(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Loads(fx, q)
+	}
+}
+
+func BenchmarkLoadsWHTLargeM(b *testing.B) {
+	fs := decluster.MustFileSystem([]int{256, 256, 256, 256}, 512)
+	fx := decluster.MustFX(fs)
+	q := query.All(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LoadsWHT(fx, q)
+	}
+}

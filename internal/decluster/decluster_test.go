@@ -1,0 +1,343 @@
+package decluster
+
+import (
+	"testing"
+
+	"fxdist/internal/field"
+)
+
+func TestNewFileSystemValidation(t *testing.T) {
+	if _, err := NewFileSystem(nil, 4); err == nil {
+		t.Error("empty sizes accepted")
+	}
+	if _, err := NewFileSystem([]int{4}, 3); err == nil {
+		t.Error("non-power-of-two M accepted")
+	}
+	if _, err := NewFileSystem([]int{5}, 4); err == nil {
+		t.Error("non-power-of-two field size accepted")
+	}
+	fs, err := NewFileSystem([]int{2, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.NumFields() != 2 || fs.NumBuckets() != 16 || fs.M != 4 {
+		t.Errorf("file system accessors wrong: %+v", fs)
+	}
+}
+
+func TestFileSystemSizesCopied(t *testing.T) {
+	sizes := []int{2, 8}
+	fs := MustFileSystem(sizes, 4)
+	sizes[0] = 999
+	if fs.Sizes[0] != 2 {
+		t.Error("FileSystem aliases caller's sizes slice")
+	}
+}
+
+func TestCheckBucket(t *testing.T) {
+	fs := MustFileSystem([]int{2, 8}, 4)
+	if err := fs.CheckBucket([]int{1, 7}); err != nil {
+		t.Errorf("valid bucket rejected: %v", err)
+	}
+	if err := fs.CheckBucket([]int{1}); err == nil {
+		t.Error("short bucket accepted")
+	}
+	if err := fs.CheckBucket([]int{2, 0}); err == nil {
+		t.Error("out-of-range coordinate accepted")
+	}
+	if err := fs.CheckBucket([]int{0, -1}); err == nil {
+		t.Error("negative coordinate accepted")
+	}
+}
+
+func TestEachBucketVisitsAllOnce(t *testing.T) {
+	fs := MustFileSystem([]int{2, 4, 2}, 4)
+	seen := map[[3]int]int{}
+	fs.EachBucket(func(b []int) {
+		seen[[3]int{b[0], b[1], b[2]}]++
+	})
+	if len(seen) != fs.NumBuckets() {
+		t.Fatalf("visited %d distinct buckets, want %d", len(seen), fs.NumBuckets())
+	}
+	for b, c := range seen {
+		if c != 1 {
+			t.Fatalf("bucket %v visited %d times", b, c)
+		}
+	}
+}
+
+func TestSmallFieldCount(t *testing.T) {
+	fs := MustFileSystem([]int{2, 16, 8, 32}, 16)
+	if got := fs.SmallFieldCount(); got != 2 {
+		t.Errorf("SmallFieldCount = %d, want 2", got)
+	}
+}
+
+func TestGroupOps(t *testing.T) {
+	if XorGroup.Combine(5, 3, 8) != 6 {
+		t.Error("xor combine wrong")
+	}
+	if XorGroup.Combine(9, 3, 8) != 2 { // operands masked
+		t.Error("xor combine does not mask")
+	}
+	if AddGroup.Combine(5, 6, 8) != 3 {
+		t.Error("add combine wrong")
+	}
+	if XorGroup.Invert(5, 8) != 5 {
+		t.Error("xor invert wrong")
+	}
+	if AddGroup.Invert(5, 8) != 3 || AddGroup.Invert(0, 8) != 0 {
+		t.Error("add invert wrong")
+	}
+	for _, g := range []Group{XorGroup, AddGroup} {
+		for a := 0; a < 8; a++ {
+			if g.Combine(a, g.Invert(a, 8), 8) != 0 {
+				t.Errorf("%v: a·a⁻¹ != 0 for a=%d", g, a)
+			}
+		}
+	}
+	if XorGroup.String() != "xor" || AddGroup.String() != "add" {
+		t.Error("Group.String wrong")
+	}
+}
+
+// Table 1 of the paper: Basic FX with f1 = {0,1}, f2 = {0..7}, M = 4.
+func TestTable1BasicFX(t *testing.T) {
+	fs := MustFileSystem([]int{2, 8}, 4)
+	fx, err := NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{
+		0, 1, 2, 3, 0, 1, 2, 3, // J1 = 0
+		1, 0, 3, 2, 1, 0, 3, 2, // J1 = 1
+	}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != want[i] {
+			t.Fatalf("bucket %v -> device %d, want %d", b, got, want[i])
+		}
+		i++
+	})
+}
+
+// Table 2: FX with I(f1), U(f2); f1 = f2 = {0..3}, M = 16 — against Modulo.
+func TestTable2FXvsModulo(t *testing.T) {
+	fs := MustFileSystem([]int{4, 4}, 16)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U}))
+	md := NewModulo(fs)
+	wantFX := []int{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+	wantMD := []int{0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != wantFX[i] {
+			t.Fatalf("FX bucket %v -> %d, want %d", b, got, wantFX[i])
+		}
+		if got := md.Device(b); got != wantMD[i] {
+			t.Fatalf("Modulo bucket %v -> %d, want %d", b, got, wantMD[i])
+		}
+		i++
+	})
+}
+
+// Table 3: FX with I(f1), IU1(f2); f1 = f2 = {0..3}, M = 16.
+func TestTable3FXIU1(t *testing.T) {
+	fs := MustFileSystem([]int{4, 4}, 16)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.IU1}))
+	want := []int{0, 5, 10, 15, 1, 4, 11, 14, 2, 7, 8, 13, 3, 6, 9, 12}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != want[i] {
+			t.Fatalf("bucket %v -> %d, want %d", b, got, want[i])
+		}
+		i++
+	})
+}
+
+// Table 4: FX with I(f1), U(f2), IU1(f3); f = (2,4,2), M = 8.
+func TestTable4FXIUIU1(t *testing.T) {
+	fs := MustFileSystem([]int{2, 4, 2}, 8)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U, field.IU1}))
+	want := []int{0, 5, 2, 7, 4, 1, 6, 3, 1, 4, 3, 6, 5, 0, 7, 2}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != want[i] {
+			t.Fatalf("bucket %v -> %d, want %d", b, got, want[i])
+		}
+		i++
+	})
+}
+
+// Table 5: FX with I(f1), IU2(f2); f = (8,2), M = 16.
+func TestTable5FXIU2(t *testing.T) {
+	fs := MustFileSystem([]int{8, 2}, 16)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.IU2}))
+	want := []int{0, 13, 1, 12, 2, 15, 3, 14, 4, 9, 5, 8, 6, 11, 7, 10}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != want[i] {
+			t.Fatalf("bucket %v -> %d, want %d", b, got, want[i])
+		}
+		i++
+	})
+}
+
+// Table 6: FX with I(f1), U(f2), IU2(f3); f = (4,2,2), M = 16.
+func TestTable6FXIUIU2(t *testing.T) {
+	fs := MustFileSystem([]int{4, 2, 2}, 16)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U, field.IU2}))
+	want := []int{0, 13, 8, 5, 1, 12, 9, 4, 2, 15, 10, 7, 3, 14, 11, 6}
+	i := 0
+	fs.EachBucket(func(b []int) {
+		if got := fx.Device(b); got != want[i] {
+			t.Fatalf("bucket %v -> %d, want %d", b, got, want[i])
+		}
+		i++
+	})
+}
+
+// §4's motivating example: X(f1) = {0,8} makes Basic FX perfect optimal for
+// f = (2,8), M = 16. U transformation produces exactly that mapping.
+func TestSection4MotivatingExample(t *testing.T) {
+	fn := field.MustNew(field.U, 2, 16)
+	img := fn.Image()
+	if img[0] != 0 || img[1] != 8 {
+		t.Fatalf("U^{16,2} image = %v, want [0 8]", img)
+	}
+}
+
+func TestFXNames(t *testing.T) {
+	fs := MustFileSystem([]int{4, 2, 2}, 16)
+	fx := MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U, field.IU2}))
+	if got := fx.Name(); got != "FX[I U IU2]" {
+		t.Errorf("Name = %q", got)
+	}
+	if fx.Op() != XorGroup {
+		t.Error("FX group is not xor")
+	}
+	if len(fx.Plan().Funcs) != 3 {
+		t.Error("Plan not exposed")
+	}
+}
+
+func TestModuloBasics(t *testing.T) {
+	fs := MustFileSystem([]int{8, 8}, 4)
+	md := NewModulo(fs)
+	if md.Name() != "Modulo" || md.Op() != AddGroup {
+		t.Error("Modulo identity wrong")
+	}
+	if got := md.Device([]int{7, 6}); got != (7+6)%4 {
+		t.Errorf("Modulo device = %d, want %d", got, (7+6)%4)
+	}
+	if md.FileSystem().M != 4 {
+		t.Error("FileSystem not exposed")
+	}
+}
+
+func TestGDMBasics(t *testing.T) {
+	fs := MustFileSystem([]int{8, 8}, 4)
+	if _, err := NewGDM(fs, []int{2}); err == nil {
+		t.Error("multiplier count mismatch accepted")
+	}
+	if _, err := NewGDM(fs, []int{2, 0}); err == nil {
+		t.Error("non-positive multiplier accepted")
+	}
+	g := MustGDM(fs, []int{3, 5})
+	if got := g.Device([]int{7, 6}); got != (3*7+5*6)%4 {
+		t.Errorf("GDM device = %d, want %d", got, (3*7+5*6)%4)
+	}
+	if g.Name() != "GDM{3,5}" || g.Op() != AddGroup {
+		t.Errorf("GDM identity wrong: %s", g.Name())
+	}
+	m := g.Multipliers()
+	m[0] = 99
+	if g.Multipliers()[0] != 3 {
+		t.Error("Multipliers aliases internal state")
+	}
+}
+
+// GDM with all multipliers 1 is exactly Modulo.
+func TestGDMOnesEqualsModulo(t *testing.T) {
+	fs := MustFileSystem([]int{4, 8, 2}, 8)
+	g := MustGDM(fs, []int{1, 1, 1})
+	md := NewModulo(fs)
+	fs.EachBucket(func(b []int) {
+		if g.Device(b) != md.Device(b) {
+			t.Fatalf("GDM{1,1,1} != Modulo at %v", b)
+		}
+	})
+}
+
+// Every allocator must spread the full file perfectly evenly in the Table
+// 1-6 configurations (the full-file query is a partial match query with
+// all fields unspecified; FX is strict optimal for it there).
+func TestFullFileUniformity(t *testing.T) {
+	cases := []struct {
+		sizes []int
+		m     int
+		kinds []field.Kind
+	}{
+		{[]int{2, 8}, 4, []field.Kind{field.I, field.I}},
+		{[]int{4, 4}, 16, []field.Kind{field.I, field.U}},
+		{[]int{4, 4}, 16, []field.Kind{field.I, field.IU1}},
+		{[]int{2, 4, 2}, 8, []field.Kind{field.I, field.U, field.IU1}},
+		{[]int{8, 2}, 16, []field.Kind{field.I, field.IU2}},
+		{[]int{4, 2, 2}, 16, []field.Kind{field.I, field.U, field.IU2}},
+	}
+	for _, c := range cases {
+		fs := MustFileSystem(c.sizes, c.m)
+		fx := MustFX(fs, field.WithKinds(c.kinds))
+		h := LoadHistogram(fx, fs)
+		want := fs.NumBuckets() / fs.M
+		for dev, got := range h {
+			if got != want {
+				t.Errorf("%s sizes=%v M=%d: device %d holds %d buckets, want %d",
+					fx.Name(), c.sizes, c.m, dev, got, want)
+			}
+		}
+	}
+}
+
+// Group-allocator consistency: Device must equal the fold of Contributions.
+func TestDeviceEqualsContributionFold(t *testing.T) {
+	fs := MustFileSystem([]int{4, 8, 2}, 8)
+	allocs := []GroupAllocator{
+		MustFX(fs),
+		NewModulo(fs),
+		MustGDM(fs, []int{2, 3, 5}),
+	}
+	for _, a := range allocs {
+		fs.EachBucket(func(b []int) {
+			dev := 0
+			for i, v := range b {
+				dev = a.Op().Combine(dev, a.Contribution(i, v), fs.M)
+			}
+			if got := a.Device(b); got != dev {
+				t.Fatalf("%s: Device(%v) = %d, fold = %d", a.Name(), b, got, dev)
+			}
+		})
+	}
+}
+
+func TestDevicePanicsOnBadBucket(t *testing.T) {
+	fs := MustFileSystem([]int{4, 4}, 8)
+	fx := MustFX(fs)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Device with invalid bucket did not panic")
+		}
+	}()
+	fx.Device([]int{4, 0})
+}
+
+func TestNewFXPlanMismatch(t *testing.T) {
+	fs := MustFileSystem([]int{4, 4}, 8)
+	plan := field.MustPlan([]int{4}, 8)
+	if _, err := newFXFromPlan(fs, plan); err == nil {
+		t.Error("plan/field count mismatch accepted")
+	}
+	plan2 := field.MustPlan([]int{4, 2}, 8)
+	if _, err := newFXFromPlan(fs, plan2); err == nil {
+		t.Error("plan built for different sizes accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package decluster
+
+import (
+	"fmt"
+
+	"fxdist/internal/bitsx"
+	"fxdist/internal/field"
+)
+
+// FX is the paper's Fieldwise eXclusive-or distribution. Bucket
+// <J_1..J_n> is placed on device T_M(X_1(J_1) ^ ... ^ X_n(J_n)) where each
+// X_i is a field transformation function (identity for fields of size
+// >= M; I, U, IU1 or IU2 for smaller fields). With every X_i the identity
+// this is the paper's Basic FX distribution (§3); with a transformation
+// plan it is the Extended FX distribution (§4).
+type FX struct {
+	fs   FileSystem
+	plan field.Plan
+	// contrib[i][v] caches T_M(X_i(v)) so Device is two memory reads and
+	// an xor per field — the cheapness §5.2.2 argues for.
+	contrib [][]int
+}
+
+var _ GroupAllocator = (*FX)(nil)
+
+// NewFX builds an Extended FX allocator for fs, planning field
+// transformations with the given options (see field.NewPlan). With no
+// options the planner follows the paper's §4.2 guidance.
+func NewFX(fs FileSystem, opts ...field.PlanOption) (*FX, error) {
+	plan, err := field.NewPlan(fs.Sizes, fs.M, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return newFXFromPlan(fs, plan)
+}
+
+// NewBasicFX builds the Basic FX allocator (identity transform on every
+// field, paper §3).
+func NewBasicFX(fs FileSystem) (*FX, error) {
+	kinds := make([]field.Kind, fs.NumFields())
+	return NewFX(fs, field.WithKinds(kinds))
+}
+
+// MustFX is NewFX, panicking on error.
+func MustFX(fs FileSystem, opts ...field.PlanOption) *FX {
+	x, err := NewFX(fs, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+func newFXFromPlan(fs FileSystem, plan field.Plan) (*FX, error) {
+	if len(plan.Funcs) != fs.NumFields() {
+		return nil, fmt.Errorf("decluster: plan has %d functions for %d fields", len(plan.Funcs), fs.NumFields())
+	}
+	x := &FX{fs: fs, plan: plan, contrib: make([][]int, fs.NumFields())}
+	for i, fn := range plan.Funcs {
+		if fn.FieldSize() != fs.Sizes[i] {
+			return nil, fmt.Errorf("decluster: plan function %d built for size %d, field has size %d", i, fn.FieldSize(), fs.Sizes[i])
+		}
+		c := make([]int, fs.Sizes[i])
+		for v := range c {
+			c[v] = bitsx.TM(fn.Apply(v), fs.M)
+		}
+		x.contrib[i] = c
+	}
+	return x, nil
+}
+
+// Device returns T_M of the xor of the transformed field values.
+func (x *FX) Device(bucket []int) int { return deviceOf(x, bucket) }
+
+// FileSystem returns the file system x allocates for.
+func (x *FX) FileSystem() FileSystem { return x.fs }
+
+// Op returns XorGroup.
+func (x *FX) Op() Group { return XorGroup }
+
+// Contribution returns T_M(X_i(v)).
+func (x *FX) Contribution(fieldIdx, v int) int { return x.contrib[fieldIdx][v] }
+
+// Plan returns the transformation plan in use.
+func (x *FX) Plan() field.Plan { return x.plan }
+
+// Name identifies the allocator, including its transformation methods,
+// e.g. "FX[I U IU2]".
+func (x *FX) Name() string {
+	s := "FX["
+	for i, fn := range x.plan.Funcs {
+		if i > 0 {
+			s += " "
+		}
+		s += fn.Kind().String()
+	}
+	return s + "]"
+}

@@ -1,0 +1,116 @@
+package decluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Modulo is the Disk Modulo allocation of Du and Sobolewski [DuSo82]:
+// bucket <J_1..J_n> goes to device (J_1 + ... + J_n) mod M. Simple, but —
+// as the paper's §1 and §5 argue — not optimal when field sizes fall below
+// the device count.
+type Modulo struct {
+	fs FileSystem
+}
+
+var _ GroupAllocator = (*Modulo)(nil)
+
+// NewModulo builds a Modulo allocator for fs.
+func NewModulo(fs FileSystem) *Modulo { return &Modulo{fs: fs} }
+
+// Device returns (sum of coordinates) mod M.
+func (md *Modulo) Device(bucket []int) int { return deviceOf(md, bucket) }
+
+// FileSystem returns the file system md allocates for.
+func (md *Modulo) FileSystem() FileSystem { return md.fs }
+
+// Op returns AddGroup.
+func (md *Modulo) Op() Group { return AddGroup }
+
+// Contribution returns v mod M.
+func (md *Modulo) Contribution(_, v int) int { return v & (md.fs.M - 1) }
+
+// Name returns "Modulo".
+func (md *Modulo) Name() string { return "Modulo" }
+
+// GDM is the Generalized Disk Modulo allocation [DuSo82]: bucket
+// <J_1..J_n> goes to device (a_1*J_1 + ... + a_n*J_n) mod M for a fixed
+// multiplier vector a. The paper evaluates three multiplier sets (GDM1-3);
+// finding good multipliers is trial and error, which is the weakness FX
+// removes.
+type GDM struct {
+	fs   FileSystem
+	mult []int
+	// contrib caches (a_i * v) mod M per field value.
+	contrib [][]int
+}
+
+var _ GroupAllocator = (*GDM)(nil)
+
+// Paper §5.2.1 multiplier sets used for Tables 7-9.
+var (
+	// GDM1Multipliers is the paper's GDM1 set {2, 3, 5, 7, 11, 13}.
+	GDM1Multipliers = []int{2, 3, 5, 7, 11, 13}
+	// GDM2Multipliers is the paper's GDM2 set {2, 5, 11, 43, 51, 57}.
+	GDM2Multipliers = []int{2, 5, 11, 43, 51, 57}
+	// GDM3Multipliers is the paper's GDM3 set {41, 43, 47, 51, 53, 57}.
+	GDM3Multipliers = []int{41, 43, 47, 51, 53, 57}
+)
+
+// NewGDM builds a GDM allocator with one multiplier per field.
+func NewGDM(fs FileSystem, multipliers []int) (*GDM, error) {
+	if len(multipliers) != fs.NumFields() {
+		return nil, fmt.Errorf("decluster: %d GDM multipliers for %d fields", len(multipliers), fs.NumFields())
+	}
+	for i, a := range multipliers {
+		if a <= 0 {
+			return nil, fmt.Errorf("decluster: GDM multiplier %d for field %d is not positive", a, i)
+		}
+	}
+	g := &GDM{
+		fs:      fs,
+		mult:    append([]int(nil), multipliers...),
+		contrib: make([][]int, fs.NumFields()),
+	}
+	for i, f := range fs.Sizes {
+		c := make([]int, f)
+		for v := range c {
+			c[v] = (multipliers[i] * v) & (fs.M - 1)
+		}
+		g.contrib[i] = c
+	}
+	return g, nil
+}
+
+// MustGDM is NewGDM, panicking on error.
+func MustGDM(fs FileSystem, multipliers []int) *GDM {
+	g, err := NewGDM(fs, multipliers)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Device returns (sum of a_i * J_i) mod M.
+func (g *GDM) Device(bucket []int) int { return deviceOf(g, bucket) }
+
+// FileSystem returns the file system g allocates for.
+func (g *GDM) FileSystem() FileSystem { return g.fs }
+
+// Op returns AddGroup.
+func (g *GDM) Op() Group { return AddGroup }
+
+// Contribution returns (a_i * v) mod M.
+func (g *GDM) Contribution(fieldIdx, v int) int { return g.contrib[fieldIdx][v] }
+
+// Multipliers returns the multiplier vector.
+func (g *GDM) Multipliers() []int { return append([]int(nil), g.mult...) }
+
+// Name identifies the allocator with its multipliers, e.g. "GDM{2,3,5}".
+func (g *GDM) Name() string {
+	parts := make([]string, len(g.mult))
+	for i, a := range g.mult {
+		parts[i] = fmt.Sprint(a)
+	}
+	return "GDM{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,98 @@
+package decluster
+
+import (
+	"fmt"
+)
+
+// Table is an explicit bucket-to-device mapping: the escape hatch for
+// allocation methods that are not group folds, such as the
+// spanning-path heuristic below or user-supplied placements. Table
+// satisfies Allocator but not GroupAllocator, so analyses fall back to
+// enumeration instead of convolution.
+type Table struct {
+	fs   FileSystem
+	dev  []int // indexed by FileSystem.Linear
+	name string
+}
+
+var _ Allocator = (*Table)(nil)
+
+// NewTable wraps an explicit device vector (indexed by linear bucket
+// order, values in [0, M)).
+func NewTable(fs FileSystem, dev []int) (*Table, error) {
+	if len(dev) != fs.NumBuckets() {
+		return nil, fmt.Errorf("decluster: table has %d entries for %d buckets", len(dev), fs.NumBuckets())
+	}
+	for i, d := range dev {
+		if d < 0 || d >= fs.M {
+			return nil, fmt.Errorf("decluster: table entry %d maps to device %d, outside [0,%d)", i, d, fs.M)
+		}
+	}
+	return &Table{fs: fs, dev: append([]int(nil), dev...), name: "Table"}, nil
+}
+
+// Device returns the table's device for the bucket.
+func (t *Table) Device(bucket []int) int {
+	if err := t.fs.CheckBucket(bucket); err != nil {
+		panic(err)
+	}
+	return t.dev[t.fs.Linear(bucket)]
+}
+
+// FileSystem returns the file system the table covers.
+func (t *Table) FileSystem() FileSystem { return t.fs }
+
+// Name identifies the allocator.
+func (t *Table) Name() string { return t.name }
+
+// NewMSP builds the minimal-spanning-path declustering heuristic of Fang,
+// Lee & Chang [FaRC86], which the paper lists among prior methods: order
+// the buckets along a greedy maximum-similarity path (similarity between
+// two buckets counts the coordinates they share — similar buckets qualify
+// together under many partial match queries) and deal devices round-robin
+// along the path, so co-qualified buckets land on different devices. The
+// construction is O(B^2 * n) in the bucket count, which is why the era
+// moved to closed-form methods like GDM and FX for large grids.
+func NewMSP(fs FileSystem) *Table {
+	b := fs.NumBuckets()
+	coords := make([][]int, b)
+	fs.EachBucket(func(bk []int) {
+		coords[fs.Linear(bk)] = append([]int(nil), bk...)
+	})
+
+	similarity := func(a, c []int) int {
+		s := 0
+		for i := range a {
+			if a[i] == c[i] {
+				s++
+			}
+		}
+		return s
+	}
+
+	visited := make([]bool, b)
+	dev := make([]int, b)
+	cur := 0
+	visited[0] = true
+	dev[0] = 0
+	for step := 1; step < b; step++ {
+		best, bestSim := -1, -1
+		for cand := 0; cand < b; cand++ {
+			if visited[cand] {
+				continue
+			}
+			if s := similarity(coords[cur], coords[cand]); s > bestSim {
+				best, bestSim = cand, s
+			}
+		}
+		visited[best] = true
+		dev[best] = step % fs.M
+		cur = best
+	}
+	t, err := NewTable(fs, dev)
+	if err != nil {
+		panic(err) // unreachable: dev is built in range by construction
+	}
+	t.name = "MSP"
+	return t
+}

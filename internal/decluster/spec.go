@@ -1,0 +1,84 @@
+package decluster
+
+import (
+	"fmt"
+
+	"fxdist/internal/field"
+)
+
+// Method names a declustering method in a Spec.
+type Method string
+
+// Supported methods.
+const (
+	MethodFX     Method = "fx"
+	MethodModulo Method = "modulo"
+	MethodGDM    Method = "gdm"
+)
+
+// Spec is a serializable description of an allocator: everything needed
+// to reconstruct the same bucket-to-device mapping on another process or
+// machine. The distributed retrieval layer ships Specs to device servers;
+// the persistence layer stores them alongside file snapshots.
+type Spec struct {
+	// Sizes and M describe the file system.
+	Sizes []int
+	M     int
+	// Method selects the allocation method.
+	Method Method
+	// Kinds holds the per-field transformation methods for MethodFX
+	// (values of field.Kind).
+	Kinds []int
+	// Multipliers holds the per-field multipliers for MethodGDM.
+	Multipliers []int
+}
+
+// SpecOf extracts a Spec from a supported allocator. It returns an error
+// for allocator types outside this package.
+func SpecOf(a Allocator) (Spec, error) {
+	fs := a.FileSystem()
+	spec := Spec{Sizes: append([]int(nil), fs.Sizes...), M: fs.M}
+	switch impl := a.(type) {
+	case *FX:
+		spec.Method = MethodFX
+		for _, k := range impl.Plan().Kinds() {
+			spec.Kinds = append(spec.Kinds, int(k))
+		}
+	case *Modulo:
+		spec.Method = MethodModulo
+	case *GDM:
+		spec.Method = MethodGDM
+		spec.Multipliers = impl.Multipliers()
+	default:
+		return Spec{}, fmt.Errorf("decluster: cannot describe allocator type %T", a)
+	}
+	return spec, nil
+}
+
+// Build reconstructs the allocator the spec describes.
+func (s Spec) Build() (GroupAllocator, error) {
+	fs, err := NewFileSystem(s.Sizes, s.M)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Method {
+	case MethodFX:
+		if len(s.Kinds) != len(s.Sizes) {
+			return nil, fmt.Errorf("decluster: spec has %d kinds for %d fields", len(s.Kinds), len(s.Sizes))
+		}
+		kinds := make([]field.Kind, len(s.Kinds))
+		for i, k := range s.Kinds {
+			if k < int(field.I) || k > int(field.IU2) {
+				return nil, fmt.Errorf("decluster: spec kind %d of field %d is not a transformation method", k, i)
+			}
+			kinds[i] = field.Kind(k)
+		}
+		return NewFX(fs, field.WithKinds(kinds))
+	case MethodModulo:
+		return NewModulo(fs), nil
+	case MethodGDM:
+		return NewGDM(fs, s.Multipliers)
+	default:
+		return nil, fmt.Errorf("decluster: unknown method %q", s.Method)
+	}
+}

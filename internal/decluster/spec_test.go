@@ -1,0 +1,65 @@
+package decluster
+
+import (
+	"testing"
+
+	"fxdist/internal/field"
+)
+
+// Spec round-trip: every supported allocator must rebuild to an identical
+// bucket-to-device mapping.
+func TestSpecRoundTrip(t *testing.T) {
+	fs := MustFileSystem([]int{4, 8, 2}, 8)
+	allocs := []Allocator{
+		MustFX(fs, field.WithKinds([]field.Kind{field.U, field.I, field.IU2})),
+		NewModulo(fs),
+		MustGDM(fs, []int{3, 5, 7}),
+	}
+	for _, a := range allocs {
+		spec, err := SpecOf(a)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		rebuilt, err := spec.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name(), err)
+		}
+		if rebuilt.Name() != a.Name() {
+			t.Errorf("rebuilt name %q, want %q", rebuilt.Name(), a.Name())
+		}
+		fs.EachBucket(func(b []int) {
+			if rebuilt.Device(b) != a.Device(b) {
+				t.Fatalf("%s: rebuilt maps %v to %d, original to %d",
+					a.Name(), b, rebuilt.Device(b), a.Device(b))
+			}
+		})
+	}
+}
+
+func TestSpecOfUnknownType(t *testing.T) {
+	if _, err := SpecOf(fakeAllocator{}); err == nil {
+		t.Error("unknown allocator type accepted")
+	}
+}
+
+type fakeAllocator struct{}
+
+func (fakeAllocator) Device([]int) int       { return 0 }
+func (fakeAllocator) FileSystem() FileSystem { return FileSystem{} }
+func (fakeAllocator) Name() string           { return "fake" }
+
+func TestSpecBuildValidation(t *testing.T) {
+	cases := []Spec{
+		{Sizes: []int{4}, M: 3, Method: MethodModulo},                         // bad M
+		{Sizes: []int{4, 4}, M: 8, Method: MethodFX, Kinds: []int{0}},         // kind count
+		{Sizes: []int{4}, M: 8, Method: MethodFX, Kinds: []int{9}},            // bad kind
+		{Sizes: []int{4}, M: 8, Method: MethodGDM, Multipliers: []int{}},      // mult count
+		{Sizes: []int{4}, M: 8, Method: Method("zig")},                        // unknown method
+		{Sizes: []int{8}, M: 4, Method: MethodFX, Kinds: []int{int(field.U)}}, // U on large field
+	}
+	for i, s := range cases {
+		if _, err := s.Build(); err == nil {
+			t.Errorf("case %d: invalid spec accepted: %+v", i, s)
+		}
+	}
+}

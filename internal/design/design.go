@@ -1,0 +1,178 @@
+// Package design solves the multi-key hash file *design* problem the
+// paper inherits from Rothnie & Lozano and Aho & Ullman: given a total
+// directory budget of D bits (the file will have 2^D buckets) and, for
+// each field, the probability that a partial match query specifies it,
+// choose per-field directory depths d_i (F_i = 2^{d_i}, sum d_i = D)
+// minimizing the expected number of qualified buckets
+//
+//	E = prod_i ( p_i + (1-p_i) * 2^{d_i} )
+//
+// — a specified field contributes factor 1, an unspecified one contributes
+// its full directory size. The increments of log(p + (1-p)2^d) are
+// increasing in d, so assigning bits greedily to the field with the
+// smallest next multiplicative growth is exactly optimal; tests verify the
+// greedy against exhaustive search.
+//
+// This is the "data construction" half the paper defers to its citations;
+// combined with FX declustering it completes the pipeline: design the
+// grid, then decluster it.
+package design
+
+import (
+	"fmt"
+	"math"
+)
+
+// Field describes one field's design inputs.
+type Field struct {
+	// SpecProb is the probability a query specifies this field.
+	SpecProb float64
+	// MaxDepth caps the field's directory depth (e.g. log2 of its distinct
+	// value count — deeper directories would leave cells empty). Zero
+	// means unconstrained.
+	MaxDepth int
+}
+
+// Result is a depth assignment and its objective value.
+type Result struct {
+	// Depths holds d_i per field; F_i = 2^{d_i}.
+	Depths []int
+	// ExpectedQualified is E[number of qualified buckets] for a random
+	// query under the independence model.
+	ExpectedQualified float64
+}
+
+// Sizes returns the field sizes 2^{d_i}.
+func (r Result) Sizes() []int {
+	out := make([]int, len(r.Depths))
+	for i, d := range r.Depths {
+		out[i] = 1 << d
+	}
+	return out
+}
+
+func validate(totalBits int, fields []Field) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("design: need at least one field")
+	}
+	if totalBits < 0 {
+		return fmt.Errorf("design: negative bit budget %d", totalBits)
+	}
+	capSum := 0
+	for i, f := range fields {
+		if f.SpecProb < 0 || f.SpecProb > 1 {
+			return fmt.Errorf("design: field %d specification probability %v outside [0,1]", i, f.SpecProb)
+		}
+		if f.MaxDepth < 0 {
+			return fmt.Errorf("design: field %d negative max depth", i)
+		}
+		if f.MaxDepth == 0 {
+			capSum += totalBits
+		} else {
+			capSum += f.MaxDepth
+		}
+	}
+	if capSum < totalBits {
+		return fmt.Errorf("design: depth caps admit only %d bits, budget is %d", capSum, totalBits)
+	}
+	return nil
+}
+
+// factor returns p + (1-p) * 2^d.
+func factor(p float64, d int) float64 {
+	return p + (1-p)*math.Pow(2, float64(d))
+}
+
+// ExpectedQualified evaluates the objective for a depth assignment.
+func ExpectedQualified(depths []int, probs []float64) float64 {
+	e := 1.0
+	for i, d := range depths {
+		e *= factor(probs[i], d)
+	}
+	return e
+}
+
+// Depths assigns totalBits directory bits across the fields greedily —
+// provably optimal for this objective (see package comment).
+func Depths(totalBits int, fields []Field) (Result, error) {
+	if err := validate(totalBits, fields); err != nil {
+		return Result{}, err
+	}
+	depths := make([]int, len(fields))
+	for bit := 0; bit < totalBits; bit++ {
+		best, bestGrowth := -1, math.Inf(1)
+		for i, f := range fields {
+			if f.MaxDepth > 0 && depths[i] >= f.MaxDepth {
+				continue
+			}
+			growth := factor(f.SpecProb, depths[i]+1) / factor(f.SpecProb, depths[i])
+			if growth < bestGrowth {
+				best, bestGrowth = i, growth
+			}
+		}
+		if best < 0 {
+			return Result{}, fmt.Errorf("design: depth caps exhausted before placing %d bits", totalBits)
+		}
+		depths[best]++
+	}
+	probs := make([]float64, len(fields))
+	for i, f := range fields {
+		probs[i] = f.SpecProb
+	}
+	return Result{Depths: depths, ExpectedQualified: ExpectedQualified(depths, probs)}, nil
+}
+
+// ExhaustiveDepths solves the same problem by full enumeration — O(D^n);
+// the ground truth greedy is tested against.
+func ExhaustiveDepths(totalBits int, fields []Field) (Result, error) {
+	if err := validate(totalBits, fields); err != nil {
+		return Result{}, err
+	}
+	probs := make([]float64, len(fields))
+	for i, f := range fields {
+		probs[i] = f.SpecProb
+	}
+	best := Result{ExpectedQualified: math.Inf(1)}
+	depths := make([]int, len(fields))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(fields)-1 {
+			if fields[i].MaxDepth > 0 && remaining > fields[i].MaxDepth {
+				return
+			}
+			depths[i] = remaining
+			if e := ExpectedQualified(depths, probs); e < best.ExpectedQualified {
+				best.ExpectedQualified = e
+				best.Depths = append([]int(nil), depths...)
+			}
+			return
+		}
+		maxd := remaining
+		if fields[i].MaxDepth > 0 && fields[i].MaxDepth < maxd {
+			maxd = fields[i].MaxDepth
+		}
+		for d := 0; d <= maxd; d++ {
+			depths[i] = d
+			rec(i+1, remaining-d)
+		}
+	}
+	rec(0, totalBits)
+	if best.Depths == nil {
+		return Result{}, fmt.Errorf("design: no feasible assignment of %d bits", totalBits)
+	}
+	return best, nil
+}
+
+// BitsFor returns the directory budget needed to hold records at the
+// target mean bucket occupancy: the smallest D with 2^D >= records/occupancy.
+func BitsFor(records, occupancy int) (int, error) {
+	if records <= 0 || occupancy <= 0 {
+		return 0, fmt.Errorf("design: records and occupancy must be positive")
+	}
+	buckets := (records + occupancy - 1) / occupancy
+	d := 0
+	for 1<<d < buckets {
+		d++
+	}
+	return d, nil
+}

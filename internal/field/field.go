@@ -1,0 +1,157 @@
+// Package field implements the field transformation functions of the FX
+// distribution method (paper §4.1): the identity transform I, the equally
+// spaced transform U, and the xor-folded transforms IU1 and IU2, together
+// with a planner that assigns a transformation method to every field of a
+// file system (paper §4.2 and Theorem 9).
+//
+// A transformation function X^{M,|f|} maps a hashed field domain
+// f = {0..F-1} with F < M injectively into Z_M; fields with F >= M always
+// use the identity. The FX allocator xors the transformed field values and
+// keeps the low log2(M) bits to obtain a device number.
+package field
+
+import (
+	"fmt"
+
+	"fxdist/internal/bitsx"
+)
+
+// Kind identifies a transformation method. Two Funcs are "the same
+// transformation method" (paper §4.1) iff their Kinds are equal,
+// regardless of M and F.
+type Kind int
+
+const (
+	// I is the identity transformation.
+	I Kind = iota
+	// U maps l to l*d with d = M/F, spreading the domain equally over Z_M.
+	U
+	// IU1 maps l to l ^ (l*d) with d = M/F.
+	IU1
+	// IU2 maps l to l ^ (l*d1) ^ (l*d2) with d1 = M/F and d2 = d1/F when
+	// F*F < M (otherwise d2 = 0, making IU2 identical to IU1).
+	IU2
+)
+
+// String returns the paper's name for the transformation method.
+func (k Kind) String() string {
+	switch k {
+	case I:
+		return "I"
+	case U:
+		return "U"
+	case IU1:
+		return "IU1"
+	case IU2:
+		return "IU2"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Func is a concrete field transformation function X^{M,F}. The zero value
+// is not usable; construct with New.
+type Func struct {
+	kind   Kind
+	m      int // number of devices
+	f      int // field size |f|
+	d1, d2 int // U/IU multipliers; 0 when unused
+}
+
+// New constructs the transformation function of the given kind for a field
+// of size f under m devices. Both f and m must be powers of two. U, IU1 and
+// IU2 additionally require f < m (they are defined only for proper subsets
+// of Z_M); I accepts any f.
+func New(kind Kind, f, m int) (Func, error) {
+	if !bitsx.IsPow2(f) {
+		return Func{}, fmt.Errorf("field: size %d is not a power of two", f)
+	}
+	if !bitsx.IsPow2(m) {
+		return Func{}, fmt.Errorf("field: device count %d is not a power of two", m)
+	}
+	fn := Func{kind: kind, m: m, f: f}
+	if kind == I {
+		return fn, nil
+	}
+	if f >= m {
+		return Func{}, fmt.Errorf("field: %v transformation requires field size %d < device count %d", kind, f, m)
+	}
+	fn.d1 = m / f
+	if kind == IU2 && f*f < m {
+		fn.d2 = fn.d1 / f
+	}
+	return fn, nil
+}
+
+// MustNew is New, panicking on error. For use with statically known
+// configurations (tests, table reproduction).
+func MustNew(kind Kind, f, m int) Func {
+	fn, err := New(kind, f, m)
+	if err != nil {
+		panic(err)
+	}
+	return fn
+}
+
+// Kind returns the transformation method of fn.
+func (fn Func) Kind() Kind { return fn.kind }
+
+// FieldSize returns |f|, the domain size of fn.
+func (fn Func) FieldSize() int { return fn.f }
+
+// Devices returns M, the device count fn was built for.
+func (fn Func) Devices() int { return fn.m }
+
+// D1 returns the spacing parameter d1 = M/F (0 for the identity).
+func (fn Func) D1() int { return fn.d1 }
+
+// D2 returns the second IU2 parameter (0 unless kind is IU2 and F*F < M).
+func (fn Func) D2() int { return fn.d2 }
+
+// Apply returns X(l). l must be in [0, F) for non-identity transforms; the
+// identity passes any value through unchanged.
+func (fn Func) Apply(l int) int {
+	switch fn.kind {
+	case I:
+		return l
+	case U:
+		return l * fn.d1
+	case IU1:
+		return l ^ (l * fn.d1)
+	case IU2:
+		return l ^ (l * fn.d1) ^ (l * fn.d2)
+	default:
+		panic(fmt.Sprintf("field: apply of invalid kind %d", int(fn.kind)))
+	}
+}
+
+// Image returns {X(l) : l in f} in domain order. For non-identity
+// transforms the image is a subset of Z_M; injectivity (Lemmas 5.1 and 7.1)
+// is property-tested.
+func (fn Func) Image() []int {
+	out := make([]int, fn.f)
+	for l := 0; l < fn.f; l++ {
+		out[l] = fn.Apply(l)
+	}
+	return out
+}
+
+// SameMethod reports whether fn and other use the same transformation
+// method in the paper's sense (equal Kind). IU1 and IU2 count as the same
+// method when IU2 degenerates to IU1 (F*F >= M), since their images are
+// then identical.
+func (fn Func) SameMethod(other Func) bool {
+	return fn.effectiveKind() == other.effectiveKind()
+}
+
+func (fn Func) effectiveKind() Kind {
+	if fn.kind == IU2 && fn.d2 == 0 {
+		return IU1
+	}
+	return fn.kind
+}
+
+// String renders the function with its parameters, e.g. "IU2^{16,2}".
+func (fn Func) String() string {
+	return fmt.Sprintf("%v^{%d,%d}", fn.kind, fn.m, fn.f)
+}

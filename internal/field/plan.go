@@ -1,0 +1,215 @@
+package field
+
+import (
+	"fmt"
+	"sort"
+
+	"fxdist/internal/bitsx"
+)
+
+// Family selects which xor-folded transform the planner uses alongside I
+// and U for fields smaller than M. The paper uses the IU1 family in Tables
+// 7 and 8 (and Figures 1-2) and the IU2 family in Table 9 (and Figures
+// 3-4); IU2 subsumes IU1 whenever F*F >= M.
+type Family Kind
+
+const (
+	// FamilyIU1 cycles I, U, IU1 over small fields.
+	FamilyIU1 = Family(IU1)
+	// FamilyIU2 cycles I, U, IU2 over small fields.
+	FamilyIU2 = Family(IU2)
+)
+
+// Strategy selects how the planner assigns methods to small fields.
+type Strategy int
+
+const (
+	// Auto picks SizeOrdered when at most three fields are smaller than M
+	// (the regime where Theorem 9 guarantees perfect optimality) and
+	// RoundRobin otherwise. This is the default.
+	Auto Strategy = iota
+	// RoundRobin cycles I, U, IU over small fields in field order. This is
+	// the assignment used for the paper's Tables 7-9 (fields 1,4 -> I;
+	// 2,5 -> U; 3,6 -> IU1/IU2).
+	RoundRobin
+	// SizeOrdered applies Theorem 9's ordering: the largest small field
+	// gets I, the smallest gets U, the middle gets IU2, so that the IU2
+	// field is never smaller than the U field (Lemma 9.1's second
+	// condition). With more than three small fields it cycles the ordered
+	// assignment.
+	SizeOrdered
+)
+
+// Plan holds one transformation function per field of a file system.
+type Plan struct {
+	// M is the device count the plan was built for.
+	M int
+	// Funcs has one entry per field, in field order.
+	Funcs []Func
+}
+
+// PlanOption configures NewPlan.
+type PlanOption func(*planConfig)
+
+type planConfig struct {
+	family   Family
+	strategy Strategy
+	explicit []Kind
+}
+
+// WithFamily selects the xor-folded transform family (default FamilyIU2,
+// which degenerates to IU1 exactly when IU1 would have been legal anyway).
+func WithFamily(fam Family) PlanOption {
+	return func(c *planConfig) { c.family = fam }
+}
+
+// WithStrategy selects the assignment strategy (default SizeOrdered for up
+// to three small fields, matching Theorem 9; RoundRobin otherwise).
+func WithStrategy(s Strategy) PlanOption {
+	return func(c *planConfig) { c.strategy = s }
+}
+
+// WithKinds overrides the planner entirely with an explicit per-field kind
+// assignment. Fields with size >= M must be assigned I.
+func WithKinds(kinds []Kind) PlanOption {
+	return func(c *planConfig) { c.explicit = append([]Kind(nil), kinds...) }
+}
+
+// NewPlan builds a transformation plan for the given field sizes and device
+// count. Sizes and m must be powers of two. Fields with size >= M always
+// receive the identity; smaller fields receive I, U and IU1/IU2 per the
+// configured strategy so that adjacent small fields use different methods
+// (the precondition of the paper's §4.2 optimality conditions 3-5).
+func NewPlan(sizes []int, m int, opts ...PlanOption) (Plan, error) {
+	if len(sizes) == 0 {
+		return Plan{}, fmt.Errorf("field: plan needs at least one field")
+	}
+	if !bitsx.IsPow2(m) {
+		return Plan{}, fmt.Errorf("field: device count %d is not a power of two", m)
+	}
+	for i, f := range sizes {
+		if !bitsx.IsPow2(f) {
+			return Plan{}, fmt.Errorf("field: size of field %d (%d) is not a power of two", i, f)
+		}
+	}
+	cfg := planConfig{family: FamilyIU2, strategy: Auto}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+
+	if cfg.explicit != nil {
+		return planFromKinds(sizes, m, cfg.explicit)
+	}
+
+	small := smallFields(sizes, m)
+	kinds := make([]Kind, len(sizes))
+	for i := range kinds {
+		kinds[i] = I
+	}
+
+	strategy := cfg.strategy
+	if strategy == Auto {
+		if len(small) <= 3 {
+			strategy = SizeOrdered
+		} else {
+			strategy = RoundRobin
+		}
+	}
+	switch {
+	case len(small) == 0:
+		// All identity: Basic FX suffices (Theorems 1 and 2).
+	case strategy == SizeOrdered:
+		assignSizeOrdered(sizes, small, kinds, cfg.family)
+	default:
+		assignRoundRobin(small, kinds, cfg.family)
+	}
+	return planFromKinds(sizes, m, kinds)
+}
+
+// MustPlan is NewPlan, panicking on error.
+func MustPlan(sizes []int, m int, opts ...PlanOption) Plan {
+	p, err := NewPlan(sizes, m, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func smallFields(sizes []int, m int) []int {
+	var idx []int
+	for i, f := range sizes {
+		if f < m {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// assignRoundRobin cycles I, U, IU over the small fields in field order,
+// matching the assignment in the paper's Tables 7-9.
+func assignRoundRobin(small []int, kinds []Kind, fam Family) {
+	cycle := []Kind{I, U, Kind(fam)}
+	for j, i := range small {
+		kinds[i] = cycle[j%3]
+	}
+}
+
+// assignSizeOrdered implements Theorem 9's ordering. With small fields
+// sorted by descending size F_i >= F_k >= F_j, the theorem applies I to
+// the largest, IU2 to the middle and U to the smallest, which guarantees
+// the IU2-transformed field is at least as large as the U-transformed one
+// (Lemma 9.1 condition 2). With more than three small fields the ordered
+// triple assignment repeats over consecutive size-ranked triples.
+func assignSizeOrdered(sizes []int, small []int, kinds []Kind, fam Family) {
+	ranked := append([]int(nil), small...)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		return sizes[ranked[a]] > sizes[ranked[b]]
+	})
+	cycle := []Kind{I, Kind(fam), U}
+	if len(ranked) == 2 {
+		// Two small fields: any two different methods (Theorems 4-8).
+		cycle = []Kind{I, U}
+	}
+	for j, i := range ranked {
+		kinds[i] = cycle[j%len(cycle)]
+	}
+}
+
+func planFromKinds(sizes []int, m int, kinds []Kind) (Plan, error) {
+	if len(kinds) != len(sizes) {
+		return Plan{}, fmt.Errorf("field: %d kinds for %d fields", len(kinds), len(sizes))
+	}
+	funcs := make([]Func, len(sizes))
+	for i, k := range kinds {
+		if sizes[i] >= m && k != I {
+			return Plan{}, fmt.Errorf("field: field %d has size %d >= M=%d and must use I, got %v", i, sizes[i], m, k)
+		}
+		fn, err := New(k, sizes[i], m)
+		if err != nil {
+			return Plan{}, fmt.Errorf("field %d: %w", i, err)
+		}
+		funcs[i] = fn
+	}
+	return Plan{M: m, Funcs: funcs}, nil
+}
+
+// Kinds returns the per-field transformation methods of the plan.
+func (p Plan) Kinds() []Kind {
+	out := make([]Kind, len(p.Funcs))
+	for i, fn := range p.Funcs {
+		out[i] = fn.Kind()
+	}
+	return out
+}
+
+// String renders the plan compactly, e.g. "[I U IU2 I]@M=16".
+func (p Plan) String() string {
+	s := "["
+	for i, fn := range p.Funcs {
+		if i > 0 {
+			s += " "
+		}
+		s += fn.Kind().String()
+	}
+	return fmt.Sprintf("%s]@M=%d", s, p.M)
+}

@@ -1,0 +1,125 @@
+package field
+
+import (
+	"testing"
+)
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(nil, 16); err == nil {
+		t.Error("empty field list accepted")
+	}
+	if _, err := NewPlan([]int{4, 4}, 12); err == nil {
+		t.Error("non-power-of-two M accepted")
+	}
+	if _, err := NewPlan([]int{4, 6}, 16); err == nil {
+		t.Error("non-power-of-two field size accepted")
+	}
+	if _, err := NewPlan([]int{32, 4}, 16, WithKinds([]Kind{U, I})); err == nil {
+		t.Error("non-identity kind on large field accepted")
+	}
+	if _, err := NewPlan([]int{32, 4}, 16, WithKinds([]Kind{I})); err == nil {
+		t.Error("kind count mismatch accepted")
+	}
+}
+
+func TestPlanAllLargeFieldsGetIdentity(t *testing.T) {
+	p := MustPlan([]int{32, 64, 32}, 16)
+	for i, fn := range p.Funcs {
+		if fn.Kind() != I {
+			t.Errorf("field %d: kind %v, want I", i, fn.Kind())
+		}
+	}
+}
+
+// The paper's Table 7/8 assignment: fields 1,4 -> I, 2,5 -> U, 3,6 -> IU1.
+func TestPlanRoundRobinMatchesPaperTables(t *testing.T) {
+	p := MustPlan([]int{8, 8, 8, 8, 8, 8}, 32,
+		WithStrategy(RoundRobin), WithFamily(FamilyIU1))
+	want := []Kind{I, U, IU1, I, U, IU1}
+	got := p.Kinds()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+// Theorem 9 ordering for three small fields F_i >= F_k >= F_j:
+// I on the largest, IU2 on the middle, U on the smallest.
+func TestPlanSizeOrderedTheorem9(t *testing.T) {
+	p := MustPlan([]int{2, 8, 4}, 16, WithStrategy(SizeOrdered))
+	want := []Kind{U, I, IU2} // sizes 2, 8, 4 -> smallest, largest, middle
+	got := p.Kinds()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+	// IU2 field must not be smaller than U field (Lemma 9.1 cond. 2).
+	var iu2Size, uSize int
+	for i, k := range got {
+		switch k {
+		case IU2:
+			iu2Size = p.Funcs[i].FieldSize()
+		case U:
+			uSize = p.Funcs[i].FieldSize()
+		}
+	}
+	if iu2Size < uSize {
+		t.Errorf("IU2 field size %d < U field size %d", iu2Size, uSize)
+	}
+}
+
+func TestPlanTwoSmallFieldsDifferentMethods(t *testing.T) {
+	p := MustPlan([]int{4, 4, 64}, 16, WithStrategy(SizeOrdered))
+	k := p.Kinds()
+	if k[2] != I {
+		t.Errorf("large field kind %v, want I", k[2])
+	}
+	if k[0] == k[1] {
+		t.Errorf("two small fields share method %v", k[0])
+	}
+}
+
+func TestPlanMixedLargeAndSmall(t *testing.T) {
+	p := MustPlan([]int{64, 8, 8, 8}, 32, WithStrategy(RoundRobin), WithFamily(FamilyIU1))
+	want := []Kind{I, I, U, IU1}
+	got := p.Kinds()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlanExplicitKinds(t *testing.T) {
+	p := MustPlan([]int{2, 4, 2}, 8, WithKinds([]Kind{I, U, IU1}))
+	want := []Kind{I, U, IU1}
+	got := p.Kinds()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+// With >3 small fields the default strategy still assigns all three methods.
+func TestPlanManySmallFieldsUsesAllMethods(t *testing.T) {
+	p := MustPlan([]int{8, 8, 8, 8, 8, 8}, 512, WithFamily(FamilyIU2))
+	counts := map[Kind]int{}
+	for _, k := range p.Kinds() {
+		counts[k]++
+	}
+	if counts[I] != 2 || counts[U] != 2 || counts[IU2] != 2 {
+		t.Errorf("method distribution %v, want 2 of each", counts)
+	}
+}
+
+func TestMustPlanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPlan with bad config did not panic")
+		}
+	}()
+	MustPlan([]int{3}, 16)
+}

@@ -1,0 +1,49 @@
+package mkhash
+
+import "testing"
+
+// FuzzInsertSearch: any inserted record must be found by its own
+// exact-match query, and partial matches on each single field must
+// include it.
+func FuzzInsertSearch(f *testing.F) {
+	f.Add("ford", "escort", "1988")
+	f.Add("", "", "")
+	f.Add("a\x00b", "unicode ✓", "\xff\xfe")
+	f.Fuzz(func(t *testing.T, a, b, c string) {
+		file := MustNew(Schema{Fields: []string{"x", "y", "z"}, Depths: []int{2, 3, 1}})
+		rec := Record{a, b, c}
+		if err := file.Insert(rec); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		// Exact match.
+		pm := PartialMatch{&a, &b, &c}
+		got, err := file.Search(pm)
+		if err != nil {
+			t.Fatalf("search: %v", err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("exact search found %d records", len(got))
+		}
+		// Each single-field partial match.
+		for i, v := range []string{a, b, c} {
+			pm := make(PartialMatch, 3)
+			val := v
+			pm[i] = &val
+			got, err := file.Search(pm)
+			if err != nil {
+				t.Fatalf("partial search: %v", err)
+			}
+			if len(got) != 1 {
+				t.Fatalf("field %d partial match found %d records", i, len(got))
+			}
+		}
+		// Delete removes it.
+		n, err := file.Delete(rec)
+		if err != nil || n != 1 {
+			t.Fatalf("delete = %d, %v", n, err)
+		}
+		if file.Len() != 0 {
+			t.Fatal("file not empty after delete")
+		}
+	})
+}

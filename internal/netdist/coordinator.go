@@ -1,0 +1,219 @@
+package netdist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fxdist/internal/mkhash"
+)
+
+// deviceConn is one persistent connection with pipelined request/response
+// framing: many requests may be in flight concurrently, matched to
+// waiters by request ID. A single reader goroutine demultiplexes
+// responses; writers serialise on a mutex.
+type deviceConn struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	err     error // sticky transport error; set once the reader exits
+}
+
+func newDeviceConn(conn net.Conn) *deviceConn {
+	dc := &deviceConn{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan Response),
+	}
+	go dc.readLoop(gob.NewDecoder(conn))
+	return dc
+}
+
+// readLoop dispatches responses to their waiters until the connection
+// dies, then fails every pending and future request.
+func (dc *deviceConn) readLoop(dec *gob.Decoder) {
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			dc.mu.Lock()
+			if dc.err == nil {
+				dc.err = fmt.Errorf("netdist: connection lost: %w", err)
+			}
+			for id, ch := range dc.pending {
+				close(ch)
+				delete(dc.pending, id)
+			}
+			dc.mu.Unlock()
+			return
+		}
+		dc.mu.Lock()
+		ch, ok := dc.pending[resp.ID]
+		if ok {
+			delete(dc.pending, resp.ID)
+		}
+		dc.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, error) {
+	dc.mu.Lock()
+	if dc.err != nil {
+		err := dc.err
+		dc.mu.Unlock()
+		return Response{}, err
+	}
+	dc.nextID++
+	req.ID = dc.nextID
+	ch := make(chan Response, 1)
+	dc.pending[req.ID] = ch
+	dc.mu.Unlock()
+
+	dc.writeMu.Lock()
+	err := dc.enc.Encode(&req)
+	dc.writeMu.Unlock()
+	if err != nil {
+		dc.mu.Lock()
+		delete(dc.pending, req.ID)
+		dc.mu.Unlock()
+		return Response{}, err
+	}
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			dc.mu.Lock()
+			err := dc.err
+			dc.mu.Unlock()
+			return Response{}, err
+		}
+		return resp, nil
+	case <-timer:
+		dc.mu.Lock()
+		delete(dc.pending, req.ID)
+		dc.mu.Unlock()
+		return Response{}, fmt.Errorf("netdist: request timed out after %v", timeout)
+	}
+}
+
+// Coordinator fans partial match queries out to the device servers and
+// merges their answers. It holds the file *schema* (for hashing query
+// values) but no data. Concurrent Retrieve calls pipeline over the same
+// device connections.
+type Coordinator struct {
+	file    *mkhash.File
+	conns   []*deviceConn
+	timeout time.Duration
+}
+
+// DialOption configures Dial.
+type DialOption func(*Coordinator)
+
+// WithTimeout bounds each per-device request; zero (the default) waits
+// indefinitely.
+func WithTimeout(d time.Duration) DialOption {
+	return func(c *Coordinator) { c.timeout = d }
+}
+
+// Dial connects to one server per device; addrs[i] must serve device i.
+// The file provides the schema and hash functions used to lower value
+// queries to bucket coordinates — it can be empty of records.
+func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, error) {
+	c := &Coordinator{file: file}
+	for _, opt := range opts {
+		opt(c)
+	}
+	for _, addr := range addrs {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netdist: dial %s: %w", addr, err)
+		}
+		c.conns = append(c.conns, newDeviceConn(conn))
+	}
+	return c, nil
+}
+
+// Close drops all device connections.
+func (c *Coordinator) Close() {
+	for _, dc := range c.conns {
+		if dc != nil {
+			dc.conn.Close()
+		}
+	}
+}
+
+// Result is a merged distributed retrieval.
+type Result struct {
+	// Records are the matching records, grouped by device in device order.
+	Records []mkhash.Record
+	// DeviceBuckets[i] / DeviceRecords[i] are device i's accessed bucket
+	// and scanned record counts.
+	DeviceBuckets []int
+	DeviceRecords []int
+	// LargestResponseSize is max(DeviceBuckets) — the paper's response
+	// time determinant.
+	LargestResponseSize int
+}
+
+// Retrieve lowers the value-level query, broadcasts it to every device in
+// parallel, and merges the responses. Any device error fails the whole
+// retrieval (partial answers would silently drop matches).
+func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	q, err := c.file.BucketQuery(pm)
+	if err != nil {
+		return Result{}, err
+	}
+	req := NewRequest(q.Spec, pm)
+
+	type devAnswer struct {
+		resp Response
+		err  error
+	}
+	answers := make([]devAnswer, len(c.conns))
+	var wg sync.WaitGroup
+	for i, dc := range c.conns {
+		wg.Add(1)
+		go func(i int, dc *deviceConn) {
+			defer wg.Done()
+			resp, err := dc.roundTrip(req, c.timeout)
+			answers[i] = devAnswer{resp, err}
+		}(i, dc)
+	}
+	wg.Wait()
+
+	res := Result{
+		DeviceBuckets: make([]int, len(c.conns)),
+		DeviceRecords: make([]int, len(c.conns)),
+	}
+	for i, a := range answers {
+		if a.err != nil {
+			return Result{}, fmt.Errorf("netdist: device %d: %w", i, a.err)
+		}
+		if a.resp.Err != "" {
+			return Result{}, fmt.Errorf("netdist: device %d: %s", i, a.resp.Err)
+		}
+		res.Records = append(res.Records, a.resp.Records...)
+		res.DeviceBuckets[i] = a.resp.Buckets
+		res.DeviceRecords[i] = a.resp.Scanned
+		if a.resp.Buckets > res.LargestResponseSize {
+			res.LargestResponseSize = a.resp.Buckets
+		}
+	}
+	return res, nil
+}

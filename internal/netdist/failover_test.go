@@ -1,0 +1,169 @@
+package netdist
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"fxdist/internal/decluster"
+)
+
+// Healthy replicated deployment answers exactly like the local search.
+func TestReplicatedDeployHealthy(t *testing.T) {
+	file := buildFile(t, 400)
+	fs, _ := file.FileSystem(8)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := DeployReplicated(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := Dial(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	pm, _ := file.Spec(map[string]string{"supplier": "sup4"})
+	want, _ := file.Search(pm)
+	got, err := coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got.Records), len(want))
+	}
+}
+
+// Killing one server: RetrieveWithFailover still returns the complete
+// answer via the successor's backup partition, while plain Retrieve
+// fails.
+func TestFailoverSurvivesOneServerDeath(t *testing.T) {
+	file := buildFile(t, 400)
+	fs, _ := file.FileSystem(4)
+	fx := decluster.MustFX(fs)
+
+	// Deploy servers individually so one can be killed.
+	spec, err := decluster.SpecOf(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := make([]*Server, 4)
+	addrs := make([]string, 4)
+	for dev := 0; dev < 4; dev++ {
+		prev := (dev + 3) % 4
+		srv, err := NewReplicatedServer(dev, spec, parts[dev], parts[prev])
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := newLoopbackListener(t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[dev] = srv
+		addrs[dev] = l.Addr().String()
+		go srv.Serve(l) //nolint:errcheck
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	coord, err := Dial(file, addrs, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	pm, _ := file.Spec(map[string]string{"warehouse": "wh3"})
+	want := recordKeys(mustSearch(t, file, pm))
+
+	// Healthy failover path returns everything.
+	got, err := coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := recordKeys(got.Records); !equalKeys(g, want) {
+		t.Fatal("healthy failover answer differs from reference")
+	}
+
+	// Kill device 2's server.
+	servers[2].Close()
+	// Wait until the coordinator notices the dead connection.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := coord.Retrieve(pm); err != nil {
+			break // plain retrieve now fails
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("plain retrieve kept succeeding after server death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, err = coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatalf("failover retrieve failed: %v", err)
+	}
+	if g := recordKeys(got.Records); !equalKeys(g, want) {
+		t.Fatal("failover answer differs from reference after server death")
+	}
+	// The dead device's buckets are accounted to it (served by backup).
+	if got.DeviceBuckets[2] == 0 {
+		t.Log("note: device 2 had no qualified buckets for this query")
+	}
+}
+
+// Backup partition validation: handing the wrong partition as backup must
+// be rejected.
+func TestNewReplicatedServerValidation(t *testing.T) {
+	file := buildFile(t, 100)
+	fs, _ := file.FileSystem(4)
+	fx := decluster.MustFX(fs)
+	spec, _ := decluster.SpecOf(fx)
+	parts, _ := Partition(file, fx)
+	// Device 1's backup must be device 0's partition, not device 2's.
+	if len(parts[2]) == 0 {
+		t.Skip("device 2 holds no buckets")
+	}
+	if _, err := NewReplicatedServer(1, spec, parts[1], parts[2]); err == nil {
+		t.Error("wrong backup partition accepted")
+	}
+	if _, err := NewReplicatedServer(1, spec, parts[1], parts[0]); err != nil {
+		t.Errorf("correct backup partition rejected: %v", err)
+	}
+}
+
+// A plain (non-replicated) server rejects AsDevice requests.
+func TestPlainServerRejectsAsDevice(t *testing.T) {
+	coord, cleanup := deploy(t, buildFile(t, 50), 4)
+	defer cleanup()
+	pm := make([]*string, 3)
+	q, _ := coord.file.BucketQuery(pm)
+	req := NewRequest(q.Spec, pm)
+	req.AsDevice = 0 // ask server 1 to impersonate device 0
+	resp, err := coord.conns[1].roundTrip(req, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Error("plain server accepted an AsDevice request")
+	}
+}
+
+func equalKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package netdist
+
+import (
+	"net"
+	"sort"
+	"testing"
+
+	"fxdist/internal/mkhash"
+)
+
+// Test-only helpers shared by the failover tests.
+
+func newLoopbackListener(t *testing.T) (net.Listener, error) {
+	t.Helper()
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func mustSearch(t *testing.T, file *mkhash.File, pm mkhash.PartialMatch) []mkhash.Record {
+	t.Helper()
+	recs, err := file.Search(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a][0] < recs[b][0] })
+	return recs
+}

@@ -1,0 +1,292 @@
+// Package netdist turns the paper's parallel-device model into an actual
+// distributed system: one TCP server per device, each holding the bucket
+// partition a declustering allocator assigns to it, and a coordinator
+// that fans partial match queries out to all devices and merges the
+// results. Every device answers with the per-device inverse mapping of
+// package query — it enumerates only its own qualified buckets.
+//
+// The wire protocol is gob-encoded request/response pairs over persistent
+// TCP connections. Allocator configuration travels as a decluster.Spec so
+// a device server can be started on a different process or machine from
+// the data loader.
+package netdist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+// Request is one coordinator-to-device message. The value filters travel
+// as parallel Specified/Values slices because gob cannot encode nil
+// pointer elements.
+type Request struct {
+	// ID matches the response to its request; requests pipeline over one
+	// connection. Assigned by the coordinator.
+	ID uint64
+	// Spec is the hashed bucket-level query (query.Unspecified for free
+	// fields).
+	Spec []int
+	// Specified[i] reports whether field i carries a value filter in
+	// Values[i]. Devices re-check record values because hashing collides.
+	Specified []bool
+	Values    []string
+	// AsDevice, when >= 0 and not the server's own id, asks a replicated
+	// server to answer from the backup partition it holds for that device
+	// (coordinator failover). NewRequest sets it to -1.
+	AsDevice int
+}
+
+// NewRequest builds the wire request for a hashed query and its
+// value-level filters.
+func NewRequest(spec []int, pm mkhash.PartialMatch) Request {
+	req := Request{
+		Spec:      spec,
+		Specified: make([]bool, len(pm)),
+		Values:    make([]string, len(pm)),
+		AsDevice:  -1,
+	}
+	for i, v := range pm {
+		if v != nil {
+			req.Specified[i] = true
+			req.Values[i] = *v
+		}
+	}
+	return req
+}
+
+// Response is one device-to-coordinator message.
+type Response struct {
+	// ID echoes the request's ID.
+	ID uint64
+	// Err is non-empty when the device rejected the request.
+	Err string
+	// Records are the matching records from this device's partition.
+	Records []mkhash.Record
+	// Buckets is the number of qualified buckets the device accessed.
+	Buckets int
+	// Scanned is the number of records the device examined.
+	Scanned int
+}
+
+// Server is one device's network frontend.
+type Server struct {
+	deviceID int
+	fs       decluster.FileSystem
+	im       *query.InverseMapper
+	buckets  map[int][]mkhash.Record
+	// Replication (NewReplicatedServer): the backup partition held for
+	// the ring predecessor.
+	backup    map[int][]mkhash.Record
+	backupFor int
+	hasBackup bool
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+}
+
+// NewServer builds a device server from a serialized allocator spec and
+// the device's bucket partition (keyed by FileSystem.Linear index). The
+// server verifies that every bucket it is handed actually belongs to this
+// device under the allocator — a partitioning bug fails fast here rather
+// than as silently wrong query results.
+func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Record) (*Server, error) {
+	alloc, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	fs := alloc.FileSystem()
+	if deviceID < 0 || deviceID >= fs.M {
+		return nil, fmt.Errorf("netdist: device id %d outside [0,%d)", deviceID, fs.M)
+	}
+	var coords []int
+	for idx := range buckets {
+		if idx < 0 || idx >= fs.NumBuckets() {
+			return nil, fmt.Errorf("netdist: bucket index %d outside grid", idx)
+		}
+		coords = fs.Coords(idx, coords[:0])
+		if dev := alloc.Device(coords); dev != deviceID {
+			return nil, fmt.Errorf("netdist: bucket %v belongs to device %d, not %d", coords, dev, deviceID)
+		}
+	}
+	return &Server{
+		deviceID:  deviceID,
+		fs:        fs,
+		im:        query.NewInverseMapper(alloc),
+		buckets:   buckets,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// DeviceID returns the device this server fronts.
+func (s *Server) DeviceID() int { return s.deviceID }
+
+// Serve accepts connections on l until the listener is closed (by Close
+// or externally). Each connection handles a sequence of Request/Response
+// pairs. Serve on an already-closed server closes l and returns nil.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			delete(s.listeners, l)
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and drops open connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // connection closed or corrupt stream
+		}
+		var resp Response
+		if req.AsDevice >= 0 && req.AsDevice != s.deviceID {
+			resp = s.answerAs(req)
+		} else {
+			resp = s.answer(req)
+		}
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// answer runs one query against the local partition.
+func (s *Server) answer(req Request) Response {
+	q := query.New(req.Spec)
+	if err := q.Validate(s.fs); err != nil {
+		return Response{ID: req.ID, Err: err.Error()}
+	}
+	if len(req.Values) != s.fs.NumFields() || len(req.Specified) != s.fs.NumFields() {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: %d value filters for %d fields", len(req.Values), s.fs.NumFields())}
+	}
+	resp := Response{ID: req.ID}
+	s.im.EachOnDevice(q, s.deviceID, func(coords []int) {
+		resp.Buckets++
+		for _, r := range s.buckets[s.fs.Linear(coords)] {
+			resp.Scanned++
+			if valueMatch(req, r) {
+				resp.Records = append(resp.Records, r)
+			}
+		}
+	})
+	return resp
+}
+
+func valueMatch(req Request, r mkhash.Record) bool {
+	for i, specified := range req.Specified {
+		if specified && r[i] != req.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Partition splits a file's non-empty buckets into per-device partitions
+// under the allocator, keyed by linear bucket index — the input NewServer
+// expects.
+func Partition(file *mkhash.File, alloc decluster.GroupAllocator) ([]map[int][]mkhash.Record, error) {
+	fs := alloc.FileSystem()
+	sizes := file.Sizes()
+	if len(sizes) != fs.NumFields() {
+		return nil, fmt.Errorf("netdist: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
+	}
+	for i, f := range sizes {
+		if fs.Sizes[i] != f {
+			return nil, fmt.Errorf("netdist: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
+		}
+	}
+	parts := make([]map[int][]mkhash.Record, fs.M)
+	for i := range parts {
+		parts[i] = make(map[int][]mkhash.Record)
+	}
+	file.EachBucket(func(coords []int, records []mkhash.Record) {
+		parts[alloc.Device(coords)][fs.Linear(coords)] = records
+	})
+	return parts, nil
+}
+
+// Deploy partitions the file, starts one Server per device on loopback
+// listeners, and returns the addresses (index = device id) plus a stop
+// function. It is the one-process path used by tests and the distributed
+// example; production deployments construct Servers individually.
+func Deploy(file *mkhash.File, alloc decluster.GroupAllocator) (addrs []string, stop func(), err error) {
+	spec, err := decluster.SpecOf(alloc)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts, err := Partition(file, alloc)
+	if err != nil {
+		return nil, nil, err
+	}
+	servers := make([]*Server, 0, len(parts))
+	cleanup := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for dev, part := range parts {
+		srv, err := NewServer(dev, spec, part)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, l.Addr().String())
+		go srv.Serve(l) //nolint:errcheck // ends when srv.Close closes l
+	}
+	return addrs, cleanup, nil
+}

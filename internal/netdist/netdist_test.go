@@ -1,0 +1,280 @@
+package netdist
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+func buildFile(t *testing.T, n int) *mkhash.File {
+	t.Helper()
+	f := mkhash.MustNew(mkhash.Schema{
+		Fields: []string{"part", "supplier", "warehouse"},
+		Depths: []int{3, 3, 2},
+	})
+	for i := 0; i < n; i++ {
+		r := mkhash.Record{
+			fmt.Sprintf("part%d", i%40),
+			fmt.Sprintf("sup%d", i%11),
+			fmt.Sprintf("wh%d", i%5),
+		}
+		if err := f.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func deploy(t *testing.T, file *mkhash.File, m int) (*Coordinator, func()) {
+	t.Helper()
+	fs, err := file.FileSystem(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Dial(file, addrs)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	return coord, func() { coord.Close(); stop() }
+}
+
+func recordKeys(recs []mkhash.Record) []string {
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = r[0] + "|" + r[1] + "|" + r[2]
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Distributed retrieval must return exactly what a local search returns,
+// across query shapes.
+func TestDistributedMatchesLocalSearch(t *testing.T) {
+	file := buildFile(t, 400)
+	coord, cleanup := deploy(t, file, 8)
+	defer cleanup()
+
+	specs := []map[string]string{
+		{"supplier": "sup3"},
+		{"part": "part7", "warehouse": "wh2"},
+		{"part": "part0", "supplier": "sup0", "warehouse": "wh0"},
+		{},
+		{"supplier": "no-such"},
+	}
+	for _, s := range specs {
+		pm, err := file.Spec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := coord.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, w := recordKeys(got.Records), recordKeys(want)
+		if len(g) != len(w) {
+			t.Fatalf("spec %v: distributed %d records, local %d", s, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("spec %v: record sets differ", s)
+			}
+		}
+	}
+}
+
+// Per-device bucket counts over the wire must equal the allocator's load
+// vector.
+func TestDistributedBucketAccounting(t *testing.T) {
+	file := buildFile(t, 300)
+	fs, _ := file.FileSystem(8)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := Dial(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	pm, _ := file.Spec(map[string]string{"warehouse": "wh1"})
+	res, err := coord.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := file.BucketQuery(pm)
+	loads := query.Loads(fx, q)
+	for dev, b := range res.DeviceBuckets {
+		if b != loads[dev] {
+			t.Errorf("device %d reported %d buckets, load vector says %d", dev, b, loads[dev])
+		}
+	}
+	if res.LargestResponseSize == 0 {
+		t.Error("largest response size not computed")
+	}
+}
+
+// Concurrent retrievals over the same coordinator must not interleave
+// corruptly.
+func TestDistributedConcurrentRetrievals(t *testing.T) {
+	file := buildFile(t, 300)
+	coord, cleanup := deploy(t, file, 4)
+	defer cleanup()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pm, err := file.Spec(map[string]string{"supplier": fmt.Sprintf("sup%d", i%11)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			want, err := file.Search(pm)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := coord.Retrieve(pm)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(got.Records) != len(want) {
+				errs <- fmt.Errorf("sup%d: got %d, want %d", i%11, len(got.Records), len(want))
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestNewServerRejectsForeignBuckets(t *testing.T) {
+	file := buildFile(t, 100)
+	fs, _ := file.FileSystem(4)
+	fx := decluster.MustFX(fs)
+	spec, err := decluster.SpecOf(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := Partition(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand device 0's partition to device 1: must be rejected.
+	if len(parts[0]) == 0 {
+		t.Skip("device 0 happens to hold no buckets")
+	}
+	if _, err := NewServer(1, spec, parts[0]); err == nil {
+		t.Error("foreign bucket partition accepted")
+	}
+	if _, err := NewServer(9, spec, nil); err == nil {
+		t.Error("out-of-range device id accepted")
+	}
+	if _, err := NewServer(0, spec, map[int][]mkhash.Record{1 << 20: nil}); err == nil {
+		t.Error("out-of-grid bucket index accepted")
+	}
+}
+
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	file := buildFile(t, 50)
+	fs, _ := file.FileSystem(4)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := Dial(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Out-of-domain hashed value.
+	resp, err := coord.conns[0].roundTrip(NewRequest(
+		[]int{99, query.Unspecified, query.Unspecified}, make(mkhash.PartialMatch, 3)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Error("out-of-domain query accepted")
+	}
+	// Wrong value-filter arity.
+	resp, err = coord.conns[0].roundTrip(NewRequest(
+		[]int{0, query.Unspecified, query.Unspecified}, make(mkhash.PartialMatch, 1)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == "" {
+		t.Error("wrong filter arity accepted")
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	file := buildFile(t, 10)
+	wrongArity := decluster.MustFileSystem([]int{8, 8}, 4)
+	if _, err := Partition(file, decluster.MustFX(wrongArity)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	wrongSize := decluster.MustFileSystem([]int{4, 8, 4}, 4)
+	if _, err := Partition(file, decluster.MustFX(wrongSize)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	file := buildFile(t, 10)
+	if _, err := Dial(file, []string{"127.0.0.1:1"}); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestServerCloseStopsServe(t *testing.T) {
+	file := buildFile(t, 20)
+	fs, _ := file.FileSystem(2)
+	fx := decluster.MustFX(fs)
+	spec, _ := decluster.SpecOf(fx)
+	parts, _ := Partition(file, fx)
+	srv, err := NewServer(0, spec, parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	srv.Close()
+	if err := <-done; err != nil {
+		t.Errorf("Serve returned %v after Close, want nil", err)
+	}
+	// Serve on a closed server returns immediately without error.
+	if err := srv.Serve(l); err != nil {
+		t.Errorf("Serve on closed server returned %v, want nil", err)
+	}
+}

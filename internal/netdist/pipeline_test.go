@@ -1,0 +1,188 @@
+package netdist
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fxdist/internal/decluster"
+)
+
+// Killing the servers mid-session must fail in-flight and subsequent
+// retrievals with a transport error, not hang or return partial data.
+func TestServerDeathFailsRetrievals(t *testing.T) {
+	file := buildFile(t, 200)
+	fs, _ := file.FileSystem(4)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Dial(file, addrs)
+	if err != nil {
+		stop()
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	pm, _ := file.Spec(map[string]string{"supplier": "sup1"})
+	if _, err := coord.Retrieve(pm); err != nil {
+		t.Fatalf("healthy retrieve failed: %v", err)
+	}
+	stop() // kill all servers
+	// The read loops notice the closed connections; retrievals must error.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := coord.Retrieve(pm); err != nil {
+			if !strings.Contains(err.Error(), "device") {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("retrieve kept succeeding after servers died")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Requests pipeline: many concurrent retrievals over the same connections
+// all complete correctly (IDs demultiplex responses).
+func TestPipelinedConcurrentRetrievals(t *testing.T) {
+	file := buildFile(t, 300)
+	coord, cleanup := deploy(t, file, 4)
+	defer cleanup()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				spec := map[string]string{"supplier": "sup" + string(rune('0'+w%10))}
+				pm, err := file.Spec(spec)
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, err := file.Search(pm)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := coord.Retrieve(pm)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(got.Records) != len(want) {
+					errs <- errMismatch(w, len(got.Records), len(want))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+type mismatchError struct{ w, got, want int }
+
+func errMismatch(w, got, want int) error { return mismatchError{w, got, want} }
+func (e mismatchError) Error() string {
+	return "worker result mismatch"
+}
+
+// A timeout shorter than any plausible response must fire; a generous one
+// must not.
+func TestDialTimeoutOption(t *testing.T) {
+	file := buildFile(t, 100)
+	fs, _ := file.FileSystem(2)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	coord, err := Dial(file, addrs, WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	pm, _ := file.Spec(map[string]string{})
+	if _, err := coord.Retrieve(pm); err != nil {
+		t.Fatalf("generous timeout failed: %v", err)
+	}
+
+	// 1ns timeout: effectively always fires before the response arrives.
+	fast, err := Dial(file, addrs, WithTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	if _, err := fast.Retrieve(pm); err == nil {
+		t.Error("nanosecond timeout did not fire")
+	} else if !strings.Contains(err.Error(), "timed out") {
+		t.Errorf("error is not a timeout: %v", err)
+	}
+}
+
+// A late response to a timed-out request must not corrupt a later
+// request's answer (the ID of the dead request is unregistered).
+func TestLateResponseAfterTimeoutIsDropped(t *testing.T) {
+	file := buildFile(t, 200)
+	fs, _ := file.FileSystem(2)
+	fx := decluster.MustFX(fs)
+	addrs, stop, err := Deploy(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := Dial(file, addrs, WithTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	pm, _ := file.Spec(map[string]string{"supplier": "sup2"})
+	if _, err := coord.Retrieve(pm); err == nil {
+		t.Fatal("timeout did not fire")
+	}
+	// Give the late responses time to arrive and be dropped.
+	time.Sleep(50 * time.Millisecond)
+	// Re-dial with no timeout: correctness restored on fresh requests.
+	slow, err := Dial(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	want, _ := file.Search(pm)
+	got, err := slow.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Errorf("got %d records, want %d", len(got.Records), len(want))
+	}
+	// The timed-out coordinator's connections still function for new
+	// requests once responses can be awaited... with a 1ns timeout every
+	// request times out, but the connection must not be corrupted: the
+	// pending map stays empty.
+	if _, err := coord.Retrieve(pm); err == nil {
+		t.Error("second nanosecond-timeout retrieve unexpectedly succeeded")
+	}
+	for _, dc := range coord.conns {
+		dc.mu.Lock()
+		n := len(dc.pending)
+		dc.mu.Unlock()
+		if n != 0 {
+			t.Errorf("pending map leaked %d entries", n)
+		}
+	}
+}

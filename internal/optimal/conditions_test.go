@@ -1,0 +1,156 @@
+package optimal
+
+import (
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+)
+
+// Pin the individual clauses of the §4.2 sufficient-condition summary.
+
+func fxWith(t *testing.T, sizes []int, m int, kinds []field.Kind) *decluster.FX {
+	t.Helper()
+	fs := decluster.MustFileSystem(sizes, m)
+	return decluster.MustFX(fs, field.WithKinds(kinds))
+}
+
+// Condition (1): k <= 1 is always certified, whatever the transforms.
+func TestConditionOneUnspecified(t *testing.T) {
+	fx := fxWith(t, []int{2, 2}, 16, []field.Kind{field.I, field.I})
+	if !FXSufficient(fx, nil) {
+		t.Error("k=0 not certified")
+	}
+	if !FXSufficient(fx, []int{1}) {
+		t.Error("k=1 not certified")
+	}
+}
+
+// Condition (2): any unspecified field of size >= M certifies the query.
+func TestConditionLargeField(t *testing.T) {
+	fx := fxWith(t, []int{2, 32, 2}, 16, []field.Kind{field.I, field.I, field.I})
+	if !FXSufficient(fx, []int{0, 1, 2}) {
+		t.Error("large unspecified field not certified")
+	}
+	if FXSufficient(fx, []int{0, 2}) {
+		t.Error("two same-method small fields wrongly certified")
+	}
+}
+
+// Condition (3): two small unspecified fields certify iff their methods
+// differ — and the IU1+IU2 pair does NOT count as different.
+func TestConditionPairMethods(t *testing.T) {
+	cases := []struct {
+		kinds []field.Kind
+		want  bool
+	}{
+		{[]field.Kind{field.I, field.U}, true},
+		{[]field.Kind{field.I, field.IU1}, true},
+		{[]field.Kind{field.U, field.IU1}, true},
+		{[]field.Kind{field.I, field.IU2}, true},
+		{[]field.Kind{field.U, field.IU2}, true},
+		{[]field.Kind{field.I, field.I}, false},
+		{[]field.Kind{field.U, field.U}, false},
+		{[]field.Kind{field.IU1, field.IU1}, false},
+		{[]field.Kind{field.IU1, field.IU2}, false}, // the §4.2 caveat
+	}
+	for _, c := range cases {
+		fx := fxWith(t, []int{2, 2}, 16, c.kinds)
+		if got := FXSufficient(fx, []int{0, 1}); got != c.want {
+			t.Errorf("kinds %v: certified=%v, want %v", c.kinds, got, c.want)
+		}
+	}
+}
+
+// Degenerate IU2 (F*F >= M) counts as IU1: pairing it with true IU1 must
+// not certify.
+func TestConditionDegenerateIU2CountsAsIU1(t *testing.T) {
+	// F=8, M=16: 64 >= 16, IU2 degenerates.
+	fx := fxWith(t, []int{8, 8}, 16, []field.Kind{field.IU1, field.IU2})
+	if FXSufficient(fx, []int{0, 1}) {
+		t.Error("IU1 + degenerate-IU2 pair wrongly certified")
+	}
+	// And it IS strict-optimal-equivalent to IU1+IU1 — the exact check
+	// agrees with the refusal or not; either way the predicate must be
+	// sound, which TestFXSufficientSoundness already sweeps.
+}
+
+// Condition (4)a / (5)a: a pair with product >= M and different methods.
+func TestConditionPairProduct(t *testing.T) {
+	// Three small fields, all same method: not certified.
+	same := fxWith(t, []int{8, 8, 8}, 32, []field.Kind{field.I, field.I, field.I})
+	if FXSufficient(same, []int{0, 1, 2}) {
+		t.Error("all-same-method triple wrongly certified")
+	}
+	// Same sizes, two different methods with product 64 >= 32: certified.
+	diff := fxWith(t, []int{8, 8, 8}, 32, []field.Kind{field.I, field.U, field.I})
+	if !FXSufficient(diff, []int{0, 1, 2}) {
+		t.Error("triple with qualifying pair not certified")
+	}
+	// Two different methods but product below M: not certified via (4)a...
+	small := fxWith(t, []int{2, 2, 2}, 32, []field.Kind{field.I, field.U, field.I})
+	if FXSufficient(small, []int{0, 1, 2}) {
+		t.Error("triple without qualifying pair or I/U/IU2 wrongly certified")
+	}
+}
+
+// Condition (4)b: an I, U, IU2 triple with F_IU2 >= F_U certifies even
+// when every pairwise product is below M.
+func TestConditionTripleIUIU2(t *testing.T) {
+	// M=512: pairwise products 8*8=64 < 512.
+	ok := fxWith(t, []int{8, 8, 8}, 512, []field.Kind{field.I, field.U, field.IU2})
+	if !FXSufficient(ok, []int{0, 1, 2}) {
+		t.Error("I/U/IU2 triple not certified")
+	}
+	// IU2 field smaller than U field: refused.
+	bad := fxWith(t, []int{8, 8, 2}, 512, []field.Kind{field.I, field.U, field.IU2})
+	if FXSufficient(bad, []int{0, 1, 2}) {
+		t.Error("I/U/IU2 with F_IU2 < F_U wrongly certified")
+	}
+}
+
+// Condition (5)b: with four or more unspecified fields the I/U/IU2 triple
+// must additionally cover the device count (product >= M).
+func TestConditionQuadProductRequirement(t *testing.T) {
+	// Triple product 8*8*8 = 512 >= 512: certified.
+	ok := fxWith(t, []int{8, 8, 8, 2}, 512,
+		[]field.Kind{field.I, field.U, field.IU2, field.I})
+	if !FXSufficient(ok, []int{0, 1, 2, 3}) {
+		t.Error("quad with covering I/U/IU2 triple not certified")
+	}
+	// Triple product 2*2*2 = 8 < 512: refused.
+	bad := fxWith(t, []int{2, 2, 2, 2}, 512,
+		[]field.Kind{field.I, field.U, field.IU2, field.I})
+	if FXSufficient(bad, []int{0, 1, 2, 3}) {
+		t.Error("quad with non-covering triple wrongly certified")
+	}
+}
+
+// Modulo's condition: only multiples of M (here: size >= M, powers of 2).
+func TestModuloConditionClauses(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{16, 8, 2}, 16)
+	if !ModuloSufficient(fs, nil) || !ModuloSufficient(fs, []int{2}) {
+		t.Error("k<=1 not certified")
+	}
+	if !ModuloSufficient(fs, []int{0, 2}) {
+		t.Error("unspecified multiple-of-M field not certified")
+	}
+	if ModuloSufficient(fs, []int{1, 2}) {
+		t.Error("two small fields wrongly certified")
+	}
+}
+
+// GDM with an odd multiplier on a field of size M permutes Z_M — a
+// property the GDM columns of Tables 7-9 implicitly rely on.
+func TestGDMOddMultiplierPermutes(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{16, 2}, 16)
+	g := decluster.MustGDM(fs, []int{11, 3})
+	seen := make([]bool, 16)
+	for v := 0; v < 16; v++ {
+		c := g.Contribution(0, v)
+		if seen[c] {
+			t.Fatalf("contribution %d repeated", c)
+		}
+		seen[c] = true
+	}
+}

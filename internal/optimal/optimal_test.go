@@ -1,0 +1,395 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/field"
+	"fxdist/internal/query"
+)
+
+func TestEachSubsetOfSizeCounts(t *testing.T) {
+	binom := func(n, k int) int {
+		if k < 0 || k > n {
+			return 0
+		}
+		r := 1
+		for i := 0; i < k; i++ {
+			r = r * (n - i) / (i + 1)
+		}
+		return r
+	}
+	for n := 0; n <= 8; n++ {
+		total := 0
+		for k := 0; k <= n; k++ {
+			count := 0
+			EachSubsetOfSize(n, k, func(s []int) {
+				if len(s) != k {
+					t.Fatalf("subset %v has size %d, want %d", s, len(s), k)
+				}
+				for i := 1; i < len(s); i++ {
+					if s[i] <= s[i-1] {
+						t.Fatalf("subset %v not strictly increasing", s)
+					}
+				}
+				count++
+			})
+			if count != binom(n, k) {
+				t.Fatalf("n=%d k=%d: %d subsets, want %d", n, k, count, binom(n, k))
+			}
+			total += count
+		}
+		allCount := 0
+		EachSubset(n, func([]int) { allCount++ })
+		if allCount != total || allCount != 1<<n {
+			t.Fatalf("n=%d: EachSubset visited %d, want %d", n, allCount, 1<<n)
+		}
+	}
+	EachSubsetOfSize(4, -1, func([]int) { t.Fatal("k=-1 visited") })
+	EachSubsetOfSize(4, 5, func([]int) { t.Fatal("k>n visited") })
+}
+
+// Theorem 1: Basic FX is always 0-optimal and 1-optimal.
+func TestTheorem1(t *testing.T) {
+	configs := []struct {
+		sizes []int
+		m     int
+	}{
+		{[]int{2, 8}, 4},
+		{[]int{2, 2, 2}, 16},
+		{[]int{4, 8, 16}, 8},
+		{[]int{2, 4, 8, 16}, 32},
+	}
+	for _, c := range configs {
+		fs := decluster.MustFileSystem(c.sizes, c.m)
+		fx, err := decluster.NewBasicFX(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !KOptimal(fx, 0) {
+			t.Errorf("sizes=%v m=%d: Basic FX not 0-optimal", c.sizes, c.m)
+		}
+		if !KOptimal(fx, 1) {
+			t.Errorf("sizes=%v m=%d: Basic FX not 1-optimal", c.sizes, c.m)
+		}
+	}
+}
+
+// Theorem 2: Basic FX is strict optimal for any query with >= 2
+// unspecified fields at least one of which has size >= M.
+func TestTheorem2(t *testing.T) {
+	configs := []struct {
+		sizes []int
+		m     int
+	}{
+		{[]int{2, 8}, 4},
+		{[]int{2, 16, 4}, 8},
+		{[]int{32, 2, 2, 4}, 16},
+	}
+	for _, c := range configs {
+		fs := decluster.MustFileSystem(c.sizes, c.m)
+		fx, err := decluster.NewBasicFX(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		EachSubset(fs.NumFields(), func(s []int) {
+			if len(s) < 2 {
+				return
+			}
+			hasLarge := false
+			for _, i := range s {
+				if fs.Sizes[i] >= fs.M {
+					hasLarge = true
+				}
+			}
+			if hasLarge && !StrictForSubset(fx, s) {
+				t.Errorf("sizes=%v m=%d: Basic FX not strict optimal for %v", c.sizes, c.m, s)
+			}
+		})
+	}
+}
+
+// Basic FX fails for two small unspecified fields (paper §4 motivating
+// example: f = (2,8), M = 16).
+func TestBasicFXFailsForTwoSmallFields(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 8}, 16)
+	fx, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StrictForSubset(fx, []int{0, 1}) {
+		t.Error("Basic FX unexpectedly optimal for two small unspecified fields")
+	}
+	// The §4 fix: U transformation on field 1 makes it perfect optimal.
+	fixed := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.U, field.I}))
+	if !PerfectOptimal(fixed) {
+		t.Error("FX with U on small field not perfect optimal")
+	}
+}
+
+// Theorems 4-8: for a file system with exactly two fields smaller than M,
+// FX with any two *different* transformation methods (excluding the
+// IU1+IU2 combination) is perfect optimal. Swept over field sizes and M.
+func TestPairwiseTheorems(t *testing.T) {
+	pairs := []struct {
+		name string
+		a, b field.Kind
+	}{
+		{"Theorem4 I+U", field.I, field.U},
+		{"Theorem5 I+IU1", field.I, field.IU1},
+		{"Theorem6 U+IU1", field.U, field.IU1},
+		{"Theorem7 I+IU2", field.I, field.IU2},
+		{"Theorem8 U+IU2", field.U, field.IU2},
+	}
+	for _, p := range pairs {
+		for mexp := 2; mexp <= 7; mexp++ {
+			m := 1 << mexp
+			for fa := 1; fa < mexp; fa++ {
+				for fb := 1; fb < mexp; fb++ {
+					fs := decluster.MustFileSystem([]int{1 << fa, 1 << fb}, m)
+					fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{p.a, p.b}))
+					if !PerfectOptimal(fx) {
+						t.Errorf("%s: sizes=(%d,%d) M=%d not perfect optimal",
+							p.name, 1<<fa, 1<<fb, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The pairwise theorems continue to hold with extra large fields present
+// (fields of size >= M never break optimality).
+func TestPairwiseTheoremsWithLargeField(t *testing.T) {
+	m := 16
+	for fa := 1; fa <= 3; fa++ {
+		for fb := 1; fb <= 3; fb++ {
+			fs := decluster.MustFileSystem([]int{1 << fa, 16, 1 << fb}, m)
+			fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.I, field.I, field.IU2}))
+			if !PerfectOptimal(fx) {
+				t.Errorf("sizes=(%d,16,%d) M=%d not perfect optimal", 1<<fa, 1<<fb, m)
+			}
+		}
+	}
+}
+
+// Theorem 9: with at most three fields smaller than M, the planner's
+// default assignment is perfect optimal — swept over sizes and M.
+func TestTheorem9(t *testing.T) {
+	for mexp := 2; mexp <= 6; mexp++ {
+		m := 1 << mexp
+		for fa := 1; fa < mexp; fa++ {
+			for fb := 1; fb < mexp; fb++ {
+				for fc := 1; fc < mexp; fc++ {
+					sizes := []int{1 << fa, 1 << fb, 1 << fc}
+					fs := decluster.MustFileSystem(sizes, m)
+					fx := decluster.MustFX(fs) // Auto => Theorem 9 ordering
+					if !PerfectOptimal(fx) {
+						t.Errorf("sizes=%v M=%d plan=%v not perfect optimal",
+							sizes, m, fx.Plan())
+					}
+				}
+			}
+		}
+	}
+}
+
+// Theorem 9 with a large field added: L is still 3, perfect optimality
+// must survive.
+func TestTheorem9WithLargeField(t *testing.T) {
+	m := 16
+	sizes := []int{4, 32, 2, 8}
+	fs := decluster.MustFileSystem(sizes, m)
+	fx := decluster.MustFX(fs)
+	if !PerfectOptimal(fx) {
+		t.Errorf("sizes=%v M=%d plan=%v not perfect optimal", sizes, m, fx.Plan())
+	}
+}
+
+// StrictForQuery is the query-level entry to StrictForSubset.
+func TestStrictForQuery(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U}))
+	md := decluster.NewModulo(fs)
+	q := query.All(2)
+	if !StrictForQuery(fx, q) {
+		t.Error("FX(I,U) not optimal for the whole-file query")
+	}
+	if StrictForQuery(md, q) {
+		t.Error("Modulo unexpectedly optimal for the whole-file query")
+	}
+}
+
+// FindWitness returns the smallest failing class, or nothing when perfect.
+func TestFindWitnessDirect(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 8}, 16)
+	basic, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := FindWitness(basic)
+	if !ok || len(w.Unspec) != 2 || w.MaxLoad <= w.Bound {
+		t.Errorf("witness = %+v, ok=%v", w, ok)
+	}
+	fixed := decluster.MustFX(fs)
+	if w, ok := FindWitness(fixed); ok {
+		t.Errorf("witness %+v on perfect optimal allocator", w)
+	}
+}
+
+// Regression: grids whose |R(q)| exceeds int64 (ten fields of size 512,
+// M=512, all unspecified: 512^10 buckets) must still get exact verdicts —
+// the uniform-histogram short-circuit avoids materialising the counts.
+func TestStrictForSubsetHugeGrid(t *testing.T) {
+	sizes := make([]int, 10)
+	for i := range sizes {
+		sizes[i] = 512
+	}
+	fs := decluster.MustFileSystem(sizes, 512)
+	md := decluster.NewModulo(fs)
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	if !StrictForSubset(md, all) {
+		t.Error("Modulo with all fields of size M unspecified must be optimal")
+	}
+	fx, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !StrictForSubset(fx, all) {
+		t.Error("Basic FX with all fields of size M unspecified must be optimal")
+	}
+}
+
+// Soundness of the §4.2 sufficient conditions: whenever FXSufficient says
+// "guaranteed", the exact verdict must agree. Randomized sweep over file
+// systems and plans, including systems with L >= 4 where FX is not always
+// optimal.
+func TestFXSufficientSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	kindsPool := []field.Kind{field.I, field.U, field.IU1, field.IU2}
+	for trial := 0; trial < 60; trial++ {
+		nf := 2 + r.Intn(4) // 2..5 fields
+		mexp := 2 + r.Intn(5)
+		m := 1 << mexp
+		sizes := make([]int, nf)
+		kinds := make([]field.Kind, nf)
+		for i := range sizes {
+			sizes[i] = 1 << (1 + r.Intn(mexp)) // may reach M
+			if sizes[i] >= m {
+				kinds[i] = field.I
+			} else {
+				kinds[i] = kindsPool[r.Intn(len(kindsPool))]
+			}
+		}
+		fs := decluster.MustFileSystem(sizes, m)
+		fx := decluster.MustFX(fs, field.WithKinds(kinds))
+		EachSubset(nf, func(s []int) {
+			if FXSufficient(fx, s) && !StrictForSubset(fx, s) {
+				t.Errorf("unsound: sizes=%v m=%d plan=%v subset=%v predicted optimal but is not",
+					sizes, m, fx.Plan(), s)
+			}
+		})
+	}
+}
+
+// Soundness of the Modulo sufficient condition.
+func TestModuloSufficientSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 60; trial++ {
+		nf := 2 + r.Intn(4)
+		mexp := 2 + r.Intn(4)
+		m := 1 << mexp
+		sizes := make([]int, nf)
+		for i := range sizes {
+			sizes[i] = 1 << (1 + r.Intn(mexp+1))
+		}
+		fs := decluster.MustFileSystem(sizes, m)
+		md := decluster.NewModulo(fs)
+		EachSubset(nf, func(s []int) {
+			if ModuloSufficient(fs, s) && !StrictForSubset(md, s) {
+				t.Errorf("unsound: sizes=%v m=%d subset=%v predicted optimal but is not",
+					sizes, m, s)
+			}
+		})
+	}
+}
+
+// §4.2 claim: with power-of-two sizes, the FX-optimal query class contains
+// the Modulo-optimal class. Verified with exact verdicts over a sweep.
+func TestFXSupersetOfModulo(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nf := 2 + r.Intn(3)
+		mexp := 2 + r.Intn(4)
+		m := 1 << mexp
+		sizes := make([]int, nf)
+		for i := range sizes {
+			sizes[i] = 1 << (1 + r.Intn(mexp+1))
+		}
+		fs := decluster.MustFileSystem(sizes, m)
+		fx := decluster.MustFX(fs)
+		md := decluster.NewModulo(fs)
+		EachSubset(nf, func(s []int) {
+			if StrictForSubset(md, s) && !StrictForSubset(fx, s) {
+				t.Errorf("sizes=%v m=%d subset=%v: Modulo optimal but FX (plan %v) is not",
+					sizes, m, s, fx.Plan())
+			}
+		})
+	}
+}
+
+// Predicate-level superset holds by construction: ModuloSufficient implies
+// FXSufficient for any plan (both conditions reduce to a large unspecified
+// field or k <= 1).
+func TestPredicateSuperset(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 4, 16, 8}, 16)
+	fx := decluster.MustFX(fs)
+	EachSubset(4, func(s []int) {
+		if ModuloSufficient(fs, s) && !FXSufficient(fx, s) {
+			t.Errorf("subset %v: Modulo sufficient but FX not", s)
+		}
+	})
+}
+
+// Table 2's file system: FX(I,U) perfect optimal, Modulo is not 2-optimal.
+func TestTable2Optimality(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{4, 4}, 16)
+	fx := decluster.MustFX(fs, field.WithKinds([]field.Kind{field.I, field.U}))
+	if !PerfectOptimal(fx) {
+		t.Error("FX(I,U) not perfect optimal on Table 2 file system")
+	}
+	md := decluster.NewModulo(fs)
+	if KOptimal(md, 2) {
+		t.Error("Modulo unexpectedly 2-optimal on Table 2 file system")
+	}
+	if !KOptimal(md, 0) || !KOptimal(md, 1) {
+		t.Error("Modulo should be 0- and 1-optimal")
+	}
+}
+
+// Sung's impossibility context (§4.2): with L >= 4 no method is always
+// perfect optimal; verify FX indeed fails somewhere for an L=4 system but
+// the failing subsets are exactly those FXSufficient declines to certify.
+func TestL4NotAlwaysOptimal(t *testing.T) {
+	fs := decluster.MustFileSystem([]int{2, 2, 2, 2}, 16)
+	fx := decluster.MustFX(fs, field.WithStrategy(field.RoundRobin))
+	if PerfectOptimal(fx) {
+		t.Skip("this particular L=4 system happens to be perfect optimal")
+	}
+	foundFailure := false
+	EachSubset(4, func(s []int) {
+		if !StrictForSubset(fx, s) {
+			foundFailure = true
+			if FXSufficient(fx, s) {
+				t.Errorf("subset %v fails but predicate certified it", s)
+			}
+		}
+	})
+	if !foundFailure {
+		t.Error("PerfectOptimal false but no failing subset found")
+	}
+}

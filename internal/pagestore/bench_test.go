@@ -1,0 +1,77 @@
+package pagestore
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fxdist/internal/mkhash"
+)
+
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, err := Open(filepath.Join(b.TempDir(), "bench.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+func BenchmarkAppend(b *testing.B) {
+	s := benchStore(b)
+	rec := mkhash.Record{"part-1234", "supplier-56", "warehouse-7", "active"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(uint32(i%256), rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	s := benchStore(b)
+	for i := 0; i < 4096; i++ {
+		if err := s.Append(uint32(i%16), mkhash.Record{fmt.Sprintf("v%d", i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := s.Scan(uint32(i%16), func(mkhash.Record) error {
+			n++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if n != 256 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkOpenRecovery(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "recover.log")
+	s, err := Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		if err := s.Append(uint32(i%64), mkhash.Record{fmt.Sprintf("v%d", i), "x", "y"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s2, err := Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s2.Len() != 20000 {
+			b.Fatalf("Len = %d", s2.Len())
+		}
+		s2.Close()
+	}
+}

@@ -1,0 +1,381 @@
+// Package pagestore is a durable per-device bucket store: the on-disk
+// "local device" under the paper's data-distribution layer. Each parallel
+// device persists its bucket partition in one log-structured file —
+// CRC-framed appends, an in-memory bucket index rebuilt on open, and
+// torn-tail recovery — so a simulated device cluster can survive restarts
+// and the retrieval path can exercise real I/O.
+//
+// On-disk format (little endian), per frame:
+//
+//	[4] crc32(IEEE) of everything after this field
+//	[4] bucket id
+//	[4] payload length
+//	[n] payload: one kind byte (put or tombstone), then the record's
+//	    fields as length-prefixed strings
+//
+// A put frame stores a record; a tombstone deletes every equal record
+// previously stored in the bucket. A frame whose CRC does not match — a
+// torn write from a crash — ends the valid prefix; Open truncates the
+// file there and continues. Frames are append-only; Sync makes them
+// durable; Compact rewrites the log with only live put frames.
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"fxdist/internal/mkhash"
+)
+
+const frameHeaderSize = 12 // crc + bucket id + payload length
+
+// Frame kinds (first payload byte).
+const (
+	kindPut       byte = 1
+	kindTombstone byte = 2
+)
+
+// maxPayload guards against reading a corrupt length and allocating
+// gigabytes.
+const maxPayload = 16 << 20
+
+// Store is one device's durable bucket store.
+type Store struct {
+	f    *os.File
+	path string
+	// index maps bucket id to the file offsets of its record frames.
+	index map[uint32][]int64
+	// size is the validated file length (append position).
+	size int64
+	// records counts stored records.
+	records int
+}
+
+// Open opens or creates the store at path, rebuilding the bucket index by
+// scanning the log. A torn final frame (crash during append) is detected
+// by CRC and truncated away.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{f: f, path: path, index: make(map[uint32][]int64)}
+	if err := s.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans the log, indexing valid frames and truncating at the
+// first invalid one.
+func (s *Store) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	fileSize := info.Size()
+	var off int64
+	header := make([]byte, frameHeaderSize)
+	for off+frameHeaderSize <= fileSize {
+		if _, err := s.f.ReadAt(header, off); err != nil {
+			return err
+		}
+		crc := binary.LittleEndian.Uint32(header[0:4])
+		bucket := binary.LittleEndian.Uint32(header[4:8])
+		plen := binary.LittleEndian.Uint32(header[8:12])
+		if plen > maxPayload || off+frameHeaderSize+int64(plen) > fileSize {
+			break // torn or corrupt tail
+		}
+		payload := make([]byte, plen)
+		if _, err := s.f.ReadAt(payload, off+frameHeaderSize); err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(append(header[4:12:12], payload...)) != crc {
+			break // corrupt frame: end of valid prefix
+		}
+		if plen == 0 {
+			break // frames always carry a kind byte
+		}
+		switch payload[0] {
+		case kindPut:
+			s.index[bucket] = append(s.index[bucket], off)
+			s.records++
+		case kindTombstone:
+			rec, err := decodeRecord(payload[1:])
+			if err != nil {
+				return fmt.Errorf("pagestore: corrupt tombstone at offset %d: %w", off, err)
+			}
+			if err := s.dropFromIndex(bucket, rec); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pagestore: unknown frame kind %d at offset %d", payload[0], off)
+		}
+		off += frameHeaderSize + int64(plen)
+	}
+	if off < fileSize {
+		if err := s.f.Truncate(off); err != nil {
+			return err
+		}
+	}
+	s.size = off
+	return nil
+}
+
+// Path returns the store's file path.
+func (s *Store) Path() string { return s.path }
+
+// Len returns the number of stored records.
+func (s *Store) Len() int { return s.records }
+
+// Buckets returns the number of non-empty buckets.
+func (s *Store) Buckets() int { return len(s.index) }
+
+// appendFrame writes one frame and returns its offset.
+func (s *Store) appendFrame(kind byte, bucket uint32, rec mkhash.Record) (int64, error) {
+	body := encodeRecord(rec)
+	payload := make([]byte, 0, 1+len(body))
+	payload = append(payload, kind)
+	payload = append(payload, body...)
+	if len(payload) > maxPayload {
+		return 0, fmt.Errorf("pagestore: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(frame[4:8], bucket)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
+	copy(frame[frameHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(frame[0:4], crc32.ChecksumIEEE(frame[4:]))
+	off := s.size
+	if _, err := s.f.WriteAt(frame, off); err != nil {
+		return 0, err
+	}
+	s.size += int64(len(frame))
+	return off, nil
+}
+
+// Append stores one record in the given bucket. The write is buffered by
+// the OS until Sync.
+func (s *Store) Append(bucket uint32, rec mkhash.Record) error {
+	off, err := s.appendFrame(kindPut, bucket, rec)
+	if err != nil {
+		return err
+	}
+	s.index[bucket] = append(s.index[bucket], off)
+	s.records++
+	return nil
+}
+
+// recordsEqual compares two records field-wise.
+func recordsEqual(a, b mkhash.Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dropFromIndex removes every live offset in the bucket whose stored
+// record equals rec, decrementing the record count.
+func (s *Store) dropFromIndex(bucket uint32, rec mkhash.Record) error {
+	offs := s.index[bucket]
+	kept := offs[:0]
+	for _, off := range offs {
+		stored, _, err := s.readFrame(off)
+		if err != nil {
+			return err
+		}
+		if recordsEqual(stored, rec) {
+			s.records--
+			continue
+		}
+		kept = append(kept, off)
+	}
+	if len(kept) == 0 {
+		delete(s.index, bucket)
+	} else {
+		s.index[bucket] = kept
+	}
+	return nil
+}
+
+// Delete removes every record equal to rec from the bucket, returning the
+// number removed. A tombstone frame is appended so the deletion survives
+// restarts; deleting a record that is not present writes nothing.
+func (s *Store) Delete(bucket uint32, rec mkhash.Record) (int, error) {
+	matches := 0
+	for _, off := range s.index[bucket] {
+		stored, _, err := s.readFrame(off)
+		if err != nil {
+			return 0, err
+		}
+		if recordsEqual(stored, rec) {
+			matches++
+		}
+	}
+	if matches == 0 {
+		return 0, nil
+	}
+	if _, err := s.appendFrame(kindTombstone, bucket, rec); err != nil {
+		return 0, err
+	}
+	if err := s.dropFromIndex(bucket, rec); err != nil {
+		return 0, err
+	}
+	return matches, nil
+}
+
+// Compact rewrites the log with only live put frames (dropping tombstones
+// and deleted records), fsyncs it, and atomically replaces the old file.
+// Scan order within each bucket is preserved.
+func (s *Store) Compact() error {
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath)
+	next := &Store{f: tmp, path: s.path, index: make(map[uint32][]int64)}
+	for bucket, offs := range s.index {
+		for _, off := range offs {
+			rec, _, err := s.readFrame(off)
+			if err != nil {
+				tmp.Close()
+				return err
+			}
+			if err := next.Append(bucket, rec); err != nil {
+				tmp.Close()
+				return err
+			}
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := s.f
+	s.f = tmp
+	s.index = next.index
+	s.size = next.size
+	s.records = next.records
+	return old.Close()
+}
+
+// Scan calls fn for every record in the bucket, in append order.
+func (s *Store) Scan(bucket uint32, fn func(rec mkhash.Record) error) error {
+	for _, off := range s.index[bucket] {
+		rec, _, err := s.readFrame(off)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EachBucket calls fn for every non-empty bucket id.
+func (s *Store) EachBucket(fn func(bucket uint32) error) error {
+	for b := range s.index {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Store) readFrame(off int64) (mkhash.Record, int64, error) {
+	header := make([]byte, frameHeaderSize)
+	if _, err := s.f.ReadAt(header, off); err != nil {
+		return nil, 0, err
+	}
+	plen := binary.LittleEndian.Uint32(header[8:12])
+	if plen == 0 {
+		return nil, 0, fmt.Errorf("pagestore: empty frame at offset %d", off)
+	}
+	payload := make([]byte, plen)
+	if _, err := s.f.ReadAt(payload, off+frameHeaderSize); err != nil {
+		return nil, 0, err
+	}
+	rec, err := decodeRecord(payload[1:]) // skip the kind byte
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, off + frameHeaderSize + int64(plen), nil
+}
+
+// Sync flushes appended frames to stable storage.
+func (s *Store) Sync() error { return s.f.Sync() }
+
+// Close syncs and closes the store.
+func (s *Store) Close() error {
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// encodeRecord serialises a record as a field count followed by
+// length-prefixed field values.
+func encodeRecord(rec mkhash.Record) []byte {
+	n := binary.MaxVarintLen64
+	for _, v := range rec {
+		n += binary.MaxVarintLen64 + len(v)
+	}
+	buf := make([]byte, 0, n)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
+	}
+	put(uint64(len(rec)))
+	for _, v := range rec {
+		put(uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func decodeRecord(payload []byte) (mkhash.Record, error) {
+	rd := payload
+	take := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	count, err := take()
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: corrupt record header")
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("pagestore: implausible field count %d", count)
+	}
+	rec := make(mkhash.Record, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, err := take()
+		if err != nil || uint64(len(rd)) < l {
+			return nil, fmt.Errorf("pagestore: corrupt field length")
+		}
+		rec = append(rec, string(rd[:l]))
+		rd = rd[l:]
+	}
+	if len(rd) != 0 {
+		return nil, fmt.Errorf("pagestore: %d trailing bytes in record frame", len(rd))
+	}
+	return rec, nil
+}

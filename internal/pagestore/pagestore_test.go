@@ -1,0 +1,250 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fxdist/internal/mkhash"
+)
+
+func tempStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "dev0.log")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func collect(t *testing.T, s *Store, bucket uint32) []mkhash.Record {
+	t.Helper()
+	var out []mkhash.Record
+	if err := s.Scan(bucket, func(r mkhash.Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	recs := []mkhash.Record{
+		{"a", "b", "c"},
+		{"", "empty first field ok", ""},
+		{"unicode ✓", "tab\tand\nnewline", "x"},
+	}
+	for _, r := range recs {
+		if err := s.Append(7, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Append(9, mkhash.Record{"other", "bucket", "z"}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s, 7)
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("scan = %v, want %v", got, recs)
+	}
+	if len(collect(t, s, 9)) != 1 || len(collect(t, s, 8)) != 0 {
+		t.Error("bucket isolation broken")
+	}
+	if s.Len() != 4 || s.Buckets() != 2 {
+		t.Errorf("Len=%d Buckets=%d", s.Len(), s.Buckets())
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 100; i++ {
+		if err := s.Append(uint32(i%10), mkhash.Record{fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 100 || s2.Buckets() != 10 {
+		t.Fatalf("after reopen Len=%d Buckets=%d", s2.Len(), s2.Buckets())
+	}
+	got := collect(t, s2, 3)
+	if len(got) != 10 || got[0][0] != "v3" || got[9][0] != "v93" {
+		t.Errorf("bucket 3 after reopen = %v", got)
+	}
+}
+
+// A torn tail (crash mid-append) must be truncated away on open, keeping
+// every fully written frame.
+func TestTornTailRecovery(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 20; i++ {
+		if err := s.Append(1, mkhash.Record{fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop 3 bytes off the final frame.
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 19 {
+		t.Fatalf("after torn-tail recovery Len=%d, want 19", s2.Len())
+	}
+	// The file must have been truncated to the valid prefix so appends
+	// continue cleanly.
+	if err := s2.Append(1, mkhash.Record{"post-crash"}); err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, s2, 1)
+	if got[len(got)-1][0] != "post-crash" || got[18][0] != "v18" {
+		t.Errorf("post-recovery contents wrong: %v", got[len(got)-2:])
+	}
+}
+
+// A bit flip in a frame body must cut the log at that frame (CRC
+// mismatch), not return corrupt data.
+func TestCorruptFrameDetected(t *testing.T) {
+	s, path := tempStore(t)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(1, mkhash.Record{fmt.Sprintf("value-%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the 6th frame's payload.
+	frameLen := len(raw) / 10
+	raw[5*frameLen+frameHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("after corruption Len=%d, want 5 (valid prefix)", s2.Len())
+	}
+}
+
+// A frame announcing an absurd length must not cause a huge allocation.
+func TestImplausibleLengthRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "evil.log")
+	frame := make([]byte, frameHeaderSize)
+	binary.LittleEndian.PutUint32(frame[8:12], 0xFFFFFFF0)
+	if err := os.WriteFile(path, frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestEachBucket(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	for i := 0; i < 30; i++ {
+		s.Append(uint32(i%3), mkhash.Record{"x"})
+	}
+	seen := map[uint32]bool{}
+	if err := s.EachBucket(func(b uint32) error {
+		seen[b] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Errorf("EachBucket visited %v", seen)
+	}
+	wantErr := fmt.Errorf("stop")
+	if err := s.EachBucket(func(uint32) error { return wantErr }); err != wantErr {
+		t.Error("EachBucket did not propagate the callback error")
+	}
+}
+
+func TestScanPropagatesCallbackError(t *testing.T) {
+	s, _ := tempStore(t)
+	defer s.Close()
+	s.Append(0, mkhash.Record{"a"})
+	wantErr := fmt.Errorf("stop")
+	if err := s.Scan(0, func(mkhash.Record) error { return wantErr }); err != wantErr {
+		t.Error("Scan did not propagate the callback error")
+	}
+}
+
+// Record codec round-trips arbitrary field values, including empty and
+// binary-looking strings.
+func TestRecordCodecProperty(t *testing.T) {
+	f := func(fields []string) bool {
+		rec := mkhash.Record(fields)
+		decoded, err := decodeRecord(encodeRecord(rec))
+		if err != nil {
+			return false
+		}
+		if len(decoded) != len(rec) {
+			return false
+		}
+		for i := range rec {
+			if decoded[i] != rec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodeRecord([]byte{}); err == nil {
+		t.Error("empty payload accepted")
+	}
+	// Field length exceeding payload.
+	bad := []byte{1, 200, 1}
+	if _, err := decodeRecord(bad); err == nil {
+		t.Error("overlong field accepted")
+	}
+	// Trailing bytes.
+	good := encodeRecord(mkhash.Record{"a"})
+	if _, err := decodeRecord(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestOpenFailsOnDirectory(t *testing.T) {
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open on a directory succeeded")
+	}
+}

@@ -1,0 +1,16 @@
+package persist
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// Test-only helpers to manipulate raw snapshots.
+
+func decodeInto(r io.Reader, snap *snapshot) error {
+	return gob.NewDecoder(r).Decode(snap)
+}
+
+func encodeFrom(w io.Writer, snap *snapshot) error {
+	return gob.NewEncoder(w).Encode(snap)
+}

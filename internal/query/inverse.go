@@ -1,0 +1,120 @@
+package query
+
+import (
+	"fxdist/internal/decluster"
+)
+
+// InverseMapper answers the per-device question of the paper's §4.2: which
+// qualified buckets of a query reside on one given device? Each parallel
+// device runs this locally, so it must not scan the whole grid. For group
+// allocators the device equation
+//
+//	c_1(J_1) · ... · c_n(J_n) = dev        (in (Z_M, op))
+//
+// can be solved for the last unspecified field: fix values for all but one
+// unspecified field, compute the contribution the remaining field must
+// supply, and look it up in a per-field reverse index. The enumeration
+// cost is |R(q)| / F_last * (average preimage size), independent of the
+// total grid size.
+type InverseMapper struct {
+	a decluster.GroupAllocator
+	// reverse[i][c] lists the values v of field i with Contribution(i,v)=c.
+	reverse [][][]int
+}
+
+// NewInverseMapper precomputes reverse contribution indexes for a.
+func NewInverseMapper(a decluster.GroupAllocator) *InverseMapper {
+	fs := a.FileSystem()
+	rev := make([][][]int, fs.NumFields())
+	for i, f := range fs.Sizes {
+		r := make([][]int, fs.M)
+		for v := 0; v < f; v++ {
+			c := a.Contribution(i, v)
+			r[c] = append(r[c], v)
+		}
+		rev[i] = r
+	}
+	return &InverseMapper{a: a, reverse: rev}
+}
+
+// Allocator returns the allocator the mapper was built for.
+func (im *InverseMapper) Allocator() decluster.GroupAllocator { return im.a }
+
+// EachOnDevice calls fn for every bucket of R(q) that the allocator places
+// on device dev. The slice passed to fn is reused; copy to retain. Buckets
+// are produced in row-major order over all unspecified fields except the
+// solved one.
+func (im *InverseMapper) EachOnDevice(q Query, dev int, fn func(bucket []int)) {
+	fs := im.a.FileSystem()
+	if err := q.Validate(fs); err != nil {
+		panic(err)
+	}
+	g := im.a.Op()
+
+	// Fold the specified contributions into h.
+	h := 0
+	for i, v := range q.Spec {
+		if v != Unspecified {
+			h = g.Combine(h, im.a.Contribution(i, v), fs.M)
+		}
+	}
+
+	unspec := q.UnspecifiedFields()
+	if len(unspec) == 0 {
+		if h == dev {
+			fn(append([]int(nil), q.Spec...))
+		}
+		return
+	}
+
+	// Solve for the largest unspecified field: it has the biggest domain,
+	// so removing it from the enumeration saves the most work.
+	solveIdx := 0
+	for j, i := range unspec {
+		if fs.Sizes[i] > fs.Sizes[unspec[solveIdx]] {
+			solveIdx = j
+		}
+	}
+	solved := unspec[solveIdx]
+	rest := make([]int, 0, len(unspec)-1)
+	rest = append(rest, unspec[:solveIdx]...)
+	rest = append(rest, unspec[solveIdx+1:]...)
+
+	b := make([]int, len(q.Spec))
+	copy(b, q.Spec)
+
+	var rec func(j, acc int)
+	rec = func(j, acc int) {
+		if j == len(rest) {
+			// Need contribution c with acc · c = dev, i.e. c = acc⁻¹ · dev.
+			c := g.Combine(g.Invert(acc, fs.M), dev, fs.M)
+			for _, v := range im.reverse[solved][c] {
+				b[solved] = v
+				fn(b)
+			}
+			return
+		}
+		i := rest[j]
+		for v := 0; v < fs.Sizes[i]; v++ {
+			b[i] = v
+			rec(j+1, g.Combine(acc, im.a.Contribution(i, v), fs.M))
+		}
+	}
+	rec(0, h)
+}
+
+// OnDevice returns the buckets of R(q) on device dev as copied slices.
+func (im *InverseMapper) OnDevice(q Query, dev int) [][]int {
+	var out [][]int
+	im.EachOnDevice(q, dev, func(b []int) {
+		out = append(out, append([]int(nil), b...))
+	})
+	return out
+}
+
+// CountOnDevice returns r_dev(q) without materialising buckets.
+func (im *InverseMapper) CountOnDevice(q Query, dev int) int {
+	n := 0
+	im.EachOnDevice(q, dev, func([]int) { n++ })
+	return n
+}

@@ -1,0 +1,172 @@
+// Package rebalance plans the data movement caused by dynamic file
+// growth. When a multi-key hashed file doubles one field's directory
+// (extendible-hashing style: one more hash bit revealed), every old
+// bucket splits into two children — the child with the new bit clear
+// keeps the parent's cell, the other takes cell v + F_old. A declustering
+// allocator maps the children independently, so roughly half of each
+// bucket's records may land on a different device and must move across
+// the interconnect.
+//
+// The paper leaves growth to its dynamic-hashing citations; this package
+// quantifies what each allocation method costs under it, which matters
+// when choosing a method for a file that grows in place.
+package rebalance
+
+import (
+	"fmt"
+
+	"fxdist/internal/decluster"
+)
+
+// GrowthPlan reports the device movement caused by doubling one field.
+type GrowthPlan struct {
+	// Field is the grown field's index.
+	Field int
+	// Total is the number of buckets in the new (doubled) grid.
+	Total int
+	// Stayed counts new buckets placed on the same device as their parent
+	// bucket; Moved counts the rest. Stayed + Moved == Total.
+	Stayed, Moved int
+	// PerDeviceIn[d] counts new buckets moving onto device d from
+	// elsewhere; PerDeviceOut[d] counts children leaving the device of
+	// their parent d.
+	PerDeviceIn, PerDeviceOut []int
+}
+
+// MoveFraction returns Moved / Total.
+func (p GrowthPlan) MoveFraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Moved) / float64(p.Total)
+}
+
+// PlanGrowth compares bucket placement before and after doubling field g.
+// oldAlloc must be built for the pre-growth sizes and newAlloc for the
+// post-growth sizes (identical except field g doubled); both must share M.
+func PlanGrowth(oldAlloc, newAlloc decluster.GroupAllocator, g int) (GrowthPlan, error) {
+	oldFS, newFS := oldAlloc.FileSystem(), newAlloc.FileSystem()
+	if oldFS.NumFields() != newFS.NumFields() {
+		return GrowthPlan{}, fmt.Errorf("rebalance: field counts differ (%d vs %d)", oldFS.NumFields(), newFS.NumFields())
+	}
+	if g < 0 || g >= oldFS.NumFields() {
+		return GrowthPlan{}, fmt.Errorf("rebalance: grown field %d out of range", g)
+	}
+	if oldFS.M != newFS.M {
+		return GrowthPlan{}, fmt.Errorf("rebalance: device counts differ (%d vs %d)", oldFS.M, newFS.M)
+	}
+	for i := range oldFS.Sizes {
+		want := oldFS.Sizes[i]
+		if i == g {
+			want *= 2
+		}
+		if newFS.Sizes[i] != want {
+			return GrowthPlan{}, fmt.Errorf("rebalance: field %d sized %d after growth, want %d", i, newFS.Sizes[i], want)
+		}
+	}
+
+	plan := GrowthPlan{
+		Field:        g,
+		Total:        newFS.NumBuckets(),
+		PerDeviceIn:  make([]int, newFS.M),
+		PerDeviceOut: make([]int, newFS.M),
+	}
+	parent := make([]int, newFS.NumFields())
+	newFS.EachBucket(func(b []int) {
+		copy(parent, b)
+		parent[g] = b[g] % oldFS.Sizes[g] // drop the revealed bit
+		from := oldAlloc.Device(parent)
+		to := newAlloc.Device(b)
+		if from == to {
+			plan.Stayed++
+		} else {
+			plan.Moved++
+			plan.PerDeviceOut[from]++
+			plan.PerDeviceIn[to]++
+		}
+	})
+	return plan, nil
+}
+
+// MigrationPlan reports the bucket movement of switching allocation
+// methods on the same file system — e.g. re-declustering a Modulo file to
+// FX after a workload shift, or adopting a better transform assignment
+// found by plan search.
+type MigrationPlan struct {
+	Total, Moved int
+	PerDeviceIn  []int
+	PerDeviceOut []int
+}
+
+// MoveFraction returns Moved / Total.
+func (p MigrationPlan) MoveFraction() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Moved) / float64(p.Total)
+}
+
+// PlanMigration compares bucket placement under two allocators over the
+// same file system.
+func PlanMigration(from, to decluster.Allocator) (MigrationPlan, error) {
+	ffs, tfs := from.FileSystem(), to.FileSystem()
+	if ffs.NumFields() != tfs.NumFields() || ffs.M != tfs.M {
+		return MigrationPlan{}, fmt.Errorf("rebalance: allocators cover different systems")
+	}
+	for i := range ffs.Sizes {
+		if ffs.Sizes[i] != tfs.Sizes[i] {
+			return MigrationPlan{}, fmt.Errorf("rebalance: field %d sized %d vs %d", i, ffs.Sizes[i], tfs.Sizes[i])
+		}
+	}
+	plan := MigrationPlan{
+		Total:        ffs.NumBuckets(),
+		PerDeviceIn:  make([]int, ffs.M),
+		PerDeviceOut: make([]int, ffs.M),
+	}
+	ffs.EachBucket(func(b []int) {
+		src, dst := from.Device(b), to.Device(b)
+		if src != dst {
+			plan.Moved++
+			plan.PerDeviceOut[src]++
+			plan.PerDeviceIn[dst]++
+		}
+	})
+	return plan, nil
+}
+
+// GrowthSeries doubles field g repeatedly (steps times), rebuilding the
+// allocator with build for each size vector, and returns the per-step
+// plans. build receives the post-growth file system.
+func GrowthSeries(sizes []int, m, g, steps int,
+	build func(fs decluster.FileSystem) (decluster.GroupAllocator, error)) ([]GrowthPlan, error) {
+
+	cur := append([]int(nil), sizes...)
+	curFS, err := decluster.NewFileSystem(cur, m)
+	if err != nil {
+		return nil, err
+	}
+	curAlloc, err := build(curFS)
+	if err != nil {
+		return nil, err
+	}
+	plans := make([]GrowthPlan, 0, steps)
+	for s := 0; s < steps; s++ {
+		next := append([]int(nil), cur...)
+		next[g] *= 2
+		nextFS, err := decluster.NewFileSystem(next, m)
+		if err != nil {
+			return nil, err
+		}
+		nextAlloc, err := build(nextFS)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := PlanGrowth(curAlloc, nextAlloc, g)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, plan)
+		cur, curAlloc = next, nextAlloc
+	}
+	return plans, nil
+}

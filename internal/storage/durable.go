@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/pagestore"
+	"fxdist/internal/persist"
+	"fxdist/internal/query"
+)
+
+// DurableCluster is the disk-backed counterpart of Cluster: every device
+// persists its bucket partition in a crash-safe pagestore log, and the
+// cluster's schema and allocator spec live in a metadata snapshot, so the
+// whole deployment survives restarts via OpenDurable.
+//
+// Layout under dir:
+//
+//	meta.snap        schema + allocator spec (package persist format)
+//	device-NNNN.log  one pagestore log per device
+type DurableCluster struct {
+	dir    string
+	fs     decluster.FileSystem
+	alloc  decluster.GroupAllocator
+	im     *query.InverseMapper
+	model  CostModel
+	schema *mkhash.File // schema-only file used to hash queries
+	stores []*pagestore.Store
+}
+
+const metaName = "meta.snap"
+
+func devicePath(dir string, dev int) string {
+	return filepath.Join(dir, fmt.Sprintf("device-%04d.log", dev))
+}
+
+// CreateDurable materialises file's buckets as per-device logs under dir
+// (which must exist and be empty of cluster files) and writes the
+// metadata snapshot. The allocator must match the file's directory sizes.
+func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*DurableCluster, error) {
+	fs := alloc.FileSystem()
+	sizes := file.Sizes()
+	if len(sizes) != fs.NumFields() {
+		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
+	}
+	for i, f := range sizes {
+		if fs.Sizes[i] != f {
+			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaName)); err == nil {
+		return nil, fmt.Errorf("storage: %s already holds a durable cluster", dir)
+	}
+
+	// Metadata: a schema-only snapshot plus the allocator spec.
+	schemaOnly, err := mkhash.New(mkhash.Schema{Fields: file.Schema().Fields, Depths: file.Depths()})
+	if err != nil {
+		return nil, err
+	}
+	if err := persist.SaveFile(filepath.Join(dir, metaName), schemaOnly, alloc); err != nil {
+		return nil, err
+	}
+
+	c := &DurableCluster{
+		dir:    dir,
+		fs:     fs,
+		alloc:  alloc,
+		im:     query.NewInverseMapper(alloc),
+		model:  model,
+		schema: schemaOnly,
+		stores: make([]*pagestore.Store, fs.M),
+	}
+	for dev := range c.stores {
+		s, err := pagestore.Open(devicePath(dir, dev))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.stores[dev] = s
+	}
+	var insertErr error
+	file.EachBucket(func(coords []int, records []mkhash.Record) {
+		if insertErr != nil {
+			return
+		}
+		dev := alloc.Device(coords)
+		bucket := uint32(fs.Linear(coords))
+		for _, r := range records {
+			if err := c.stores[dev].Append(bucket, r); err != nil {
+				insertErr = err
+				return
+			}
+		}
+	})
+	if insertErr != nil {
+		c.Close()
+		return nil, insertErr
+	}
+	if err := c.Sync(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// OpenDurable reopens a durable cluster created by CreateDurable. Files
+// built with custom field hashes must pass the same WithHash options.
+func OpenDurable(dir string, model CostModel, opts ...mkhash.Option) (*DurableCluster, error) {
+	schemaOnly, alloc, err := persist.LoadFile(filepath.Join(dir, metaName), opts...)
+	if err != nil {
+		return nil, err
+	}
+	if alloc == nil {
+		return nil, fmt.Errorf("storage: %s metadata carries no allocator spec", dir)
+	}
+	fs := alloc.FileSystem()
+	c := &DurableCluster{
+		dir:    dir,
+		fs:     fs,
+		alloc:  alloc,
+		im:     query.NewInverseMapper(alloc),
+		model:  model,
+		schema: schemaOnly,
+		stores: make([]*pagestore.Store, fs.M),
+	}
+	for dev := range c.stores {
+		s, err := pagestore.Open(devicePath(dir, dev))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.stores[dev] = s
+	}
+	return c, nil
+}
+
+// Allocator returns the declustering method in use.
+func (c *DurableCluster) Allocator() decluster.GroupAllocator { return c.alloc }
+
+// Spec builds a value-level partial match query against the cluster's
+// schema: pairs of (field name, value); unmentioned fields are
+// unspecified.
+func (c *DurableCluster) Spec(pairs map[string]string) (mkhash.PartialMatch, error) {
+	return c.schema.Spec(pairs)
+}
+
+// Fields returns the schema's field names.
+func (c *DurableCluster) Fields() []string {
+	return append([]string(nil), c.schema.Schema().Fields...)
+}
+
+// M returns the device count.
+func (c *DurableCluster) M() int { return c.fs.M }
+
+// Len returns the total stored record count across devices.
+func (c *DurableCluster) Len() int {
+	n := 0
+	for _, s := range c.stores {
+		if s != nil {
+			n += s.Len()
+		}
+	}
+	return n
+}
+
+// Insert routes one record to its device log. Call Sync to make a batch
+// durable.
+func (c *DurableCluster) Insert(r mkhash.Record) error {
+	coords, err := c.schema.BucketOf(r)
+	if err != nil {
+		return err
+	}
+	dev := c.alloc.Device(coords)
+	return c.stores[dev].Append(uint32(c.fs.Linear(coords)), r)
+}
+
+// Delete removes every stored record equal to r from its device log
+// (tombstoned, so the deletion survives restarts) and returns the number
+// removed.
+func (c *DurableCluster) Delete(r mkhash.Record) (int, error) {
+	coords, err := c.schema.BucketOf(r)
+	if err != nil {
+		return 0, err
+	}
+	dev := c.alloc.Device(coords)
+	return c.stores[dev].Delete(uint32(c.fs.Linear(coords)), r)
+}
+
+// Compact rewrites every device log with only live records.
+func (c *DurableCluster) Compact() error {
+	for dev, s := range c.stores {
+		if s == nil {
+			continue
+		}
+		if err := s.Compact(); err != nil {
+			return fmt.Errorf("storage: compact device %d: %w", dev, err)
+		}
+	}
+	return nil
+}
+
+// BulkInsert loads a batch of records concurrently: records are
+// partitioned by target device, then each device's partition is appended
+// by its own goroutine (one writer per store, so no locking), followed by
+// a single sync. Either every record is appended and synced, or an error
+// is returned; on error the logs may contain a durable prefix of the
+// batch (appends are idempotent to re-run only if the caller dedupes).
+func (c *DurableCluster) BulkInsert(records []mkhash.Record) error {
+	type routed struct {
+		bucket uint32
+		rec    mkhash.Record
+	}
+	parts := make([][]routed, c.fs.M)
+	for _, r := range records {
+		coords, err := c.schema.BucketOf(r)
+		if err != nil {
+			return err
+		}
+		dev := c.alloc.Device(coords)
+		parts[dev] = append(parts[dev], routed{uint32(c.fs.Linear(coords)), r})
+	}
+	errs := make([]error, c.fs.M)
+	var wg sync.WaitGroup
+	for dev, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(dev int, part []routed) {
+			defer wg.Done()
+			for _, it := range part {
+				if err := c.stores[dev].Append(it.bucket, it.rec); err != nil {
+					errs[dev] = err
+					return
+				}
+			}
+		}(dev, part)
+	}
+	wg.Wait()
+	for dev, err := range errs {
+		if err != nil {
+			return fmt.Errorf("storage: bulk insert device %d: %w", dev, err)
+		}
+	}
+	return c.Sync()
+}
+
+// Sync flushes every device log to stable storage.
+func (c *DurableCluster) Sync() error {
+	for dev, s := range c.stores {
+		if s == nil {
+			continue
+		}
+		if err := s.Sync(); err != nil {
+			return fmt.Errorf("storage: sync device %d: %w", dev, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every device log.
+func (c *DurableCluster) Close() error {
+	var first error
+	for _, s := range c.stores {
+		if s == nil {
+			continue
+		}
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Retrieve answers a value-level partial match query: every device
+// concurrently inverse-maps its qualified buckets and scans them from
+// disk. The simulated cost accounting matches Cluster.Retrieve.
+func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	q, err := c.schema.BucketQuery(pm)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := q.Validate(c.fs); err != nil {
+		return Result{}, err
+	}
+	m := c.fs.M
+	res := Result{
+		DeviceBuckets: make([]int, m),
+		DeviceRecords: make([]int, m),
+		DeviceTime:    make([]time.Duration, m),
+	}
+	perDev := make([][]mkhash.Record, m)
+	errs := make([]error, m)
+
+	var wg sync.WaitGroup
+	for dev := 0; dev < m; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			buckets, records := 0, 0
+			var hits []mkhash.Record
+			c.im.EachOnDevice(q, dev, func(coords []int) {
+				if errs[dev] != nil {
+					return
+				}
+				buckets++
+				errs[dev] = c.stores[dev].Scan(uint32(c.fs.Linear(coords)), func(r mkhash.Record) error {
+					records++
+					if matches(pm, r) {
+						hits = append(hits, r)
+					}
+					return nil
+				})
+			})
+			res.DeviceBuckets[dev] = buckets
+			res.DeviceRecords[dev] = records
+			res.DeviceTime[dev] = c.model.PerQuery +
+				time.Duration(buckets)*c.model.PerBucket +
+				time.Duration(records)*c.model.PerRecord
+			perDev[dev] = hits
+		}(dev)
+	}
+	wg.Wait()
+	for dev := 0; dev < m; dev++ {
+		if errs[dev] != nil {
+			return Result{}, fmt.Errorf("storage: device %d: %w", dev, errs[dev])
+		}
+		res.Records = append(res.Records, perDev[dev]...)
+		res.TotalWork += res.DeviceTime[dev]
+		if res.DeviceTime[dev] > res.Response {
+			res.Response = res.DeviceTime[dev]
+		}
+		if res.DeviceBuckets[dev] > res.LargestResponseSize {
+			res.LargestResponseSize = res.DeviceBuckets[dev]
+		}
+	}
+	return res, nil
+}

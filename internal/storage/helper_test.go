@@ -1,0 +1,25 @@
+package storage
+
+import (
+	"testing"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/persist"
+)
+
+// persistSaveFile is a test seam around persist.SaveFile with no
+// allocator.
+func persistSaveFile(path string, schemaOnly *mkhash.File) error {
+	return persist.SaveFile(path, schemaOnly, nil)
+}
+
+// mustBasicFX builds a Basic FX allocator or fails the test.
+func mustBasicFX(t testing.TB, fs decluster.FileSystem) *decluster.FX {
+	t.Helper()
+	fx, err := decluster.NewBasicFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fx
+}

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"fxdist/internal/butterfly"
+	"fxdist/internal/mkhash"
+)
+
+func TestProjectValidation(t *testing.T) {
+	file := carFile(t, 50)
+	c := newCluster(t, file, 4)
+	if _, err := c.Project(nil, nil); err == nil {
+		t.Error("empty field list accepted")
+	}
+	if _, err := c.Project([]int{3}, nil); err == nil {
+		t.Error("out-of-range field accepted")
+	}
+	if _, err := c.Project([]int{0, 0}, nil); err == nil {
+		t.Error("repeated field accepted")
+	}
+	nw, _ := butterfly.New(8) // cluster has 4 devices
+	if _, err := c.Project([]int{0}, nw); err == nil {
+		t.Error("mismatched network accepted")
+	}
+}
+
+// The parallel projection must equal the single-threaded reference
+// projection with duplicate elimination.
+func TestProjectMatchesReference(t *testing.T) {
+	file := carFile(t, 500)
+	c := newCluster(t, file, 8)
+	for _, fields := range [][]int{{0}, {2}, {0, 2}, {1, 0, 2}} {
+		res, err := c.Project(fields, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference: project + dedup over a full scan.
+		want := map[string]bool{}
+		all, _ := file.Search(make(mkhash.PartialMatch, 3))
+		for _, r := range all {
+			row := make([]string, len(fields))
+			for i, f := range fields {
+				row[i] = r[f]
+			}
+			want[strings.Join(row, "\x00")] = true
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("fields %v: %d rows, want %d", fields, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			if !want[strings.Join(row, "\x00")] {
+				t.Fatalf("fields %v: spurious row %v", fields, row)
+			}
+		}
+		// Sorted output.
+		keys := make([]string, len(res.Rows))
+		for i, row := range res.Rows {
+			keys[i] = strings.Join(row, "\x00")
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Error("rows not sorted")
+		}
+	}
+}
+
+func TestProjectDeterministic(t *testing.T) {
+	file := carFile(t, 300)
+	c := newCluster(t, file, 4)
+	a, err := c.Project([]int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Project([]int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Error("projection not deterministic")
+	}
+}
+
+func TestProjectWithNetwork(t *testing.T) {
+	file := carFile(t, 400)
+	c := newCluster(t, file, 8)
+	nw, err := butterfly.New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := c.Project([]int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	networked, err := c.Project([]int{0}, nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.GatherCycles != 0 {
+		t.Error("gather cycles without a network")
+	}
+	if networked.GatherCycles <= 0 {
+		t.Error("no gather cycles with a network")
+	}
+	if networked.Response <= plain.Response {
+		t.Error("network gather should add to the response time")
+	}
+	if !reflect.DeepEqual(plain.Rows, networked.Rows) {
+		t.Error("network changed the projection result")
+	}
+	total := 0
+	for _, n := range networked.DeviceRows {
+		total += n
+	}
+	// Gather serialises at the sink: cycles >= total local rows.
+	if networked.GatherCycles < total {
+		t.Errorf("gather cycles %d below message count %d", networked.GatherCycles, total)
+	}
+}
+
+func TestProjectSingleDevicePerRowCounts(t *testing.T) {
+	// Two devices, known contents: device rows must count local distinct
+	// projections.
+	file := mkhash.MustNew(mkhash.Schema{Fields: []string{"a", "b"}, Depths: []int{1, 1}})
+	for i := 0; i < 20; i++ {
+		file.Insert(mkhash.Record{fmt.Sprintf("a%d", i%2), fmt.Sprintf("b%d", i%4)}) //nolint:errcheck
+	}
+	fs, _ := file.FileSystem(2)
+	fx, err := NewCluster(file, mustBasicFX(t, fs), MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fx.Project([]int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, n := range res.DeviceRows {
+		sum += n
+	}
+	if sum < len(res.Rows) {
+		t.Errorf("device rows %v sum below global distinct %d", res.DeviceRows, len(res.Rows))
+	}
+	if len(res.Rows) != 2 { // a0, a1
+		t.Errorf("distinct projections = %d, want 2", len(res.Rows))
+	}
+}

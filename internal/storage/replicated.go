@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+	"fxdist/internal/replica"
+)
+
+// ReplicatedCluster is a simulated parallel cluster with chained
+// declustering: every bucket is stored on its primary device (the
+// allocator's choice) and on the ring successor. Devices can fail and be
+// restored; retrieval routes each qualified bucket to the device the
+// failover policy selects and keeps answering with no data loss through
+// any single failure (and any non-adjacent multiple failure).
+type ReplicatedCluster struct {
+	file      *mkhash.File
+	fs        decluster.FileSystem
+	placement *replica.Placement
+	im        *query.InverseMapper
+	model     CostModel
+	// devs[d].buckets holds both d's primary buckets and its backup
+	// copies (primaries of d-1).
+	devs []*device
+}
+
+// NewReplicated distributes file's buckets over the allocator's devices
+// with primary and backup copies.
+func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode replica.Mode, model CostModel) (*ReplicatedCluster, error) {
+	fs := alloc.FileSystem()
+	sizes := file.Sizes()
+	if len(sizes) != fs.NumFields() {
+		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
+	}
+	for i, f := range sizes {
+		if fs.Sizes[i] != f {
+			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
+		}
+	}
+	c := &ReplicatedCluster{
+		file:      file,
+		fs:        fs,
+		placement: replica.New(alloc, mode),
+		im:        query.NewInverseMapper(alloc),
+		model:     model,
+		devs:      make([]*device, fs.M),
+	}
+	for i := range c.devs {
+		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
+	}
+	file.EachBucket(func(coords []int, records []mkhash.Record) {
+		idx := fs.Linear(coords)
+		prim := c.placement.Primary(coords)
+		back := c.placement.Backup(coords)
+		c.devs[prim].buckets[idx] = records
+		c.devs[back].buckets[idx] = records
+	})
+	return c, nil
+}
+
+// Fail marks a device failed (see replica.Placement.Fail for the adjacency
+// constraint).
+func (c *ReplicatedCluster) Fail(dev int) error { return c.placement.Fail(dev) }
+
+// Restore marks a device healthy.
+func (c *ReplicatedCluster) Restore(dev int) error { return c.placement.Restore(dev) }
+
+// Failed reports whether dev is failed.
+func (c *ReplicatedCluster) Failed(dev int) bool { return c.placement.Failed(dev) }
+
+// M returns the device count.
+func (c *ReplicatedCluster) M() int { return c.fs.M }
+
+// Retrieve answers a value-level partial match query under the current
+// failure set. Each healthy device serves the qualified buckets the
+// failover policy routes to it: a subset of its own primaries plus a
+// subset of the backups it holds. Devices work concurrently, as in
+// Cluster.Retrieve.
+func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	q, err := c.file.BucketQuery(pm)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := q.Validate(c.fs); err != nil {
+		return Result{}, err
+	}
+	m := c.fs.M
+	res := Result{
+		DeviceBuckets: make([]int, m),
+		DeviceRecords: make([]int, m),
+		DeviceTime:    make([]time.Duration, m),
+	}
+	perDev := make([][]mkhash.Record, m)
+	var wg sync.WaitGroup
+	for dev := 0; dev < m; dev++ {
+		if c.placement.Failed(dev) {
+			continue
+		}
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			d := c.devs[dev]
+			buckets, records := 0, 0
+			var hits []mkhash.Record
+			serve := func(coords []int) {
+				if c.placement.Server(coords) != dev {
+					return
+				}
+				buckets++
+				for _, r := range d.buckets[c.fs.Linear(coords)] {
+					records++
+					if matches(pm, r) {
+						hits = append(hits, r)
+					}
+				}
+			}
+			// Candidates: this device's primary buckets, plus the
+			// backups it holds (primaries of the ring predecessor).
+			c.im.EachOnDevice(q, dev, serve)
+			prev := (dev - 1 + m) % m
+			c.im.EachOnDevice(q, prev, serve)
+			res.DeviceBuckets[dev] = buckets
+			res.DeviceRecords[dev] = records
+			res.DeviceTime[dev] = c.model.PerQuery +
+				time.Duration(buckets)*c.model.PerBucket +
+				time.Duration(records)*c.model.PerRecord
+			perDev[dev] = hits
+		}(dev)
+	}
+	wg.Wait()
+	for dev := 0; dev < m; dev++ {
+		res.Records = append(res.Records, perDev[dev]...)
+		res.TotalWork += res.DeviceTime[dev]
+		if res.DeviceTime[dev] > res.Response {
+			res.Response = res.DeviceTime[dev]
+		}
+		if res.DeviceBuckets[dev] > res.LargestResponseSize {
+			res.LargestResponseSize = res.DeviceBuckets[dev]
+		}
+	}
+	return res, nil
+}
+
+// StorageOverhead returns the total stored bucket copies divided by the
+// number of non-empty buckets (2.0 for full chained replication).
+func (c *ReplicatedCluster) StorageOverhead() float64 {
+	copies := 0
+	for _, d := range c.devs {
+		copies += len(d.buckets)
+	}
+	nonEmpty := 0
+	c.file.EachBucket(func([]int, []mkhash.Record) { nonEmpty++ })
+	if nonEmpty == 0 {
+		return 0
+	}
+	return float64(copies) / float64(nonEmpty)
+}

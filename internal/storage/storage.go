@@ -1,0 +1,227 @@
+// Package storage simulates the parallel device environments of the
+// paper's §5.2: M identical devices behind a symmetric interconnect
+// (parallel disks on a shared bus, or Butterfly-style multiprocessor
+// memories), each holding the buckets a declustering allocator assigns to
+// it. The response time of a partial match query is the service time of
+// the slowest device — the paper's "largest response size" argument made
+// executable.
+//
+// Devices answer queries with the per-device inverse mapping of package
+// query: each device enumerates only its own qualified buckets, never the
+// whole grid, exactly as the paper's §4.2 prescribes for main-memory
+// databases.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+// CostModel is the per-device service time model. Service time for a
+// query on one device is PerQuery + buckets*PerBucket + records*PerRecord.
+type CostModel struct {
+	Name string
+	// PerQuery is the fixed per-device overhead of dispatching one query.
+	PerQuery time.Duration
+	// PerBucket is the cost of accessing one qualified bucket (for disks:
+	// seek + rotational latency + transfer of one bucket).
+	PerBucket time.Duration
+	// PerRecord is the cost of scanning or shipping one record.
+	PerRecord time.Duration
+}
+
+// ParallelDisk models late-1980s disks on a shared bus: ~28 ms per bucket
+// access (16 ms average seek + 8.3 ms rotational latency + transfer), plus
+// per-record transfer cost.
+var ParallelDisk = CostModel{Name: "parallel-disk", PerQuery: 1 * time.Millisecond, PerBucket: 28 * time.Millisecond, PerRecord: 50 * time.Microsecond}
+
+// MainMemory models a multiprocessor main-memory database node: bucket
+// access is a few microseconds of address computation and pointer chasing.
+var MainMemory = CostModel{Name: "main-memory", PerQuery: 2 * time.Microsecond, PerBucket: 2 * time.Microsecond, PerRecord: 200 * time.Nanosecond}
+
+// device is one parallel device's local bucket store.
+type device struct {
+	buckets map[int][]mkhash.Record
+}
+
+// Cluster distributes a multi-key hashed file over M simulated devices
+// according to a declustering allocator.
+type Cluster struct {
+	file  *mkhash.File
+	fs    decluster.FileSystem
+	alloc decluster.GroupAllocator
+	im    *query.InverseMapper
+	model CostModel
+	devs  []*device
+}
+
+// NewCluster distributes file's buckets over the allocator's devices. The
+// allocator must be built for the file's current directory sizes.
+func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*Cluster, error) {
+	fs := alloc.FileSystem()
+	sizes := file.Sizes()
+	if len(sizes) != fs.NumFields() {
+		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
+	}
+	for i, f := range sizes {
+		if fs.Sizes[i] != f {
+			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
+		}
+	}
+	c := &Cluster{
+		file:  file,
+		fs:    fs,
+		alloc: alloc,
+		im:    query.NewInverseMapper(alloc),
+		model: model,
+		devs:  make([]*device, fs.M),
+	}
+	for i := range c.devs {
+		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
+	}
+	file.EachBucket(func(coords []int, records []mkhash.Record) {
+		d := alloc.Device(coords)
+		c.devs[d].buckets[fs.Linear(coords)] = records
+	})
+	return c, nil
+}
+
+// M returns the device count.
+func (c *Cluster) M() int { return c.fs.M }
+
+// Allocator returns the declustering method in use.
+func (c *Cluster) Allocator() decluster.GroupAllocator { return c.alloc }
+
+// DeviceBucketCounts returns how many non-empty buckets each device holds
+// (static storage balance).
+func (c *Cluster) DeviceBucketCounts() []int {
+	out := make([]int, len(c.devs))
+	for i, d := range c.devs {
+		out[i] = len(d.buckets)
+	}
+	return out
+}
+
+// Result reports one retrieval: the matching records plus the simulated
+// parallel cost breakdown.
+type Result struct {
+	// Records are the matching records, grouped by device in device order.
+	Records []mkhash.Record
+	// DeviceBuckets[i] is the number of qualified buckets device i accessed.
+	DeviceBuckets []int
+	// DeviceRecords[i] is the number of records device i scanned.
+	DeviceRecords []int
+	// DeviceTime[i] is device i's simulated service time.
+	DeviceTime []time.Duration
+	// Response is the simulated parallel response time: the slowest device.
+	Response time.Duration
+	// TotalWork is the sum of all device times (what a single device would
+	// have spent, modulo per-query overhead).
+	TotalWork time.Duration
+	// LargestResponseSize is max(DeviceBuckets), the paper's metric.
+	LargestResponseSize int
+}
+
+// Retrieve answers a value-level partial match query in parallel: every
+// device concurrently inverse-maps its qualified buckets and scans them.
+func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	q, err := c.file.BucketQuery(pm)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := q.Validate(c.fs); err != nil {
+		return Result{}, err
+	}
+
+	m := c.fs.M
+	res := Result{
+		DeviceBuckets: make([]int, m),
+		DeviceRecords: make([]int, m),
+		DeviceTime:    make([]time.Duration, m),
+	}
+	perDev := make([][]mkhash.Record, m)
+
+	var wg sync.WaitGroup
+	for dev := 0; dev < m; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			d := c.devs[dev]
+			buckets, records := 0, 0
+			var hits []mkhash.Record
+			c.im.EachOnDevice(q, dev, func(coords []int) {
+				buckets++
+				for _, r := range d.buckets[c.fs.Linear(coords)] {
+					records++
+					if matches(pm, r) {
+						hits = append(hits, r)
+					}
+				}
+			})
+			res.DeviceBuckets[dev] = buckets
+			res.DeviceRecords[dev] = records
+			res.DeviceTime[dev] = c.model.PerQuery +
+				time.Duration(buckets)*c.model.PerBucket +
+				time.Duration(records)*c.model.PerRecord
+			perDev[dev] = hits
+		}(dev)
+	}
+	wg.Wait()
+
+	for dev := 0; dev < m; dev++ {
+		res.Records = append(res.Records, perDev[dev]...)
+		res.TotalWork += res.DeviceTime[dev]
+		if res.DeviceTime[dev] > res.Response {
+			res.Response = res.DeviceTime[dev]
+		}
+		if res.DeviceBuckets[dev] > res.LargestResponseSize {
+			res.LargestResponseSize = res.DeviceBuckets[dev]
+		}
+	}
+	return res, nil
+}
+
+// matches re-checks actual values (hash collisions can put non-matching
+// records in qualified buckets).
+func matches(pm mkhash.PartialMatch, r mkhash.Record) bool {
+	for i, v := range pm {
+		if v != nil && r[i] != *v {
+			return false
+		}
+	}
+	return true
+}
+
+// SimResult is a record-free simulated retrieval at bucket granularity,
+// for experiments at paper scale where materialising records would be
+// wasteful.
+type SimResult struct {
+	Loads               []int
+	LargestResponseSize int
+	Response            time.Duration
+	TotalWork           time.Duration
+}
+
+// Simulate computes the simulated response time of a bucket-level query
+// directly from its per-device load vector (e.g. convolve.Loads) —
+// §5.2.1's model: response time is determined by the device with the most
+// qualified buckets.
+func Simulate(loads []int, model CostModel) SimResult {
+	res := SimResult{Loads: loads}
+	for _, l := range loads {
+		t := model.PerQuery + time.Duration(l)*model.PerBucket
+		res.TotalWork += t
+		if t > res.Response {
+			res.Response = t
+		}
+		if l > res.LargestResponseSize {
+			res.LargestResponseSize = l
+		}
+	}
+	return res
+}

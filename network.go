@@ -1,0 +1,18 @@
+package fxdist
+
+import "fxdist/internal/butterfly"
+
+// ButterflyNetwork simulates the multistage interconnection network of
+// the Butterfly-style machines the paper targets: M nodes, log2(M) stages
+// of 2x2 switches, destination-tag routing, one message per link per
+// cycle with FIFO queueing.
+type ButterflyNetwork = butterfly.Network
+
+// NetworkMessage is one unit of simulated traffic.
+type NetworkMessage = butterfly.Message
+
+// NetworkStats reports a network simulation run.
+type NetworkStats = butterfly.Stats
+
+// NewButterfly builds the interconnect for m nodes (a power of two).
+func NewButterfly(m int) (*ButterflyNetwork, error) { return butterfly.New(m) }

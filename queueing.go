@@ -1,0 +1,84 @@
+package fxdist
+
+import (
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/queuesim"
+	"fxdist/internal/rebalance"
+)
+
+// Queueing simulation: the §5.2.1 response-time model extended to a
+// sustained query stream with per-device FIFO queues. Declustering skew
+// compounds under load, so the FX-vs-Modulo gap widens with utilization.
+
+// QueueJob is one query's arrival time and per-device bucket work.
+type QueueJob = queuesim.Job
+
+// QueueStats aggregates a queueing simulation run.
+type QueueStats = queuesim.Stats
+
+// RunQueue simulates a job stream under the device cost model.
+func RunQueue(jobs []QueueJob, model CostModel) (QueueStats, error) {
+	return queuesim.Run(jobs, model)
+}
+
+// JobsFromQueries builds jobs for a bucket-level query mix under an
+// allocator, pairing queries[i] with arrivals[i].
+func JobsFromQueries(a GroupAllocator, queries []Query, arrivals []time.Duration) ([]QueueJob, error) {
+	return queuesim.FromQueries(a, queries, arrivals)
+}
+
+// RunClosedQueue simulates a closed system: `clients` concurrent clients
+// cycle through the pool of per-query load vectors at a fixed
+// multiprogramming level until `completions` queries finish.
+func RunClosedQueue(pool [][]int, clients, completions int, model CostModel) (QueueStats, error) {
+	return queuesim.RunClosed(pool, clients, completions, model)
+}
+
+// QueryLoadPool precomputes per-query device-load vectors for
+// RunClosedQueue.
+func QueryLoadPool(a GroupAllocator, queries []Query) ([][]int, error) {
+	return queuesim.LoadPool(a, queries)
+}
+
+// PoissonArrivals generates n arrival times with exponential interarrival
+// gaps of the given mean, deterministically for a seed.
+func PoissonArrivals(n int, mean time.Duration, seed int64) []time.Duration {
+	return queuesim.PoissonArrivals(n, mean, seed)
+}
+
+// UniformArrivals generates n arrival times with a fixed gap.
+func UniformArrivals(n int, gap time.Duration) []time.Duration {
+	return queuesim.UniformArrivals(n, gap)
+}
+
+// Growth redistribution planning: what doubling a field's directory costs
+// in cross-device data movement.
+
+// GrowthPlan reports the device movement caused by doubling one field.
+type GrowthPlan = rebalance.GrowthPlan
+
+// PlanGrowth compares bucket placement before and after doubling field g;
+// oldAlloc is built for the pre-growth sizes, newAlloc for post-growth.
+func PlanGrowth(oldAlloc, newAlloc GroupAllocator, g int) (GrowthPlan, error) {
+	return rebalance.PlanGrowth(oldAlloc, newAlloc, g)
+}
+
+// MigrationPlan reports the bucket movement of switching allocation
+// methods on the same file system.
+type MigrationPlan = rebalance.MigrationPlan
+
+// PlanMigration compares bucket placement under two allocators over the
+// same file system (e.g. re-declustering Modulo data to FX).
+func PlanMigration(from, to Allocator) (MigrationPlan, error) {
+	return rebalance.PlanMigration(from, to)
+}
+
+// GrowthSeries doubles field g repeatedly and returns the per-step plans;
+// build constructs the allocator for each post-growth file system.
+func GrowthSeries(sizes []int, m, g, steps int,
+	build func(fs FileSystem) (GroupAllocator, error)) ([]GrowthPlan, error) {
+	return rebalance.GrowthSeries(sizes, m, g, steps,
+		func(fs decluster.FileSystem) (decluster.GroupAllocator, error) { return build(fs) })
+}
