@@ -11,6 +11,13 @@
 //
 //	# coordinator: schema comes from the same snapshot
 //	fxnode query -snapshot cars.snap -addrs 127.0.0.1:9000,127.0.0.1:9001 make=ford
+//
+// Both subcommands accept -metrics-addr to expose the observability
+// endpoints (/metrics Prometheus text, /debug/vars JSON, /debug/traces
+// recent query spans, /debug/pprof/ runtime profiles):
+//
+//	fxnode serve -snapshot cars.snap -device 0 -listen 127.0.0.1:9000 -metrics-addr 127.0.0.1:9100
+//	curl -s 127.0.0.1:9100/metrics | grep fxdist_netdist_server
 package main
 
 import (
@@ -49,11 +56,24 @@ func runServe(args []string) error {
 	snapshot := fs.String("snapshot", "", "snapshot file (with allocator spec)")
 	device := fs.Int("device", 0, "device id this node serves")
 	listen := fs.String("listen", "127.0.0.1:0", "listen address")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *snapshot == "" {
 		return fmt.Errorf("missing -snapshot")
+	}
+	if err := fxdist.SetLogLevel(*logLevel); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		addr, stop, err := fxdist.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("fxnode: observability on http://%s/metrics\n", addr)
 	}
 	file, alloc, err := fxdist.LoadSnapshotFile(*snapshot)
 	if err != nil {
@@ -94,11 +114,24 @@ func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	snapshot := fs.String("snapshot", "", "snapshot file (schema source)")
 	addrsArg := fs.String("addrs", "", "comma-separated device addresses, in device order")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address")
+	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *snapshot == "" || *addrsArg == "" {
 		return fmt.Errorf("missing -snapshot or -addrs")
+	}
+	if err := fxdist.SetLogLevel(*logLevel); err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		addr, stop, err := fxdist.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("fxnode: observability on http://%s/metrics\n", addr)
 	}
 	file, _, err := fxdist.LoadSnapshotFile(*snapshot)
 	if err != nil {

@@ -27,7 +27,17 @@ func main() {
 	p := flag.Float64("p", 0.5, "per-field specification probability")
 	model := flag.String("model", "memory", "device model: memory or disk")
 	seed := flag.Int64("seed", 1988, "workload seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address while the workload runs")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		addr, stopMetrics, err := fxdist.ServeMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopMetrics()
+		fmt.Printf("pmquery: observability on http://%s/metrics\n\n", addr)
+	}
 
 	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
 		{Name: "part", Cardinality: 2000},

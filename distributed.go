@@ -36,6 +36,16 @@ type Coordinator = netdist.Coordinator
 // DistributedResult is a merged distributed retrieval.
 type DistributedResult = netdist.Result
 
+// DeviceError carries the failing device's id, server address and
+// pipelined wire request id when a distributed retrieval fails; match
+// with errors.As to correlate failures with the per-device failover and
+// error counters.
+type DeviceError = netdist.DeviceError
+
+// ErrRequestTimeout marks a per-device request that exceeded the
+// coordinator's timeout; match with errors.Is.
+var ErrRequestTimeout = netdist.ErrTimeout
+
 // NewDeviceServer builds a device server from an allocator spec and the
 // device's bucket partition (see PartitionFile).
 func NewDeviceServer(deviceID int, spec AllocatorSpec, buckets map[int][]Record) (*DeviceServer, error) {

@@ -2,13 +2,45 @@ package netdist
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 )
+
+// ErrTimeout marks a per-device request that exceeded the coordinator's
+// timeout; match with errors.Is.
+var ErrTimeout = errors.New("request timed out")
+
+// DeviceError carries the failing device's identity so a retrieval
+// failure correlates with the per-device failover and error counters.
+// Match with errors.As; Unwrap exposes the transport cause (including
+// ErrTimeout).
+type DeviceError struct {
+	// Device is the device id the request addressed (the impersonated
+	// device for failover requests, not the server that answered).
+	Device int
+	// Addr is the address of the server that was asked.
+	Addr string
+	// RequestID is the pipelined wire request id, 0 if the request was
+	// never assigned one.
+	RequestID uint64
+	// Remote is true when the server answered but rejected the request
+	// (a protocol error), false for transport failures and timeouts.
+	Remote bool
+	// Err is the underlying cause.
+	Err error
+}
+
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("netdist: device %d (%s) request %d: %v", e.Device, e.Addr, e.RequestID, e.Err)
+}
+
+func (e *DeviceError) Unwrap() error { return e.Err }
 
 // deviceConn is one persistent connection with pipelined request/response
 // framing: many requests may be in flight concurrently, matched to
@@ -16,6 +48,7 @@ import (
 // responses; writers serialise on a mutex.
 type deviceConn struct {
 	conn net.Conn
+	addr string
 
 	writeMu sync.Mutex
 	enc     *gob.Encoder
@@ -26,9 +59,10 @@ type deviceConn struct {
 	err     error // sticky transport error; set once the reader exits
 }
 
-func newDeviceConn(conn net.Conn) *deviceConn {
+func newDeviceConn(conn net.Conn, addr string) *deviceConn {
 	dc := &deviceConn{
 		conn:    conn,
+		addr:    addr,
 		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan Response),
 	}
@@ -44,7 +78,7 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 		if err := dec.Decode(&resp); err != nil {
 			dc.mu.Lock()
 			if dc.err == nil {
-				dc.err = fmt.Errorf("netdist: connection lost: %w", err)
+				dc.err = fmt.Errorf("connection lost: %w", err)
 			}
 			for id, ch := range dc.pending {
 				close(ch)
@@ -65,12 +99,14 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 	}
 }
 
-func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, error) {
+// roundTrip sends req and waits for its response, returning the wire
+// request id it assigned (0 when the connection was already dead).
+func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, uint64, error) {
 	dc.mu.Lock()
 	if dc.err != nil {
 		err := dc.err
 		dc.mu.Unlock()
-		return Response{}, err
+		return Response{}, 0, err
 	}
 	dc.nextID++
 	req.ID = dc.nextID
@@ -85,7 +121,7 @@ func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, e
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
-		return Response{}, err
+		return Response{}, req.ID, err
 	}
 
 	var timer <-chan time.Time
@@ -100,14 +136,14 @@ func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, e
 			dc.mu.Lock()
 			err := dc.err
 			dc.mu.Unlock()
-			return Response{}, err
+			return Response{}, req.ID, err
 		}
-		return resp, nil
+		return resp, req.ID, nil
 	case <-timer:
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
-		return Response{}, fmt.Errorf("netdist: request timed out after %v", timeout)
+		return Response{}, req.ID, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 	}
 }
 
@@ -118,6 +154,8 @@ func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, e
 type Coordinator struct {
 	file    *mkhash.File
 	conns   []*deviceConn
+	dm      []coordDevMetrics
+	tracer  *obs.Tracer
 	timeout time.Duration
 }
 
@@ -134,17 +172,18 @@ func WithTimeout(d time.Duration) DialOption {
 // The file provides the schema and hash functions used to lower value
 // queries to bucket coordinates — it can be empty of records.
 func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, error) {
-	c := &Coordinator{file: file}
+	c := &Coordinator{file: file, tracer: obs.DefaultTracer()}
 	for _, opt := range opts {
 		opt(c)
 	}
-	for _, addr := range addrs {
+	for i, addr := range addrs {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("netdist: dial %s: %w", addr, err)
 		}
-		c.conns = append(c.conns, newDeviceConn(conn))
+		c.conns = append(c.conns, newDeviceConn(conn, addr))
+		c.dm = append(c.dm, newCoordDevMetrics(i))
 	}
 	return c, nil
 }
@@ -156,6 +195,46 @@ func (c *Coordinator) Close() {
 			dc.conn.Close()
 		}
 	}
+}
+
+// ask runs one instrumented round trip against device dev's server,
+// classifying errors into the per-device counters and wrapping failures
+// with the device id, server address and wire request id.
+func (c *Coordinator) ask(dev int, dc *deviceConn, req Request, span *obs.Span) (Response, error) {
+	dm := &c.dm[dev]
+	dm.inflight.Inc()
+	t0 := time.Now()
+	resp, id, err := dc.roundTrip(req, c.timeout)
+	dm.latency.ObserveSince(t0)
+	dm.inflight.Dec()
+	if err != nil {
+		dm.errors.Inc()
+		if errors.Is(err, ErrTimeout) {
+			dm.timeouts.Inc()
+		}
+		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, Err: err}
+		span.Event(derr.Error())
+		return Response{}, derr
+	}
+	if resp.Err != "" {
+		dm.errors.Inc()
+		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, Remote: true, Err: errors.New(resp.Err)}
+		span.Event(derr.Error())
+		return Response{}, derr
+	}
+	span.SetRequestID(id)
+	span.Event(fmt.Sprintf("device %d (%s) req %d: %d buckets, %d records in %v",
+		req.targetDevice(dev), dc.addr, id, resp.Buckets, resp.Scanned, time.Since(t0)))
+	return resp, nil
+}
+
+// targetDevice reports which device's partition req addresses when sent
+// to server dev (failover requests impersonate the dead device).
+func (r Request) targetDevice(server int) int {
+	if r.AsDevice >= 0 {
+		return r.AsDevice
+	}
+	return server
 }
 
 // Result is a merged distributed retrieval.
@@ -181,6 +260,14 @@ func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 	}
 	req := NewRequest(q.Spec, pm)
 
+	mCoordRetrieves.Inc()
+	t0 := time.Now()
+	span := c.tracer.Start("netdist.retrieve")
+	defer func() {
+		mCoordRetrieveLatency.ObserveSince(t0)
+		span.End()
+	}()
+
 	type devAnswer struct {
 		resp Response
 		err  error
@@ -191,7 +278,7 @@ func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 		wg.Add(1)
 		go func(i int, dc *deviceConn) {
 			defer wg.Done()
-			resp, err := dc.roundTrip(req, c.timeout)
+			resp, err := c.ask(i, dc, req, span)
 			answers[i] = devAnswer{resp, err}
 		}(i, dc)
 	}
@@ -203,10 +290,8 @@ func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 	}
 	for i, a := range answers {
 		if a.err != nil {
-			return Result{}, fmt.Errorf("netdist: device %d: %w", i, a.err)
-		}
-		if a.resp.Err != "" {
-			return Result{}, fmt.Errorf("netdist: device %d: %s", i, a.resp.Err)
+			mCoordRetrieveErrors.Inc()
+			return Result{}, a.err
 		}
 		res.Records = append(res.Records, a.resp.Records...)
 		res.DeviceBuckets[i] = a.resp.Buckets

@@ -1,8 +1,10 @@
 package netdist
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
@@ -118,17 +120,25 @@ func (c *Coordinator) RetrieveWithFailover(pm mkhash.PartialMatch) (Result, erro
 	req := NewRequest(q.Spec, pm)
 	m := len(c.conns)
 
+	mCoordRetrieves.Inc()
+	t0 := time.Now()
+	span := c.tracer.Start("netdist.retrieve-failover")
+	defer func() {
+		mCoordRetrieveLatency.ObserveSince(t0)
+		span.End()
+	}()
+
 	type devAnswer struct {
 		resp Response
 		err  error
 	}
 	answers := make([]devAnswer, m)
-	runWave := func(targets []int, build func(dev int) (Request, *deviceConn)) {
+	runWave := func(targets []int, build func(dev int) (Request, int)) {
 		done := make(chan int, len(targets))
 		for _, dev := range targets {
 			go func(dev int) {
-				r, dc := build(dev)
-				resp, err := dc.roundTrip(r, c.timeout)
+				r, server := build(dev)
+				resp, err := c.ask(server, c.conns[server], r, span)
 				answers[dev] = devAnswer{resp, err}
 				done <- dev
 			}(dev)
@@ -142,20 +152,25 @@ func (c *Coordinator) RetrieveWithFailover(pm mkhash.PartialMatch) (Result, erro
 	for i := range all {
 		all[i] = i
 	}
-	runWave(all, func(dev int) (Request, *deviceConn) { return req, c.conns[dev] })
+	runWave(all, func(dev int) (Request, int) { return req, dev })
 
 	// Collect transport failures and retry them on ring successors.
+	// Remote rejections (the server answered and said no) are not
+	// retried: the backup copy would reject the same request.
 	var failed []int
 	for dev, a := range answers {
-		if a.err != nil {
+		var derr *DeviceError
+		if a.err != nil && !(errors.As(a.err, &derr) && derr.Remote) {
 			failed = append(failed, dev)
 		}
 	}
 	if len(failed) > 0 {
-		runWave(failed, func(dev int) (Request, *deviceConn) {
+		runWave(failed, func(dev int) (Request, int) {
+			c.dm[dev].failovers.Inc()
+			span.Event(fmt.Sprintf("failover: re-asking ring successor %d for device %d", (dev+1)%m, dev))
 			r := req
 			r.AsDevice = dev
-			return r, c.conns[(dev+1)%m]
+			return r, (dev + 1) % m
 		})
 	}
 
@@ -165,10 +180,12 @@ func (c *Coordinator) RetrieveWithFailover(pm mkhash.PartialMatch) (Result, erro
 	}
 	for dev, a := range answers {
 		if a.err != nil {
+			mCoordRetrieveErrors.Inc()
+			var derr *DeviceError
+			if errors.As(a.err, &derr) && derr.Remote {
+				return Result{}, a.err
+			}
 			return Result{}, fmt.Errorf("netdist: device %d (and its backup): %w", dev, a.err)
-		}
-		if a.resp.Err != "" {
-			return Result{}, fmt.Errorf("netdist: device %d: %s", dev, a.resp.Err)
 		}
 		res.Records = append(res.Records, a.resp.Records...)
 		res.DeviceBuckets[dev] = a.resp.Buckets

@@ -145,7 +145,7 @@ func TestPlainServerRejectsAsDevice(t *testing.T) {
 	q, _ := coord.file.BucketQuery(pm)
 	req := NewRequest(q.Spec, pm)
 	req.AsDevice = 0 // ask server 1 to impersonate device 0
-	resp, err := coord.conns[1].roundTrip(req, 0)
+	resp, _, err := coord.conns[1].roundTrip(req, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,71 @@
+package netdist
+
+import (
+	"strconv"
+
+	"fxdist/internal/obs"
+)
+
+// Whole-query instruments (registered once at import).
+var (
+	mCoordRetrieves = obs.Default().Counter("fxdist_netdist_coordinator_retrieves_total",
+		"Distributed retrievals started by coordinators in this process.")
+	mCoordRetrieveErrors = obs.Default().Counter("fxdist_netdist_coordinator_retrieve_errors_total",
+		"Distributed retrievals that failed after any failover attempts.")
+	mCoordRetrieveLatency = obs.Default().Histogram("fxdist_netdist_coordinator_retrieve_seconds",
+		"End-to-end distributed retrieval latency (fan-out, merge included).", nil)
+)
+
+// coordDevMetrics are the coordinator's per-device instruments, cached
+// at Dial so the retrieval hot path never touches the registry.
+type coordDevMetrics struct {
+	latency   *obs.Histogram
+	inflight  *obs.Gauge
+	errors    *obs.Counter
+	timeouts  *obs.Counter
+	failovers *obs.Counter
+}
+
+func newCoordDevMetrics(dev int) coordDevMetrics {
+	r := obs.Default()
+	d := obs.L("device", strconv.Itoa(dev))
+	return coordDevMetrics{
+		latency: r.Histogram("fxdist_netdist_coordinator_device_request_seconds",
+			"Per-device request round-trip latency observed by the coordinator.", nil, d),
+		inflight: r.Gauge("fxdist_netdist_coordinator_inflight_requests",
+			"Requests currently in flight from the coordinator, per device.", d),
+		errors: r.Counter("fxdist_netdist_coordinator_device_errors_total",
+			"Per-device transport or protocol failures observed by the coordinator.", d),
+		timeouts: r.Counter("fxdist_netdist_coordinator_device_timeouts_total",
+			"Per-device request timeouts observed by the coordinator.", d),
+		failovers: r.Counter("fxdist_netdist_coordinator_failovers_total",
+			"Requests re-routed to the device's ring successor after a transport failure.", d),
+	}
+}
+
+// serverMetrics are one device server's instruments, cached at
+// NewServer.
+type serverMetrics struct {
+	latency  *obs.Histogram
+	inflight *obs.Gauge
+	requests *obs.Counter
+	errors   *obs.Counter
+	backup   *obs.Counter
+}
+
+func newServerMetrics(dev int) serverMetrics {
+	r := obs.Default()
+	d := obs.L("device", strconv.Itoa(dev))
+	return serverMetrics{
+		latency: r.Histogram("fxdist_netdist_server_request_seconds",
+			"Per-request service latency on the device server.", nil, d),
+		inflight: r.Gauge("fxdist_netdist_server_inflight_requests",
+			"Requests the device server is currently answering.", d),
+		requests: r.Counter("fxdist_netdist_server_requests_total",
+			"Requests answered by the device server.", d),
+		errors: r.Counter("fxdist_netdist_server_request_errors_total",
+			"Requests the device server rejected with an error.", d),
+		backup: r.Counter("fxdist_netdist_server_backup_requests_total",
+			"Requests answered from the backup partition on behalf of the ring predecessor.", d),
+	}
+}

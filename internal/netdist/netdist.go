@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 	"fxdist/internal/query"
 )
 
@@ -86,6 +88,9 @@ type Server struct {
 	backupFor int
 	hasBackup bool
 
+	sm     serverMetrics
+	tracer *obs.Tracer
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -121,6 +126,8 @@ func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Recor
 		fs:        fs,
 		im:        query.NewInverseMapper(alloc),
 		buckets:   buckets,
+		sm:        newServerMetrics(deviceID),
+		tracer:    obs.DefaultTracer(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}, nil
@@ -187,12 +194,27 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
+		s.sm.inflight.Inc()
+		t0 := time.Now()
+		span := s.tracer.Start("netdist.serve")
+		span.SetRequestID(req.ID)
 		var resp Response
 		if req.AsDevice >= 0 && req.AsDevice != s.deviceID {
+			s.sm.backup.Inc()
 			resp = s.answerAs(req)
 		} else {
 			resp = s.answer(req)
 		}
+		s.sm.requests.Inc()
+		if resp.Err != "" {
+			s.sm.errors.Inc()
+			span.Event("rejected: " + resp.Err)
+		} else {
+			span.Event(fmt.Sprintf("device %d req %d: %d buckets, %d records", s.deviceID, req.ID, resp.Buckets, resp.Scanned))
+		}
+		s.sm.latency.ObserveSince(t0)
+		span.End()
+		s.sm.inflight.Dec()
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}

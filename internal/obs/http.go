@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the default registry and tracer:
+//
+//	/metrics        Prometheus text exposition
+//	/debug/vars     expvar-style JSON of every metric
+//	/debug/traces   recent query spans as JSON (?n=K, default 32)
+//	/debug/pprof/   net/http/pprof runtime profiles
+func Handler() http.Handler { return HandlerFor(Default(), DefaultTracer()) }
+
+// HandlerFor builds the observability handler for a specific registry
+// and tracer (either may be nil to omit that surface).
+func HandlerFor(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	if r != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			r.WritePrometheus(w) //nolint:errcheck // client gone
+		})
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			r.WriteJSON(w) //nolint:errcheck // client gone
+		})
+	}
+	if t != nil {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+			n := 32
+			if q := req.URL.Query().Get("n"); q != "" {
+				if v, err := parsePositive(q); err == nil {
+					n = v
+				}
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(t.Recent(n)) //nolint:errcheck // client gone
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func parsePositive(s string) (int, error) {
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errNotANumber
+		}
+		n = n*10 + int(c-'0')
+		if n > 1<<20 {
+			break
+		}
+	}
+	return n, nil
+}
+
+var errNotANumber = &net.ParseError{Type: "number", Text: "not a number"}
+
+// ListenAndServe starts the observability handler on addr (e.g.
+// "127.0.0.1:9100"; ":0" picks a free port) and returns the bound
+// address and a shutdown function.
+func ListenAndServe(addr string) (string, func(), error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(l) //nolint:errcheck // ends on Close
+	return l.Addr().String(), func() { srv.Close() }, nil
+}

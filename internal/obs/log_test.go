@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var sb strings.Builder
+	lg := NewLogger(LevelWarn, &sb)
+	lg.Debugf("d")
+	lg.Infof("i")
+	lg.Warnf("w%d", 1)
+	lg.Errorf("e")
+	out := sb.String()
+	if strings.Contains(out, "DEBUG") || strings.Contains(out, "INFO") {
+		t.Errorf("below-threshold records written:\n%s", out)
+	}
+	if !strings.Contains(out, "WARN  w1") || !strings.Contains(out, "ERROR e") {
+		t.Errorf("missing records:\n%s", out)
+	}
+
+	lg.SetLevel(LevelOff)
+	sb.Reset()
+	lg.Errorf("silent")
+	if sb.Len() != 0 {
+		t.Errorf("LevelOff wrote %q", sb.String())
+	}
+
+	lg.SetLevel(LevelDebug)
+	sb.Reset()
+	lg.Debugf("loud")
+	if !strings.Contains(sb.String(), "DEBUG loud") {
+		t.Errorf("debug record missing: %q", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"error": LevelError, "off": LevelOff,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}
+
+// The default process logger must stay quiet below Warn so routine
+// recovery/compaction events do not spam test output.
+func TestDefaultLoggerQuiet(t *testing.T) {
+	if StdLogger().Level() != LevelWarn {
+		t.Errorf("default level = %v, want warn", StdLogger().Level())
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(1.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %g, want 4", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Errorf("gauge = %g, want -1", got)
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 105.0; got != want {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	s := h.Snapshot()
+	wantCounts := []uint64{1, 1, 1, 1} // (..1], (1,2], (2,4], (4,+Inf]
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramBoundaryValuesAreInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	h.Observe(1) // exactly on a bound lands in that bucket (le semantics)
+	h.Observe(2)
+	h.Observe(4)
+	s := h.Snapshot()
+	for i, want := range []uint64{1, 1, 1, 0} {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+}
+
+// TestHistogramQuantileExact pins quantile estimates on a known
+// distribution: 100 observations spread evenly, 25 per bucket, over
+// bounds 10/20/30/40. Linear interpolation inside the containing bucket
+// makes every quantile exactly computable.
+func TestHistogramQuantileExact(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	for b := 0; b < 4; b++ {
+		for i := 0; i < 25; i++ {
+			h.Observe(float64(b*10) + 5) // 5, 15, 25, 35 — 25 of each
+		}
+	}
+	cases := []struct{ q, want float64 }{
+		// target = q*100; bucket holds 25, spans 10 wide.
+		{0.10, 4},  // target 10 in (0,10]: 0 + 10*(10-0)/25
+		{0.25, 10}, // exactly exhausts bucket 0
+		{0.50, 20}, // exactly exhausts bucket 1
+		{0.625, 25},
+		{0.90, 36}, // target 90: 30 + 10*(90-75)/25
+		{1.00, 40},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	h.Observe(1000) // +Inf bucket only
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 2", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	for i := 1; i < len(DefLatencyBuckets); i++ {
+		if DefLatencyBuckets[i] <= DefLatencyBuckets[i-1] {
+			t.Fatal("DefLatencyBuckets not strictly increasing")
+		}
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := newHistogram(DefLatencyBuckets)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatal("ObserveSince did not record")
+	}
+	if s := h.Sum(); s < 0.01 || s > 1 {
+		t.Errorf("ObserveSince recorded %g seconds, want ~0.01", s)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPrimitives hammers every obs primitive from many
+// goroutines; run with -race in CI. Final values are asserted so the
+// test also catches lost updates (e.g. a non-atomic float add).
+func TestConcurrentPrimitives(t *testing.T) {
+	const workers, perWorker = 16, 1000
+	r := NewRegistry()
+	tr := NewTracer(32)
+	lg := NewLogger(LevelDebug, io.Discard)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Shared instruments looked up concurrently through the registry.
+			c := r.Counter("race_total", "")
+			g := r.Gauge("race_gauge", "")
+			h := r.Histogram("race_seconds", "", []float64{1, 10, 100})
+			own := r.Counter("race_per_worker_total", "", L("w", strconv.Itoa(w)))
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 200))
+				own.Inc()
+				if i%100 == 0 {
+					sp := tr.Start("race")
+					sp.SetRequestID(uint64(i))
+					sp.Event("tick")
+					sp.End()
+					lg.Infof("worker %d at %d", w, i)
+				}
+			}
+			// Concurrent renders and snapshots against live writers.
+			if i := w % 3; i == 0 {
+				r.WritePrometheus(io.Discard) //nolint:errcheck
+			} else if i == 1 {
+				r.WriteJSON(io.Discard) //nolint:errcheck
+			} else {
+				r.Snapshot()
+				tr.Recent(10)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := r.Counter("race_total", "").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d (lost updates)", got, workers*perWorker)
+	}
+	if got := r.Gauge("race_gauge", "").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %g, want %d (lost updates)", got, workers*perWorker)
+	}
+	h := r.Histogram("race_seconds", "", nil)
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	// Sum of i%200 over perWorker iterations, times workers.
+	var wantSum float64
+	for i := 0; i < perWorker; i++ {
+		wantSum += float64(i % 200)
+	}
+	wantSum *= workers
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g (lost float updates)", got, wantSum)
+	}
+	for w := 0; w < workers; w++ {
+		if got := r.Counter("race_per_worker_total", "", L("w", strconv.Itoa(w))).Value(); got != perWorker {
+			t.Errorf("worker %d counter = %d, want %d", w, got, perWorker)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_requests_total", "Requests served.", L("device", "0")).Add(7)
+	r.Counter("test_requests_total", "Requests served.", L("device", "1")).Add(3)
+	r.Gauge("test_imbalance_ratio", "Max over mean load.").Set(1.25)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.005)
+	h.Observe(5)
+	return r
+}
+
+// TestWritePrometheusGolden pins the full text exposition byte-for-byte:
+// families sorted by name, entries by label, cumulative le buckets.
+func TestWritePrometheusGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_imbalance_ratio Max over mean load.
+# TYPE test_imbalance_ratio gauge
+test_imbalance_ratio 1.25
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.001"} 1
+test_latency_seconds_bucket{le="0.01"} 3
+test_latency_seconds_bucket{le="0.1"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 5.0105
+test_latency_seconds_count 4
+# HELP test_requests_total Requests served.
+# TYPE test_requests_total counter
+test_requests_total{device="0"} 7
+test_requests_total{device="1"} 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("prometheus render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSONGolden pins the /debug/vars JSON structure.
+func TestWriteJSONGolden(t *testing.T) {
+	var sb strings.Builder
+	if err := buildTestRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]struct {
+		Kind    string `json:"kind"`
+		Help    string `json:"help"`
+		Metrics []struct {
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Count   *uint64           `json:"count"`
+			Sum     *float64          `json:"sum"`
+			P50     *float64          `json:"p50"`
+			P99     *float64          `json:"p99"`
+			Buckets []struct {
+				LE    float64 `json:"le"`
+				Count uint64  `json:"count"`
+			} `json:"buckets"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d families, want 3", len(got))
+	}
+	reqs := got["test_requests_total"]
+	if reqs.Kind != "counter" || len(reqs.Metrics) != 2 {
+		t.Fatalf("test_requests_total = %+v", reqs)
+	}
+	if reqs.Metrics[0].Labels["device"] != "0" || *reqs.Metrics[0].Value != 7 {
+		t.Errorf("device 0 counter = %+v", reqs.Metrics[0])
+	}
+	gauge := got["test_imbalance_ratio"]
+	if gauge.Kind != "gauge" || *gauge.Metrics[0].Value != 1.25 {
+		t.Errorf("gauge = %+v", gauge)
+	}
+	hist := got["test_latency_seconds"]
+	if hist.Kind != "histogram" || *hist.Metrics[0].Count != 4 || *hist.Metrics[0].Sum != 5.0105 {
+		t.Errorf("histogram = %+v", hist.Metrics[0])
+	}
+	if hist.Metrics[0].P50 == nil || hist.Metrics[0].P99 == nil {
+		t.Error("histogram JSON missing quantile estimates")
+	}
+	if n := len(hist.Metrics[0].Buckets); n != 3 {
+		t.Errorf("got %d finite buckets, want 3", n)
+	}
+}
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", L("k", "v"))
+	b := r.Counter("x_total", "", L("k", "v"))
+	if a != b {
+		t.Error("same name+labels returned different counters")
+	}
+	c := r.Counter("x_total", "", L("k", "w"))
+	if a == c {
+		t.Error("different labels returned the same counter")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{path="a\"b\\c\n"} 1`) {
+		t.Errorf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := buildTestRegistry()
+	points := r.Snapshot()
+	if len(points) != 4 {
+		t.Fatalf("got %d points, want 4", len(points))
+	}
+	// Sorted by name: gauge, histogram, counter{0}, counter{1}.
+	if points[0].Name != "test_imbalance_ratio" || points[0].Value != 1.25 {
+		t.Errorf("point 0 = %+v", points[0])
+	}
+	if points[1].Histogram == nil || points[1].Histogram.Count != 4 {
+		t.Errorf("point 1 missing histogram: %+v", points[1])
+	}
+	if points[2].Labels[0].Value != "0" || points[2].Value != 7 {
+		t.Errorf("point 2 = %+v", points[2])
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer keeps a bounded ring of recent query spans. A span is created
+// when the coordinator (or a device server) starts work on a query and
+// carries timestamped events; spans on both sides share the pipelined
+// wire request ID, so a coordinator trace correlates with the matching
+// server traces.
+type Tracer struct {
+	mu   sync.Mutex
+	cap  int
+	ring []*Span // oldest-first once full; insertion point is next
+	next int
+	full bool
+	seq  uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity spans.
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{cap: capacity, ring: make([]*Span, capacity)}
+}
+
+var defaultTracer = NewTracer(256)
+
+// DefaultTracer returns the process-wide tracer the instrumented
+// packages record against.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Start opens a span and records it in the ring (in-flight spans are
+// visible in Recent, marked not Done). Safe on a nil tracer, which
+// returns a nil span whose methods no-op.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	s := &Span{ID: t.seq, Name: name, start: time.Now()}
+	t.ring[t.next] = s
+	t.next++
+	if t.next == t.cap {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Recent returns up to n span snapshots, most recent first.
+func (t *Tracer) Recent(n int) []SpanSnapshot {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	var spans []*Span
+	for i := t.next - 1; i >= 0; i-- {
+		spans = append(spans, t.ring[i])
+	}
+	if t.full {
+		for i := t.cap - 1; i >= t.next; i-- {
+			spans = append(spans, t.ring[i])
+		}
+	}
+	t.mu.Unlock()
+	if len(spans) > n {
+		spans = spans[:n]
+	}
+	out := make([]SpanSnapshot, 0, len(spans))
+	for _, s := range spans {
+		if s != nil {
+			out = append(out, s.snapshot())
+		}
+	}
+	return out
+}
+
+// SpanEvent is one timestamped annotation inside a span.
+type SpanEvent struct {
+	// At is the offset from the span's start.
+	At  time.Duration `json:"at_ns"`
+	Msg string        `json:"msg"`
+}
+
+// Span is one in-progress or completed traced operation. All methods
+// are safe for concurrent use and no-op on a nil span.
+type Span struct {
+	ID   uint64
+	Name string
+
+	start time.Time
+
+	mu        sync.Mutex
+	requestID uint64
+	events    []SpanEvent
+	duration  time.Duration
+	done      bool
+}
+
+// SetRequestID attaches the pipelined wire request ID, correlating this
+// span with its peer on the other side of the connection.
+func (s *Span) SetRequestID(id uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.requestID = id
+	s.mu.Unlock()
+}
+
+// Event records a timestamped annotation.
+func (s *Span) Event(msg string) {
+	if s == nil {
+		return
+	}
+	at := time.Since(s.start)
+	s.mu.Lock()
+	s.events = append(s.events, SpanEvent{At: at, Msg: msg})
+	s.mu.Unlock()
+}
+
+// End closes the span, fixing its duration. Repeated End is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.duration = d
+	}
+	s.mu.Unlock()
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.duration
+	if !s.done {
+		d = time.Since(s.start)
+	}
+	return SpanSnapshot{
+		ID:        s.ID,
+		RequestID: s.requestID,
+		Name:      s.Name,
+		Start:     s.start,
+		Duration:  d,
+		Done:      s.done,
+		Events:    append([]SpanEvent(nil), s.events...),
+	}
+}
+
+// SpanSnapshot is a point-in-time copy of a span, safe to retain.
+type SpanSnapshot struct {
+	ID        uint64      `json:"id"`
+	RequestID uint64      `json:"request_id,omitempty"`
+	Name      string      `json:"name"`
+	Start     time.Time   `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Done      bool        `json:"done"`
+	Events    []SpanEvent `json:"events,omitempty"`
+}

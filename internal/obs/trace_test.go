@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRecentOrderAndEvents(t *testing.T) {
+	tr := NewTracer(8)
+	s1 := tr.Start("first")
+	s1.SetRequestID(11)
+	s1.Event("hello")
+	s1.End()
+	s2 := tr.Start("second")
+	s2.Event("a")
+	s2.Event("b")
+	s2.End()
+
+	got := tr.Recent(10)
+	if len(got) != 2 {
+		t.Fatalf("got %d spans, want 2", len(got))
+	}
+	if got[0].Name != "second" || got[1].Name != "first" {
+		t.Errorf("order = %s, %s; want most recent first", got[0].Name, got[1].Name)
+	}
+	if got[1].RequestID != 11 {
+		t.Errorf("request id = %d, want 11", got[1].RequestID)
+	}
+	if len(got[0].Events) != 2 || got[0].Events[0].Msg != "a" {
+		t.Errorf("events = %+v", got[0].Events)
+	}
+	if !got[0].Done || got[0].Duration <= 0 {
+		t.Errorf("span not finalized: %+v", got[0])
+	}
+}
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	got := tr.Recent(100)
+	if len(got) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(got))
+	}
+	// IDs are 1..10; the ring keeps the last 4, most recent first.
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if got[i].ID != want {
+			t.Errorf("span %d id = %d, want %d", i, got[i].ID, want)
+		}
+	}
+}
+
+func TestTracerInFlightSpanVisible(t *testing.T) {
+	tr := NewTracer(4)
+	s := tr.Start("open")
+	time.Sleep(time.Millisecond)
+	got := tr.Recent(1)
+	if len(got) != 1 || got[0].Done {
+		t.Fatalf("in-flight span not visible: %+v", got)
+	}
+	if got[0].Duration <= 0 {
+		t.Error("in-flight duration not running")
+	}
+	s.End()
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x") // must not panic
+	s.SetRequestID(1)
+	s.Event("y")
+	s.End()
+	if tr.Recent(5) != nil {
+		t.Error("nil tracer returned spans")
+	}
+}

@@ -1,0 +1,23 @@
+package pagestore
+
+import "fxdist/internal/obs"
+
+// Package-wide instruments: pagestore is the per-device substrate, so
+// its metrics aggregate across every open store in the process (device
+// attribution lives one layer up, in storage and netdist).
+var (
+	mAppend = obs.Default().Histogram("fxdist_pagestore_append_seconds",
+		"Latency of one record append (frame encode + buffered write).", nil)
+	mSync = obs.Default().Histogram("fxdist_pagestore_sync_seconds",
+		"Latency of one fsync making appended frames durable.", nil)
+	mOpens = obs.Default().Counter("fxdist_pagestore_opens_total",
+		"Store opens (including creations), each replaying the log to rebuild the index.")
+	mTornTails = obs.Default().Counter("fxdist_pagestore_torn_tails_total",
+		"Recoveries that truncated a torn or corrupt log tail.")
+	mRecoveredRecords = obs.Default().Counter("fxdist_pagestore_recovered_records_total",
+		"Live records recovered from logs during open.")
+	mCompactions = obs.Default().Counter("fxdist_pagestore_compactions_total",
+		"Log compactions (tombstone and dead-frame garbage collection).")
+	mTombstones = obs.Default().Counter("fxdist_pagestore_tombstones_total",
+		"Tombstone frames appended by deletes.")
+)

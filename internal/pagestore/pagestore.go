@@ -26,8 +26,10 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 )
 
 const frameHeaderSize = 12 // crc + bucket id + payload length
@@ -67,6 +69,8 @@ func Open(path string) (*Store, error) {
 		f.Close()
 		return nil, err
 	}
+	mOpens.Inc()
+	mRecoveredRecords.Add(uint64(s.records))
 	return s, nil
 }
 
@@ -121,6 +125,8 @@ func (s *Store) recover() error {
 		if err := s.f.Truncate(off); err != nil {
 			return err
 		}
+		mTornTails.Inc()
+		obs.Infof("pagestore: %s: truncated torn tail at offset %d (was %d bytes)", s.path, off, fileSize)
 	}
 	s.size = off
 	return nil
@@ -160,7 +166,9 @@ func (s *Store) appendFrame(kind byte, bucket uint32, rec mkhash.Record) (int64,
 // Append stores one record in the given bucket. The write is buffered by
 // the OS until Sync.
 func (s *Store) Append(bucket uint32, rec mkhash.Record) error {
+	t0 := time.Now()
 	off, err := s.appendFrame(kindPut, bucket, rec)
+	mAppend.ObserveSince(t0)
 	if err != nil {
 		return err
 	}
@@ -226,6 +234,7 @@ func (s *Store) Delete(bucket uint32, rec mkhash.Record) (int, error) {
 	if _, err := s.appendFrame(kindTombstone, bucket, rec); err != nil {
 		return 0, err
 	}
+	mTombstones.Inc()
 	if err := s.dropFromIndex(bucket, rec); err != nil {
 		return 0, err
 	}
@@ -236,6 +245,8 @@ func (s *Store) Delete(bucket uint32, rec mkhash.Record) (int, error) {
 // and deleted records), fsyncs it, and atomically replaces the old file.
 // Scan order within each bucket is preserved.
 func (s *Store) Compact() error {
+	t0 := time.Now()
+	oldSize := s.size
 	tmpPath := s.path + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -269,6 +280,9 @@ func (s *Store) Compact() error {
 	s.index = next.index
 	s.size = next.size
 	s.records = next.records
+	mCompactions.Inc()
+	obs.Infof("pagestore: %s: compacted %d -> %d bytes (%d live records) in %v",
+		s.path, oldSize, s.size, s.records, time.Since(t0))
 	return old.Close()
 }
 
@@ -317,7 +331,12 @@ func (s *Store) readFrame(off int64) (mkhash.Record, int64, error) {
 }
 
 // Sync flushes appended frames to stable storage.
-func (s *Store) Sync() error { return s.f.Sync() }
+func (s *Store) Sync() error {
+	t0 := time.Now()
+	err := s.f.Sync()
+	mSync.ObserveSince(t0)
+	return err
+}
 
 // Close syncs and closes the store.
 func (s *Store) Close() error {

@@ -9,6 +9,7 @@ import (
 
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 	"fxdist/internal/pagestore"
 	"fxdist/internal/persist"
 	"fxdist/internal/query"
@@ -28,9 +29,10 @@ type DurableCluster struct {
 	fs     decluster.FileSystem
 	alloc  decluster.GroupAllocator
 	im     *query.InverseMapper
-	model  CostModel
-	schema *mkhash.File // schema-only file used to hash queries
-	stores []*pagestore.Store
+	model   CostModel
+	schema  *mkhash.File // schema-only file used to hash queries
+	stores  []*pagestore.Store
+	metrics clusterMetrics
 }
 
 const metaName = "meta.snap"
@@ -67,13 +69,14 @@ func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator
 	}
 
 	c := &DurableCluster{
-		dir:    dir,
-		fs:     fs,
-		alloc:  alloc,
-		im:     query.NewInverseMapper(alloc),
-		model:  model,
-		schema: schemaOnly,
-		stores: make([]*pagestore.Store, fs.M),
+		dir:     dir,
+		fs:      fs,
+		alloc:   alloc,
+		im:      query.NewInverseMapper(alloc),
+		model:   model,
+		schema:  schemaOnly,
+		stores:  make([]*pagestore.Store, fs.M),
+		metrics: newClusterMetrics("durable", fs.M),
 	}
 	for dev := range c.stores {
 		s, err := pagestore.Open(devicePath(dir, dev))
@@ -120,13 +123,14 @@ func OpenDurable(dir string, model CostModel, opts ...mkhash.Option) (*DurableCl
 	}
 	fs := alloc.FileSystem()
 	c := &DurableCluster{
-		dir:    dir,
-		fs:     fs,
-		alloc:  alloc,
-		im:     query.NewInverseMapper(alloc),
-		model:  model,
-		schema: schemaOnly,
-		stores: make([]*pagestore.Store, fs.M),
+		dir:     dir,
+		fs:      fs,
+		alloc:   alloc,
+		im:      query.NewInverseMapper(alloc),
+		model:   model,
+		schema:  schemaOnly,
+		stores:  make([]*pagestore.Store, fs.M),
+		metrics: newClusterMetrics("durable", fs.M),
 	}
 	for dev := range c.stores {
 		s, err := pagestore.Open(devicePath(dir, dev))
@@ -193,6 +197,8 @@ func (c *DurableCluster) Delete(r mkhash.Record) (int, error) {
 
 // Compact rewrites every device log with only live records.
 func (c *DurableCluster) Compact() error {
+	t0 := time.Now()
+	before := c.Len()
 	for dev, s := range c.stores {
 		if s == nil {
 			continue
@@ -201,6 +207,8 @@ func (c *DurableCluster) Compact() error {
 			return fmt.Errorf("storage: compact device %d: %w", dev, err)
 		}
 	}
+	obs.Infof("storage: compacted %d device logs under %s (%d live records) in %v",
+		len(c.stores), c.dir, before, time.Since(t0))
 	return nil
 }
 
@@ -281,11 +289,16 @@ func (c *DurableCluster) Close() error {
 // concurrently inverse-maps its qualified buckets and scans them from
 // disk. The simulated cost accounting matches Cluster.Retrieve.
 func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	c.metrics.retrieves.Inc()
+	t0 := time.Now()
+	defer c.metrics.latency.ObserveSince(t0)
 	q, err := c.schema.BucketQuery(pm)
 	if err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 	if err := q.Validate(c.fs); err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 	m := c.fs.M
@@ -326,8 +339,10 @@ func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 		}(dev)
 	}
 	wg.Wait()
+	c.metrics.observe(res.DeviceBuckets)
 	for dev := 0; dev < m; dev++ {
 		if errs[dev] != nil {
+			c.metrics.errors.Inc()
 			return Result{}, fmt.Errorf("storage: device %d: %w", dev, errs[dev])
 		}
 		res.Records = append(res.Records, perDev[dev]...)

@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"strconv"
+
+	"fxdist/internal/obs"
+)
+
+// clusterMetrics instruments one cluster's retrieval path, cached at
+// construction. The cluster label separates the durable (disk-backed)
+// and replicated (simulated, failure-injecting) retrieval paths.
+//
+// The deviceBuckets counters accumulate qualified-bucket accesses per
+// device over the cluster's whole lifetime; imbalance is their max/mean
+// ratio — the paper's strict-optimality criterion (§5.2.1: response
+// time is the slowest device) measured on real traffic. 1.0 means the
+// allocator is spreading observed queries perfectly.
+type clusterMetrics struct {
+	retrieves     *obs.Counter
+	errors        *obs.Counter
+	latency       *obs.Histogram
+	deviceBuckets []*obs.Counter
+	imbalance     *obs.Gauge
+}
+
+func newClusterMetrics(cluster string, m int) clusterMetrics {
+	r := obs.Default()
+	cl := obs.L("cluster", cluster)
+	cm := clusterMetrics{
+		retrieves: r.Counter("fxdist_storage_retrieves_total",
+			"Retrievals answered by this cluster kind.", cl),
+		errors: r.Counter("fxdist_storage_retrieve_errors_total",
+			"Retrievals that failed on this cluster kind.", cl),
+		latency: r.Histogram("fxdist_storage_retrieve_seconds",
+			"Wall-clock retrieval latency (all devices, merge included).", nil, cl),
+		imbalance: r.Gauge("fxdist_storage_load_imbalance_ratio",
+			"Max/mean of cumulative per-device qualified-bucket counts; 1.0 is a perfectly balanced declustering.", cl),
+	}
+	cm.deviceBuckets = make([]*obs.Counter, m)
+	for dev := range cm.deviceBuckets {
+		cm.deviceBuckets[dev] = r.Counter("fxdist_storage_device_qualified_buckets_total",
+			"Qualified buckets accessed per device.", cl, obs.L("device", strconv.Itoa(dev)))
+	}
+	return cm
+}
+
+// observe folds one retrieval's per-device bucket counts into the
+// cumulative counters and refreshes the live imbalance gauge.
+func (cm *clusterMetrics) observe(deviceBuckets []int) {
+	for dev, b := range deviceBuckets {
+		if b > 0 {
+			cm.deviceBuckets[dev].Add(uint64(b))
+		}
+	}
+	var sum, max uint64
+	for _, c := range cm.deviceBuckets {
+		v := c.Value()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(len(cm.deviceBuckets))
+	cm.imbalance.Set(float64(max) / mean)
+}

@@ -7,6 +7,7 @@ import (
 
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 	"fxdist/internal/query"
 	"fxdist/internal/replica"
 )
@@ -25,7 +26,8 @@ type ReplicatedCluster struct {
 	model     CostModel
 	// devs[d].buckets holds both d's primary buckets and its backup
 	// copies (primaries of d-1).
-	devs []*device
+	devs    []*device
+	metrics clusterMetrics
 }
 
 // NewReplicated distributes file's buckets over the allocator's devices
@@ -48,6 +50,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		im:        query.NewInverseMapper(alloc),
 		model:     model,
 		devs:      make([]*device, fs.M),
+		metrics:   newClusterMetrics("replicated", fs.M),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -64,10 +67,22 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 
 // Fail marks a device failed (see replica.Placement.Fail for the adjacency
 // constraint).
-func (c *ReplicatedCluster) Fail(dev int) error { return c.placement.Fail(dev) }
+func (c *ReplicatedCluster) Fail(dev int) error {
+	if err := c.placement.Fail(dev); err != nil {
+		return err
+	}
+	obs.Infof("storage: replicated cluster device %d marked failed; ring successor now serves its primaries", dev)
+	return nil
+}
 
 // Restore marks a device healthy.
-func (c *ReplicatedCluster) Restore(dev int) error { return c.placement.Restore(dev) }
+func (c *ReplicatedCluster) Restore(dev int) error {
+	if err := c.placement.Restore(dev); err != nil {
+		return err
+	}
+	obs.Infof("storage: replicated cluster device %d restored", dev)
+	return nil
+}
 
 // Failed reports whether dev is failed.
 func (c *ReplicatedCluster) Failed(dev int) bool { return c.placement.Failed(dev) }
@@ -81,11 +96,16 @@ func (c *ReplicatedCluster) M() int { return c.fs.M }
 // subset of the backups it holds. Devices work concurrently, as in
 // Cluster.Retrieve.
 func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	c.metrics.retrieves.Inc()
+	t0 := time.Now()
+	defer c.metrics.latency.ObserveSince(t0)
 	q, err := c.file.BucketQuery(pm)
 	if err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 	if err := q.Validate(c.fs); err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 	m := c.fs.M
@@ -132,6 +152,7 @@ func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 		}(dev)
 	}
 	wg.Wait()
+	c.metrics.observe(res.DeviceBuckets)
 	for dev := 0; dev < m; dev++ {
 		res.Records = append(res.Records, perDev[dev]...)
 		res.TotalWork += res.DeviceTime[dev]

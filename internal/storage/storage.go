@@ -55,9 +55,10 @@ type Cluster struct {
 	file  *mkhash.File
 	fs    decluster.FileSystem
 	alloc decluster.GroupAllocator
-	im    *query.InverseMapper
-	model CostModel
-	devs  []*device
+	im      *query.InverseMapper
+	model   CostModel
+	devs    []*device
+	metrics clusterMetrics
 }
 
 // NewCluster distributes file's buckets over the allocator's devices. The
@@ -74,12 +75,13 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		}
 	}
 	c := &Cluster{
-		file:  file,
-		fs:    fs,
-		alloc: alloc,
-		im:    query.NewInverseMapper(alloc),
-		model: model,
-		devs:  make([]*device, fs.M),
+		file:    file,
+		fs:      fs,
+		alloc:   alloc,
+		im:      query.NewInverseMapper(alloc),
+		model:   model,
+		devs:    make([]*device, fs.M),
+		metrics: newClusterMetrics("memory", fs.M),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -130,11 +132,16 @@ type Result struct {
 // Retrieve answers a value-level partial match query in parallel: every
 // device concurrently inverse-maps its qualified buckets and scans them.
 func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	c.metrics.retrieves.Inc()
+	t0 := time.Now()
+	defer c.metrics.latency.ObserveSince(t0)
 	q, err := c.file.BucketQuery(pm)
 	if err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 	if err := q.Validate(c.fs); err != nil {
+		c.metrics.errors.Inc()
 		return Result{}, err
 	}
 
@@ -172,6 +179,7 @@ func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 		}(dev)
 	}
 	wg.Wait()
+	c.metrics.observe(res.DeviceBuckets)
 
 	for dev := 0; dev < m; dev++ {
 		res.Records = append(res.Records, perDev[dev]...)

@@ -1,0 +1,192 @@
+package fxdist_test
+
+import (
+	"bufio"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"fxdist"
+)
+
+// scrapeMetrics GETs url and parses the Prometheus text exposition into
+// a map keyed by the full series name (labels included).
+func scrapeMetrics(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scrape %s: %v", url, err)
+	}
+	return out
+}
+
+// TestMetricsScrapeDuringDistributedRetrieve drives the full stack —
+// durable cluster retrieve, replicated distributed retrieve, one server
+// death — and asserts the /metrics scrape reflects each of them: per-
+// device latency histograms, the live load-imbalance gauge, and the
+// failover counter for the killed device.
+func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
+	srv := httptest.NewServer(fxdist.MetricsHandler())
+	defer srv.Close()
+
+	file := buildTestFile(t)
+	fs, err := file.FileSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := file.Spec(map[string]string{"b": "b-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := file.Search(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Durable cluster retrieve feeds the storage latency histogram and
+	// the load-imbalance gauge.
+	dc, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.ParallelDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	if _, err := dc.Retrieve(pm); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deploy replicated servers individually so one can be killed.
+	spec, err := fxdist.DescribeAllocator(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := fxdist.PartitionFile(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const m = 4
+	servers := make([]*fxdist.DeviceServer, m)
+	addrs := make([]string, m)
+	for dev := 0; dev < m; dev++ {
+		prev := (dev + m - 1) % m
+		s, err := fxdist.NewReplicatedDeviceServer(dev, spec, parts[dev], parts[prev])
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[dev] = s
+		addrs[dev] = l.Addr().String()
+		go s.Serve(l) //nolint:errcheck
+	}
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+
+	coord, err := fxdist.DialCluster(file, addrs, fxdist.WithRequestTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	got, err := coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want) {
+		t.Fatalf("healthy retrieve %d records, want %d", len(got.Records), len(want))
+	}
+
+	before := scrapeMetrics(t, srv.URL+"/metrics")
+	for dev := 0; dev < m; dev++ {
+		key := `fxdist_netdist_coordinator_device_request_seconds_count{device="` + strconv.Itoa(dev) + `"}`
+		if before[key] == 0 {
+			t.Errorf("per-device latency histogram empty: %s", key)
+		}
+	}
+	if v := before[`fxdist_storage_load_imbalance_ratio{cluster="durable"}`]; v < 1 {
+		t.Errorf("load-imbalance gauge = %g, want >= 1", v)
+	}
+	if before[`fxdist_storage_retrieve_seconds_count{cluster="durable"}`] == 0 {
+		t.Error("durable retrieve latency histogram empty")
+	}
+
+	// Kill device 2's server and wait for the coordinator to notice.
+	servers[2].Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := coord.Retrieve(pm); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("plain retrieve kept succeeding after server death")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	got, err = coord.RetrieveWithFailover(pm)
+	if err != nil {
+		t.Fatalf("failover retrieve: %v", err)
+	}
+	if len(got.Records) != len(want) {
+		t.Fatalf("failover retrieve %d records, want %d", len(got.Records), len(want))
+	}
+
+	after := scrapeMetrics(t, srv.URL+"/metrics")
+	failKey := `fxdist_netdist_coordinator_failovers_total{device="2"}`
+	if after[failKey] <= before[failKey] {
+		t.Errorf("failover counter did not increment: before=%g after=%g",
+			before[failKey], after[failKey])
+	}
+	if after[`fxdist_netdist_coordinator_retrieves_total`] <= before[`fxdist_netdist_coordinator_retrieves_total`] {
+		t.Error("coordinator retrieve counter did not advance")
+	}
+
+	// The failover fan-out also leaves a trace span correlating the
+	// coordinator's view of the query.
+	spans := fxdist.RecentTraces(64)
+	var sawFailover bool
+	for _, sp := range spans {
+		if sp.Name == "netdist.retrieve-failover" {
+			sawFailover = true
+			break
+		}
+	}
+	if !sawFailover {
+		t.Error("no netdist.retrieve-failover span in recent traces")
+	}
+}

@@ -1,0 +1,62 @@
+package fxdist
+
+import (
+	"io"
+	"net/http"
+
+	"fxdist/internal/obs"
+)
+
+// Observability: the runtime introspection surface. Every hot path in
+// the distributed stack (netdist coordinator and device servers, the
+// durable and replicated clusters, the pagestore logs) reports into a
+// process-wide metric registry and trace ring; this file is the
+// embedder's API to it. cmd/fxnode and cmd/pmquery expose the same data
+// over HTTP via -metrics-addr.
+
+// MetricPoint is one metric sample: name, kind, labels and either a
+// scalar value (counters, gauges) or a histogram snapshot.
+type MetricPoint = obs.Point
+
+// MetricHistogram is a point-in-time histogram copy with quantile
+// estimation (Quantile(0.99) etc.).
+type MetricHistogram = obs.HistogramSnapshot
+
+// MetricsSnapshot returns the current value of every registered metric,
+// sorted by name then labels — the programmatic equivalent of scraping
+// /metrics.
+func MetricsSnapshot() []MetricPoint { return obs.Default().Snapshot() }
+
+// WriteMetricsPrometheus renders all metrics in the Prometheus text
+// exposition format.
+func WriteMetricsPrometheus(w io.Writer) error { return obs.Default().WritePrometheus(w) }
+
+// WriteMetricsJSON renders all metrics as an expvar-style JSON object.
+func WriteMetricsJSON(w io.Writer) error { return obs.Default().WriteJSON(w) }
+
+// MetricsHandler serves /metrics (Prometheus text), /debug/vars
+// (JSON), /debug/traces (recent query spans) and /debug/pprof/.
+func MetricsHandler() http.Handler { return obs.Handler() }
+
+// ServeMetrics starts MetricsHandler on addr (":0" picks a free port),
+// returning the bound address and a shutdown function.
+func ServeMetrics(addr string) (string, func(), error) { return obs.ListenAndServe(addr) }
+
+// TraceSpan is a completed or in-flight query trace: coordinator fan-out
+// and device-server spans correlate via RequestID.
+type TraceSpan = obs.SpanSnapshot
+
+// RecentTraces returns up to n recent query spans, most recent first.
+func RecentTraces(n int) []TraceSpan { return obs.DefaultTracer().Recent(n) }
+
+// SetLogLevel tunes the runtime logger: "debug", "info", "warn",
+// "error" or "off". The default is "warn", which keeps routine
+// recovery/compaction events (logged at info) quiet.
+func SetLogLevel(level string) error {
+	l, err := obs.ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(l)
+	return nil
+}
