@@ -9,6 +9,7 @@
 package fxdist_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -226,7 +227,8 @@ func BenchmarkInverseMapping(b *testing.B) {
 	}
 }
 
-func BenchmarkClusterRetrieve(b *testing.B) {
+func benchCluster(b *testing.B) (*fxdist.Cluster, []fxdist.PartialMatch) {
+	b.Helper()
 	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
 		{Name: "a", Cardinality: 500},
 		{Name: "b", Cardinality: 100},
@@ -261,12 +263,43 @@ func BenchmarkClusterRetrieve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return cluster, pms
+}
+
+func BenchmarkClusterRetrieve(b *testing.B) {
+	cluster, pms := benchCluster(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cluster.Retrieve(pms[i%64]); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkBatchRetrieve compares a 16-query RetrieveBatch against the
+// same 16 queries retrieved sequentially — the capability the unified
+// engine exists for: all fan-outs share one worker pool and pipeline
+// instead of hitting a per-query barrier.
+func BenchmarkBatchRetrieve(b *testing.B) {
+	cluster, pms := benchCluster(b)
+	batch := pms[:16]
+	b.Run("sequential16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pm := range batch {
+				if _, err := cluster.Retrieve(pm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch16", func(b *testing.B) {
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.RetrieveBatch(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- Ablations -----------------------------------------------------------

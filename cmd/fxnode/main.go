@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -114,6 +115,7 @@ func runQuery(args []string) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	snapshot := fs.String("snapshot", "", "snapshot file (schema source)")
 	addrsArg := fs.String("addrs", "", "comma-separated device addresses, in device order")
+	timeout := fs.Duration("timeout", 0, "overall retrieval deadline (0 waits indefinitely)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
@@ -150,7 +152,13 @@ func runQuery(args []string) error {
 		return err
 	}
 	defer coord.Close()
-	res, err := coord.Retrieve(pm)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := coord.RetrieveContext(ctx, pm)
 	if err != nil {
 		return err
 	}

@@ -8,9 +8,11 @@
 //
 //	pmquery -records 20000 -devices 16 -method fx -queries 10 -p 0.5
 //	pmquery -method modulo -model disk
+//	pmquery -queries 64 -batch
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +29,7 @@ func main() {
 	p := flag.Float64("p", 0.5, "per-field specification probability")
 	model := flag.String("model", "memory", "device model: memory or disk")
 	seed := flag.Int64("seed", 1988, "workload seed")
+	batch := flag.Bool("batch", false, "submit the whole workload as one RetrieveBatch instead of one query at a time")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address while the workload runs")
 	flag.Parse()
 
@@ -99,14 +102,24 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var worst, total float64
-	for i, pm := range pms {
-		res, err := cluster.Retrieve(pm)
+	var results []fxdist.RetrieveResult
+	if *batch {
+		results, err = cluster.RetrieveBatch(context.Background(), pms)
 		if err != nil {
 			fatal(err)
 		}
+	} else {
+		results = make([]fxdist.RetrieveResult, len(pms))
+		for i, pm := range pms {
+			if results[i], err = cluster.Retrieve(pm); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	var worst, total float64
+	for i, res := range results {
 		fmt.Printf("q%-2d %-60s hits=%-6d buckets(max/dev)=%-4d response=%-12v work=%v\n",
-			i, renderQuery(spec, pm), len(res.Records), res.LargestResponseSize,
+			i, renderQuery(spec, pms[i]), len(res.Records), res.LargestResponseSize,
 			res.Response, res.TotalWork)
 		total += res.Response.Seconds()
 		if res.Response.Seconds() > worst {

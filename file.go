@@ -1,6 +1,7 @@
 package fxdist
 
 import (
+	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/storage"
 )
@@ -35,8 +36,18 @@ func NewFile(schema Schema, opts ...FileOption) (*File, error) {
 
 // Cluster distributes a File's buckets over M simulated parallel devices
 // according to a declustering allocator, and answers partial match queries
-// in parallel with per-device inverse mapping.
+// in parallel with per-device inverse mapping. All cluster kinds —
+// Cluster, DurableCluster, ReplicatedCluster and the distributed
+// Coordinator — retrieve through one shared engine executor and therefore
+// share the same capabilities: RetrieveContext (cancellation/deadlines)
+// and RetrieveBatch (multi-query pipelining over one bounded worker
+// pool).
 type Cluster = storage.Cluster
+
+// DeviceFailure wraps one device's retrieval failure with the failing
+// device's id. A failed retrieval reports every failing device in its
+// error; match individual failures with errors.As.
+type DeviceFailure = engine.DeviceFailure
 
 // CostModel is the simulated per-device service time model.
 type CostModel = storage.CostModel

@@ -1,17 +1,20 @@
 package fxdist_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 
 	"fxdist"
 )
 
-// The three retrieval paths — in-memory simulated cluster, disk-backed
-// durable cluster, and TCP-distributed coordinator — must all agree with
-// the single-device reference search on the same file, allocator and
-// query mix, and must report identical per-device bucket counts (they all
-// derive from the same inverse mapping).
+// The four retrieval backends — in-memory simulated cluster, disk-backed
+// durable cluster, replicated cluster (all devices healthy), and
+// TCP-distributed coordinator over a replicated loopback deployment —
+// must all agree with the single-device reference search on the same
+// file, allocator and query mix, and must report identical per-device
+// bucket counts: they all retrieve through the shared engine executor
+// and derive their bucket sets from the same inverse mapping.
 func TestRetrievalPathsAgree(t *testing.T) {
 	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
 		{Name: "part", Cardinality: 400},
@@ -49,7 +52,11 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dur.Close()
-	addrs, stop, err := fxdist.DeployLocal(file, fx)
+	repl, err := fxdist.NewReplicatedCluster(file, fx, fxdist.ChainedFailover, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop, err := fxdist.DeployReplicatedLocal(file, fx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,6 +96,10 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		replRes, err := repl.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
 		netRes, err := net.Retrieve(pm)
 		if err != nil {
 			t.Fatal(err)
@@ -97,6 +108,7 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		for name, got := range map[string][]fxdist.Record{
 			"memory":      memRes.Records,
 			"durable":     durRes.Records,
+			"replicated":  replRes.Records,
 			"distributed": netRes.Records,
 		} {
 			gotKeys := keysOf(got)
@@ -111,10 +123,34 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		}
 		for d := 0; d < 8; d++ {
 			if memRes.DeviceBuckets[d] != durRes.DeviceBuckets[d] ||
+				memRes.DeviceBuckets[d] != replRes.DeviceBuckets[d] ||
 				memRes.DeviceBuckets[d] != netRes.DeviceBuckets[d] {
-				t.Fatalf("query %d device %d: bucket counts diverge (%d/%d/%d)",
-					qi, d, memRes.DeviceBuckets[d], durRes.DeviceBuckets[d], netRes.DeviceBuckets[d])
+				t.Fatalf("query %d device %d: bucket counts diverge (%d/%d/%d/%d)",
+					qi, d, memRes.DeviceBuckets[d], durRes.DeviceBuckets[d],
+					replRes.DeviceBuckets[d], netRes.DeviceBuckets[d])
 			}
+		}
+	}
+
+	// The batch API must agree with one-at-a-time retrieval on every
+	// backend that exposes it.
+	ctx := context.Background()
+	batch, err := mem.RetrieveBatch(ctx, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netBatch, err := net.RetrieveBatch(ctx, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, pm := range pms {
+		want, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[qi].Records) != len(want) || len(netBatch[qi].Records) != len(want) {
+			t.Fatalf("batch query %d: %d/%d records, want %d",
+				qi, len(batch[qi].Records), len(netBatch[qi].Records), len(want))
 		}
 	}
 }

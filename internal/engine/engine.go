@@ -1,0 +1,144 @@
+// Package engine is the unified retrieval engine behind every cluster
+// backend: one executor that plans a partial match query, fans it out to
+// a set of Devices on a bounded worker pool, and merges the per-device
+// answers under the paper's §5.2.1 cost model.
+//
+// The paper's §4.2 inverse mapping — each device enumerates only its own
+// qualified buckets — is a property of the Device implementations; the
+// engine owns everything around it: query lowering and validation (once,
+// not per backend), context cancellation and deadlines, failover
+// rerouting, cost aggregation, metrics, and trace spans. The in-memory
+// simulator, the disk-backed durable cluster, the replicated cluster and
+// the TCP coordinator are all thin Device adapters over this executor,
+// so capabilities like multi-query batching exist once and work
+// everywhere.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+// CostModel is the per-device service time model of §5.2.1. Service time
+// for a query on one device is PerQuery + buckets*PerBucket +
+// records*PerRecord. The zero CostModel costs nothing — backends with no
+// simulated hardware (the TCP coordinator) use it and report zero times.
+type CostModel struct {
+	Name string
+	// PerQuery is the fixed per-device overhead of dispatching one query.
+	PerQuery time.Duration
+	// PerBucket is the cost of accessing one qualified bucket (for disks:
+	// seek + rotational latency + transfer of one bucket).
+	PerBucket time.Duration
+	// PerRecord is the cost of scanning or shipping one record.
+	PerRecord time.Duration
+}
+
+// DeviceTime returns the model's service time for one device's work on
+// one query — the §5.2.1 formula in its only implementation.
+func (m CostModel) DeviceTime(buckets, records int) time.Duration {
+	return m.PerQuery +
+		time.Duration(buckets)*m.PerBucket +
+		time.Duration(records)*m.PerRecord
+}
+
+// ParallelDisk models late-1980s disks on a shared bus: ~28 ms per bucket
+// access (16 ms average seek + 8.3 ms rotational latency + transfer), plus
+// per-record transfer cost.
+var ParallelDisk = CostModel{Name: "parallel-disk", PerQuery: 1 * time.Millisecond, PerBucket: 28 * time.Millisecond, PerRecord: 50 * time.Microsecond}
+
+// MainMemory models a multiprocessor main-memory database node: bucket
+// access is a few microseconds of address computation and pointer chasing.
+var MainMemory = CostModel{Name: "main-memory", PerQuery: 2 * time.Microsecond, PerBucket: 2 * time.Microsecond, PerRecord: 200 * time.Nanosecond}
+
+// Answer is one device's contribution to a retrieval.
+type Answer struct {
+	// Buckets is the number of qualified buckets the device accessed.
+	Buckets int
+	// Records is the number of records the device scanned.
+	Records int
+	// Hits are the matching records.
+	Hits []mkhash.Record
+	// Idle marks a device that did not participate at all (e.g. a failed
+	// replica whose buckets are served elsewhere); idle devices are not
+	// charged the per-query dispatch cost.
+	Idle bool
+}
+
+// Device is one parallel device in an engine-driven cluster: it scans the
+// qualified buckets the inverse mapper assigns to it for bucket query q,
+// re-checking the value-level filters pm (hashing collides). A Device
+// must honor ctx and return promptly — with ctx.Err() — once the context
+// is cancelled; that is what makes executor deadlines leak-free.
+type Device interface {
+	Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (Answer, error)
+}
+
+// Result reports one retrieval: the matching records plus the simulated
+// parallel cost breakdown.
+type Result struct {
+	// Records are the matching records, grouped by device in device order.
+	Records []mkhash.Record
+	// DeviceBuckets[i] is the number of qualified buckets device i accessed.
+	DeviceBuckets []int
+	// DeviceRecords[i] is the number of records device i scanned.
+	DeviceRecords []int
+	// DeviceTime[i] is device i's simulated service time.
+	DeviceTime []time.Duration
+	// Response is the simulated parallel response time: the slowest device.
+	Response time.Duration
+	// TotalWork is the sum of all device times (what a single device would
+	// have spent, modulo per-query overhead).
+	TotalWork time.Duration
+	// LargestResponseSize is max(DeviceBuckets), the paper's metric.
+	LargestResponseSize int
+}
+
+// AccumulateCost folds per-device service times and qualified-bucket
+// counts into the §5.2.1 summary: response time is the slowest device,
+// total work is the sum, and the largest response size is the biggest
+// per-device bucket count. Every cost report in the system — executor
+// merges and record-free simulations alike — goes through here.
+func AccumulateCost(times []time.Duration, buckets []int) (response, totalWork time.Duration, largest int) {
+	for _, t := range times {
+		totalWork += t
+		if t > response {
+			response = t
+		}
+	}
+	for _, b := range buckets {
+		if b > largest {
+			largest = b
+		}
+	}
+	return response, totalWork, largest
+}
+
+// Matches re-checks actual field values against the query (hash
+// collisions can put non-matching records in qualified buckets).
+func Matches(pm mkhash.PartialMatch, r mkhash.Record) bool {
+	for i, v := range pm {
+		if v != nil && r[i] != *v {
+			return false
+		}
+	}
+	return true
+}
+
+// DeviceFailure wraps a device's scan error with the failing device's
+// identity. The executor reports every failing device of a retrieval —
+// match individual failures with errors.As.
+type DeviceFailure struct {
+	Device int
+	Err    error
+}
+
+func (e *DeviceFailure) Error() string {
+	return fmt.Sprintf("engine: device %d: %v", e.Device, e.Err)
+}
+
+func (e *DeviceFailure) Unwrap() error { return e.Err }

@@ -1,0 +1,327 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
+	"fxdist/internal/query"
+)
+
+// Observer receives the executor's per-retrieval instrumentation events.
+// RetrieveStarted fires before planning; exactly one RetrieveDone follows
+// (with the wall-clock elapsed time, and the per-device qualified-bucket
+// counts on success, nil on failure). RetrieveError fires once per failed
+// retrieval, before its RetrieveDone.
+type Observer interface {
+	RetrieveStarted()
+	RetrieveError()
+	RetrieveDone(elapsed time.Duration, deviceBuckets []int)
+}
+
+// RetryPolicy decides what to do when a device's scan fails: return a
+// replacement Device to re-ask (e.g. the ring successor holding the
+// failed device's backup partition), or nil to let the failure stand.
+// The policy runs on the worker that observed the failure, so rerouting
+// happens immediately rather than in a second fan-out wave.
+type RetryPolicy func(ctx context.Context, dev int, err error) Device
+
+// Config assembles an Executor.
+type Config struct {
+	// Schema hashes value-level queries into bucket queries.
+	Schema *mkhash.File
+	// FS, when non-zero, validates bucket queries against the declustered
+	// file system before fan-out. Backends that only know the schema (the
+	// TCP coordinator validates server-side) leave it zero.
+	FS decluster.FileSystem
+	// Devices are the cluster's parallel devices, in device order.
+	Devices []Device
+	// Model prices each device's work; the zero model reports zero times.
+	Model CostModel
+	// Observer, if set, receives retrieval metrics events.
+	Observer Observer
+	// Tracer, if set, opens a span per retrieval.
+	Tracer *obs.Tracer
+	// Span names the tracer spans (e.g. "storage.retrieve").
+	Span string
+	// Workers bounds the worker pool; 0 means max(len(Devices), GOMAXPROCS).
+	Workers int
+	// Retry, if set, is consulted on every device failure.
+	Retry RetryPolicy
+}
+
+// Executor is the single retrieval code path shared by every backend:
+// plan (validate once) → bounded fan-out over Devices → merge under the
+// cost model. Executors are cheap and safe for concurrent use.
+type Executor struct {
+	schema *mkhash.File
+	fs     decluster.FileSystem
+	devs   []Device
+	model  CostModel
+	obs    Observer
+	tracer *obs.Tracer
+	span   string
+	retry  RetryPolicy
+	pool   *pool
+}
+
+// New builds an Executor from cfg.
+func New(cfg Config) (*Executor, error) {
+	if cfg.Schema == nil {
+		return nil, errors.New("engine: config needs a schema")
+	}
+	if len(cfg.Devices) == 0 {
+		return nil, errors.New("engine: config needs at least one device")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = len(cfg.Devices)
+		if n := runtime.GOMAXPROCS(0); n > workers {
+			workers = n
+		}
+	}
+	return &Executor{
+		schema: cfg.Schema,
+		fs:     cfg.FS,
+		devs:   cfg.Devices,
+		model:  cfg.Model,
+		obs:    cfg.Observer,
+		tracer: cfg.Tracer,
+		span:   cfg.Span,
+		retry:  cfg.Retry,
+		pool:   newPool(workers),
+	}, nil
+}
+
+// Derive returns a copy of the executor with a different span name and
+// retry policy, sharing the devices and worker pool. Backends use it to
+// offer plain and failover retrieval over the same machinery.
+func (e *Executor) Derive(span string, retry RetryPolicy) *Executor {
+	d := *e
+	d.span = span
+	d.retry = retry
+	return &d
+}
+
+// M returns the device count.
+func (e *Executor) M() int { return len(e.devs) }
+
+// spanKey carries the retrieval's trace span through the context so that
+// devices (e.g. the remote gob device) can attach protocol events to it.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying span.
+func ContextWithSpan(ctx context.Context, span *obs.Span) context.Context {
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, span)
+}
+
+// SpanFromContext returns the retrieval span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *obs.Span {
+	span, _ := ctx.Value(spanKey{}).(*obs.Span)
+	return span
+}
+
+// lower hashes the value-level query and validates it once, for every
+// device, before any fan-out.
+func (e *Executor) lower(pm mkhash.PartialMatch) (query.Query, error) {
+	q, err := e.schema.BucketQuery(pm)
+	if err != nil {
+		return query.Query{}, err
+	}
+	if e.fs.M > 0 {
+		if err := q.Validate(e.fs); err != nil {
+			return query.Query{}, err
+		}
+	}
+	return q, nil
+}
+
+// call is one in-flight fan-out: per-device answer slots plus an atomic
+// countdown that closes done when the last device task finishes. Waiters
+// that give up early (context cancelled) simply abandon the call; the
+// remaining tasks write into the call's private slices and exit.
+type call struct {
+	t0      time.Time
+	span    *obs.Span
+	answers []Answer
+	errs    []error
+	pending atomic.Int64
+	done    chan struct{}
+}
+
+// launch starts the fan-out for one lowered query and returns without
+// waiting: every device's scan is queued on the shared pool.
+func (e *Executor) launch(ctx context.Context, q query.Query, pm mkhash.PartialMatch) *call {
+	m := len(e.devs)
+	c := &call{
+		t0:      time.Now(),
+		answers: make([]Answer, m),
+		errs:    make([]error, m),
+		done:    make(chan struct{}),
+	}
+	if e.tracer != nil && e.span != "" {
+		c.span = e.tracer.Start(e.span)
+	}
+	c.pending.Store(int64(m))
+	ctx = ContextWithSpan(ctx, c.span)
+	for dev := 0; dev < m; dev++ {
+		dev := dev
+		e.pool.submit(func() {
+			defer func() {
+				if c.pending.Add(-1) == 0 {
+					close(c.done)
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				c.errs[dev] = err
+				return
+			}
+			ans, err := e.devs[dev].Scan(ctx, q, pm)
+			if err != nil && e.retry != nil && ctx.Err() == nil {
+				if alt := e.retry(ctx, dev, err); alt != nil {
+					ans, err = alt.Scan(ctx, q, pm)
+				}
+			}
+			c.answers[dev], c.errs[dev] = ans, err
+		})
+	}
+	return c
+}
+
+// wait blocks until every device task finished or ctx is cancelled, then
+// merges. On cancellation it returns promptly with ctx's error; straggler
+// tasks keep draining in the background into the abandoned call and exit
+// on their next context check.
+func (e *Executor) wait(ctx context.Context, c *call) (Result, error) {
+	select {
+	case <-c.done:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	var failures []error
+	for dev, err := range c.errs {
+		if err != nil {
+			failures = append(failures, &DeviceFailure{Device: dev, Err: err})
+		}
+	}
+	if len(failures) > 0 {
+		return Result{}, errors.Join(failures...)
+	}
+	m := len(c.answers)
+	res := Result{
+		DeviceBuckets: make([]int, m),
+		DeviceRecords: make([]int, m),
+		DeviceTime:    make([]time.Duration, m),
+	}
+	for dev, a := range c.answers {
+		if a.Idle {
+			continue
+		}
+		res.DeviceBuckets[dev] = a.Buckets
+		res.DeviceRecords[dev] = a.Records
+		res.DeviceTime[dev] = e.model.DeviceTime(a.Buckets, a.Records)
+		res.Records = append(res.Records, a.Hits...)
+	}
+	res.Response, res.TotalWork, res.LargestResponseSize = AccumulateCost(res.DeviceTime, res.DeviceBuckets)
+	return res, nil
+}
+
+// finish closes the call's span and reports the retrieval to the observer.
+func (e *Executor) finish(c *call, res Result, err error) {
+	if c.span != nil {
+		if err != nil {
+			c.span.Event("error: " + err.Error())
+		}
+		c.span.End()
+	}
+	if e.obs == nil {
+		return
+	}
+	elapsed := time.Since(c.t0)
+	if err != nil {
+		e.obs.RetrieveError()
+		e.obs.RetrieveDone(elapsed, nil)
+		return
+	}
+	e.obs.RetrieveDone(elapsed, res.DeviceBuckets)
+}
+
+// planFailed reports a retrieval that died before fan-out.
+func (e *Executor) planFailed(t0 time.Time) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.RetrieveError()
+	e.obs.RetrieveDone(time.Since(t0), nil)
+}
+
+// Retrieve answers one value-level partial match query: validate once,
+// fan out every device's inverse-mapped scan on the bounded pool, merge
+// under the cost model. Cancelling ctx returns promptly with its error.
+func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	if e.obs != nil {
+		e.obs.RetrieveStarted()
+	}
+	t0 := time.Now()
+	q, err := e.lower(pm)
+	if err != nil {
+		e.planFailed(t0)
+		return Result{}, err
+	}
+	c := e.launch(ctx, q, pm)
+	res, err := e.wait(ctx, c)
+	e.finish(c, res, err)
+	return res, err
+}
+
+// RetrieveBatch answers a batch of queries over the shared worker pool:
+// every query's fan-out is launched up front, so devices pipeline across
+// queries instead of idling at per-query barriers. Each query gets its
+// own trace span and metrics events. The returned slice always has one
+// Result per query; queries that failed have a zero Result and contribute
+// a "query %d" error to the joined error.
+func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
+	results := make([]Result, len(pms))
+	errs := make([]error, len(pms))
+	calls := make([]*call, len(pms))
+	for i, pm := range pms {
+		if e.obs != nil {
+			e.obs.RetrieveStarted()
+		}
+		t0 := time.Now()
+		q, err := e.lower(pm)
+		if err != nil {
+			errs[i] = err
+			e.planFailed(t0)
+			continue
+		}
+		calls[i] = e.launch(ctx, q, pm)
+	}
+	for i, c := range calls {
+		if c == nil {
+			continue
+		}
+		res, err := e.wait(ctx, c)
+		e.finish(c, res, err)
+		results[i], errs[i] = res, err
+	}
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("query %d: %w", i, err))
+		}
+	}
+	if len(joined) > 0 {
+		return results, errors.Join(joined...)
+	}
+	return results, nil
+}

@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"fxdist/internal/obs"
+)
+
+// ClusterMetrics is the standard Observer for storage-style clusters,
+// cached at construction. The cluster label separates the in-memory,
+// durable (disk-backed) and replicated (failure-injecting) retrieval
+// paths; metric names keep the fxdist_storage prefix the dashboards
+// already scrape.
+//
+// The per-device counters accumulate qualified-bucket accesses over the
+// cluster's whole lifetime; imbalance is their max/mean ratio — the
+// paper's strict-optimality criterion (§5.2.1: response time is the
+// slowest device) measured on real traffic. 1.0 means the allocator is
+// spreading observed queries perfectly.
+type ClusterMetrics struct {
+	retrieves     *obs.Counter
+	errors        *obs.Counter
+	latency       *obs.Histogram
+	deviceBuckets []*obs.Counter
+	imbalance     *obs.Gauge
+}
+
+// NewClusterMetrics registers (or revives) the metric family for one
+// cluster kind with m devices.
+func NewClusterMetrics(cluster string, m int) *ClusterMetrics {
+	r := obs.Default()
+	cl := obs.L("cluster", cluster)
+	cm := &ClusterMetrics{
+		retrieves: r.Counter("fxdist_storage_retrieves_total",
+			"Retrievals answered by this cluster kind.", cl),
+		errors: r.Counter("fxdist_storage_retrieve_errors_total",
+			"Retrievals that failed on this cluster kind.", cl),
+		latency: r.Histogram("fxdist_storage_retrieve_seconds",
+			"Wall-clock retrieval latency (all devices, merge included).", nil, cl),
+		imbalance: r.Gauge("fxdist_storage_load_imbalance_ratio",
+			"Max/mean of cumulative per-device qualified-bucket counts; 1.0 is a perfectly balanced declustering.", cl),
+	}
+	cm.deviceBuckets = make([]*obs.Counter, m)
+	for dev := range cm.deviceBuckets {
+		cm.deviceBuckets[dev] = r.Counter("fxdist_storage_device_qualified_buckets_total",
+			"Qualified buckets accessed per device.", cl, obs.L("device", strconv.Itoa(dev)))
+	}
+	return cm
+}
+
+// RetrieveStarted implements Observer.
+func (cm *ClusterMetrics) RetrieveStarted() { cm.retrieves.Inc() }
+
+// RetrieveError implements Observer.
+func (cm *ClusterMetrics) RetrieveError() { cm.errors.Inc() }
+
+// RetrieveDone implements Observer: it records the latency and, on
+// success, folds the per-device bucket counts into the cumulative
+// counters and refreshes the live imbalance gauge.
+func (cm *ClusterMetrics) RetrieveDone(elapsed time.Duration, deviceBuckets []int) {
+	cm.latency.Observe(elapsed.Seconds())
+	if deviceBuckets == nil {
+		return
+	}
+	for dev, b := range deviceBuckets {
+		if b > 0 {
+			cm.deviceBuckets[dev].Add(uint64(b))
+		}
+	}
+	var sum, max uint64
+	for _, c := range cm.deviceBuckets {
+		v := c.Value()
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return
+	}
+	mean := float64(sum) / float64(len(cm.deviceBuckets))
+	cm.imbalance.Set(float64(max) / mean)
+}

@@ -1,0 +1,55 @@
+package engine
+
+import "sync"
+
+// pool is a lazily-spawned bounded worker pool. Tasks are queued under a
+// mutex; a submit spawns a new worker only while fewer than max are
+// running, and workers exit as soon as the queue drains. The pool
+// therefore needs no Close: an idle pool holds zero goroutines, yet a
+// retrieval burst (or a RetrieveBatch) reuses the same workers across
+// every device task instead of spawning one goroutine per device per
+// query.
+type pool struct {
+	max     int
+	mu      sync.Mutex
+	queue   []func()
+	workers int
+}
+
+func newPool(max int) *pool {
+	if max < 1 {
+		max = 1
+	}
+	return &pool{max: max}
+}
+
+// submit enqueues f for execution. It never blocks; excess tasks wait in
+// the queue until a worker frees up.
+func (p *pool) submit(f func()) {
+	p.mu.Lock()
+	p.queue = append(p.queue, f)
+	if p.workers < p.max {
+		p.workers++
+		p.mu.Unlock()
+		go p.drain()
+		return
+	}
+	p.mu.Unlock()
+}
+
+func (p *pool) drain() {
+	for {
+		p.mu.Lock()
+		if len(p.queue) == 0 {
+			p.workers--
+			p.queue = nil // release the backing array between bursts
+			p.mu.Unlock()
+			return
+		}
+		f := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		f()
+	}
+}

@@ -1,6 +1,7 @@
 package netdist
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -8,8 +9,10 @@ import (
 	"sync"
 	"time"
 
+	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
+	"fxdist/internal/query"
 )
 
 // ErrTimeout marks a per-device request that exceeded the coordinator's
@@ -101,7 +104,9 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 
 // roundTrip sends req and waits for its response, returning the wire
 // request id it assigned (0 when the connection was already dead).
-func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, uint64, error) {
+// Cancelling ctx abandons the wait (the response, if it ever arrives, is
+// discarded by the read loop).
+func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, error) {
 	dc.mu.Lock()
 	if dc.err != nil {
 		err := dc.err
@@ -144,19 +149,28 @@ func (dc *deviceConn) roundTrip(req Request, timeout time.Duration) (Response, u
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
 		return Response{}, req.ID, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	case <-ctx.Done():
+		dc.mu.Lock()
+		delete(dc.pending, req.ID)
+		dc.mu.Unlock()
+		return Response{}, req.ID, ctx.Err()
 	}
 }
 
 // Coordinator fans partial match queries out to the device servers and
 // merges their answers. It holds the file *schema* (for hashing query
 // values) but no data. Concurrent Retrieve calls pipeline over the same
-// device connections.
+// device connections. Retrieval runs on the shared engine executor: eng
+// is the plain path, feng the same devices under the ring-successor
+// failover retry policy.
 type Coordinator struct {
 	file    *mkhash.File
 	conns   []*deviceConn
 	dm      []coordDevMetrics
 	tracer  *obs.Tracer
 	timeout time.Duration
+	eng     *engine.Executor
+	feng    *engine.Executor
 }
 
 // DialOption configures Dial.
@@ -185,7 +199,70 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		c.conns = append(c.conns, newDeviceConn(conn, addr))
 		c.dm = append(c.dm, newCoordDevMetrics(i))
 	}
+	devices := make([]engine.Device, len(c.conns))
+	for i := range devices {
+		devices[i] = &remoteDevice{c: c, server: i, as: -1}
+	}
+	eng, err := engine.New(engine.Config{
+		Schema:   file,
+		Devices:  devices,
+		Observer: coordObserver{},
+		Tracer:   c.tracer,
+		Span:     "netdist.retrieve",
+	})
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("netdist: %w", err)
+	}
+	c.eng = eng
+	c.feng = eng.Derive("netdist.retrieve-failover", c.failover)
 	return c, nil
+}
+
+// coordObserver maps the engine's retrieval events onto the coordinator's
+// whole-query instruments.
+type coordObserver struct{}
+
+func (coordObserver) RetrieveStarted() { mCoordRetrieves.Inc() }
+func (coordObserver) RetrieveError()   { mCoordRetrieveErrors.Inc() }
+func (coordObserver) RetrieveDone(elapsed time.Duration, _ []int) {
+	mCoordRetrieveLatency.Observe(elapsed.Seconds())
+}
+
+// remoteDevice adapts one device server connection to the engine's Device
+// contract: the bucket query travels as a gob Request and the server does
+// its own inverse mapping and value re-check. as >= 0 impersonates a dead
+// device against the server holding its backup partition (failover).
+type remoteDevice struct {
+	c      *Coordinator
+	server int
+	as     int
+}
+
+func (d *remoteDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
+	req := NewRequest(q.Spec, pm)
+	req.AsDevice = d.as
+	resp, err := d.c.ask(ctx, d.server, req)
+	if err != nil {
+		return engine.Answer{}, err
+	}
+	return engine.Answer{Buckets: resp.Buckets, Records: resp.Scanned, Hits: resp.Records}, nil
+}
+
+// failover is the engine retry policy for replicated deployments: a
+// transport failure on a device re-asks its ring successor to answer from
+// the backup copy. Remote rejections (the server answered and said no)
+// are not retried — the backup would reject the same request.
+func (c *Coordinator) failover(ctx context.Context, dev int, err error) engine.Device {
+	var derr *DeviceError
+	if errors.As(err, &derr) && derr.Remote {
+		return nil
+	}
+	m := len(c.conns)
+	c.dm[dev].failovers.Inc()
+	engine.SpanFromContext(ctx).Event(
+		fmt.Sprintf("failover: re-asking ring successor %d for device %d", (dev+1)%m, dev))
+	return &remoteDevice{c: c, server: (dev + 1) % m, as: dev}
 }
 
 // Close drops all device connections.
@@ -199,12 +276,15 @@ func (c *Coordinator) Close() {
 
 // ask runs one instrumented round trip against device dev's server,
 // classifying errors into the per-device counters and wrapping failures
-// with the device id, server address and wire request id.
-func (c *Coordinator) ask(dev int, dc *deviceConn, req Request, span *obs.Span) (Response, error) {
+// with the device id, server address and wire request id. The retrieval
+// span travels in ctx (see engine.SpanFromContext).
+func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, error) {
+	dc := c.conns[dev]
+	span := engine.SpanFromContext(ctx)
 	dm := &c.dm[dev]
 	dm.inflight.Inc()
 	t0 := time.Now()
-	resp, id, err := dc.roundTrip(req, c.timeout)
+	resp, id, err := dc.roundTrip(ctx, req, c.timeout)
 	dm.latency.ObserveSince(t0)
 	dm.inflight.Dec()
 	if err != nil {
@@ -250,55 +330,41 @@ type Result struct {
 	LargestResponseSize int
 }
 
+// fromEngine projects the engine's merged result onto the wire-level
+// Result (the coordinator attaches no cost model, so time fields drop).
+func fromEngine(r engine.Result) Result {
+	return Result{
+		Records:             r.Records,
+		DeviceBuckets:       r.DeviceBuckets,
+		DeviceRecords:       r.DeviceRecords,
+		LargestResponseSize: r.LargestResponseSize,
+	}
+}
+
 // Retrieve lowers the value-level query, broadcasts it to every device in
 // parallel, and merges the responses. Any device error fails the whole
-// retrieval (partial answers would silently drop matches).
+// retrieval (partial answers would silently drop matches); the error
+// reports every failing device.
 func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	q, err := c.file.BucketQuery(pm)
+	return c.RetrieveContext(context.Background(), pm)
+}
+
+// RetrieveContext is Retrieve with cancellation and deadlines.
+func (c *Coordinator) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	res, err := c.eng.Retrieve(ctx, pm)
 	if err != nil {
 		return Result{}, err
 	}
-	req := NewRequest(q.Spec, pm)
+	return fromEngine(res), nil
+}
 
-	mCoordRetrieves.Inc()
-	t0 := time.Now()
-	span := c.tracer.Start("netdist.retrieve")
-	defer func() {
-		mCoordRetrieveLatency.ObserveSince(t0)
-		span.End()
-	}()
-
-	type devAnswer struct {
-		resp Response
-		err  error
+// RetrieveBatch answers a batch of queries, pipelining all of them over
+// the device connections at once; see engine.Executor.RetrieveBatch.
+func (c *Coordinator) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
+	engRes, err := c.eng.RetrieveBatch(ctx, pms)
+	out := make([]Result, len(engRes))
+	for i, r := range engRes {
+		out[i] = fromEngine(r)
 	}
-	answers := make([]devAnswer, len(c.conns))
-	var wg sync.WaitGroup
-	for i, dc := range c.conns {
-		wg.Add(1)
-		go func(i int, dc *deviceConn) {
-			defer wg.Done()
-			resp, err := c.ask(i, dc, req, span)
-			answers[i] = devAnswer{resp, err}
-		}(i, dc)
-	}
-	wg.Wait()
-
-	res := Result{
-		DeviceBuckets: make([]int, len(c.conns)),
-		DeviceRecords: make([]int, len(c.conns)),
-	}
-	for i, a := range answers {
-		if a.err != nil {
-			mCoordRetrieveErrors.Inc()
-			return Result{}, a.err
-		}
-		res.Records = append(res.Records, a.resp.Records...)
-		res.DeviceBuckets[i] = a.resp.Buckets
-		res.DeviceRecords[i] = a.resp.Scanned
-		if a.resp.Buckets > res.LargestResponseSize {
-			res.LargestResponseSize = a.resp.Buckets
-		}
-	}
-	return res, nil
+	return out, err
 }

@@ -1,10 +1,9 @@
 package netdist
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"net"
-	"time"
 
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
@@ -110,89 +109,19 @@ func DeployReplicated(file *mkhash.File, alloc decluster.GroupAllocator) (addrs 
 
 // RetrieveWithFailover answers a query like Retrieve, but when a device's
 // server is unreachable it re-asks that device's ring successor to serve
-// the dead device's partition from its backup copy. It tolerates any set
-// of failures in which no two adjacent servers are both dead.
+// the dead device's partition from its backup copy — the Coordinator's
+// failover retry policy on the shared engine executor. It tolerates any
+// set of failures in which no two adjacent servers are both dead.
 func (c *Coordinator) RetrieveWithFailover(pm mkhash.PartialMatch) (Result, error) {
-	q, err := c.file.BucketQuery(pm)
+	return c.RetrieveWithFailoverContext(context.Background(), pm)
+}
+
+// RetrieveWithFailoverContext is RetrieveWithFailover with cancellation
+// and deadlines.
+func (c *Coordinator) RetrieveWithFailoverContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	res, err := c.feng.Retrieve(ctx, pm)
 	if err != nil {
 		return Result{}, err
 	}
-	req := NewRequest(q.Spec, pm)
-	m := len(c.conns)
-
-	mCoordRetrieves.Inc()
-	t0 := time.Now()
-	span := c.tracer.Start("netdist.retrieve-failover")
-	defer func() {
-		mCoordRetrieveLatency.ObserveSince(t0)
-		span.End()
-	}()
-
-	type devAnswer struct {
-		resp Response
-		err  error
-	}
-	answers := make([]devAnswer, m)
-	runWave := func(targets []int, build func(dev int) (Request, int)) {
-		done := make(chan int, len(targets))
-		for _, dev := range targets {
-			go func(dev int) {
-				r, server := build(dev)
-				resp, err := c.ask(server, c.conns[server], r, span)
-				answers[dev] = devAnswer{resp, err}
-				done <- dev
-			}(dev)
-		}
-		for range targets {
-			<-done
-		}
-	}
-
-	all := make([]int, m)
-	for i := range all {
-		all[i] = i
-	}
-	runWave(all, func(dev int) (Request, int) { return req, dev })
-
-	// Collect transport failures and retry them on ring successors.
-	// Remote rejections (the server answered and said no) are not
-	// retried: the backup copy would reject the same request.
-	var failed []int
-	for dev, a := range answers {
-		var derr *DeviceError
-		if a.err != nil && !(errors.As(a.err, &derr) && derr.Remote) {
-			failed = append(failed, dev)
-		}
-	}
-	if len(failed) > 0 {
-		runWave(failed, func(dev int) (Request, int) {
-			c.dm[dev].failovers.Inc()
-			span.Event(fmt.Sprintf("failover: re-asking ring successor %d for device %d", (dev+1)%m, dev))
-			r := req
-			r.AsDevice = dev
-			return r, (dev + 1) % m
-		})
-	}
-
-	res := Result{
-		DeviceBuckets: make([]int, m),
-		DeviceRecords: make([]int, m),
-	}
-	for dev, a := range answers {
-		if a.err != nil {
-			mCoordRetrieveErrors.Inc()
-			var derr *DeviceError
-			if errors.As(a.err, &derr) && derr.Remote {
-				return Result{}, a.err
-			}
-			return Result{}, fmt.Errorf("netdist: device %d (and its backup): %w", dev, a.err)
-		}
-		res.Records = append(res.Records, a.resp.Records...)
-		res.DeviceBuckets[dev] = a.resp.Buckets
-		res.DeviceRecords[dev] = a.resp.Scanned
-		if a.resp.Buckets > res.LargestResponseSize {
-			res.LargestResponseSize = a.resp.Buckets
-		}
-	}
-	return res, nil
+	return fromEngine(res), nil
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"fxdist/internal/decluster"
+	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/pagestore"
@@ -29,10 +31,61 @@ type DurableCluster struct {
 	fs     decluster.FileSystem
 	alloc  decluster.GroupAllocator
 	im     *query.InverseMapper
-	model   CostModel
-	schema  *mkhash.File // schema-only file used to hash queries
-	stores  []*pagestore.Store
-	metrics clusterMetrics
+	schema *mkhash.File // schema-only file used to hash queries
+	stores []*pagestore.Store
+	eng    *engine.Executor
+}
+
+// engineFor wires the cluster's per-device stores into the shared
+// retrieval executor.
+func (c *DurableCluster) engineFor(model CostModel) (*engine.Executor, error) {
+	devices := make([]engine.Device, c.fs.M)
+	for dev := range devices {
+		devices[dev] = durDevice{c: c, dev: dev}
+	}
+	return engine.New(engine.Config{
+		Schema:   c.schema,
+		FS:       c.fs,
+		Devices:  devices,
+		Model:    model,
+		Observer: engine.NewClusterMetrics("durable", c.fs.M),
+		Tracer:   obs.DefaultTracer(),
+		Span:     "storage.retrieve",
+	})
+}
+
+// durDevice adapts one device's pagestore log to the engine's Device
+// contract. A scan error stops the device immediately: no further
+// qualified buckets are counted once the device has failed.
+type durDevice struct {
+	c   *DurableCluster
+	dev int
+}
+
+func (d durDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
+	var ans engine.Answer
+	c := d.c
+	var err error
+	c.im.EachOnDevice(q, d.dev, func(coords []int) {
+		if err != nil {
+			return
+		}
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		ans.Buckets++
+		err = c.stores[d.dev].Scan(uint32(c.fs.Linear(coords)), func(r mkhash.Record) error {
+			ans.Records++
+			if engine.Matches(pm, r) {
+				ans.Hits = append(ans.Hits, r)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return engine.Answer{}, err
+	}
+	return ans, nil
 }
 
 const metaName = "meta.snap"
@@ -46,14 +99,8 @@ func devicePath(dir string, dev int) string {
 // metadata snapshot. The allocator must match the file's directory sizes.
 func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*DurableCluster, error) {
 	fs := alloc.FileSystem()
-	sizes := file.Sizes()
-	if len(sizes) != fs.NumFields() {
-		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
-	}
-	for i, f := range sizes {
-		if fs.Sizes[i] != f {
-			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
-		}
+	if err := checkAllocator(file, fs); err != nil {
+		return nil, err
 	}
 	if _, err := os.Stat(filepath.Join(dir, metaName)); err == nil {
 		return nil, fmt.Errorf("storage: %s already holds a durable cluster", dir)
@@ -69,14 +116,15 @@ func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator
 	}
 
 	c := &DurableCluster{
-		dir:     dir,
-		fs:      fs,
-		alloc:   alloc,
-		im:      query.NewInverseMapper(alloc),
-		model:   model,
-		schema:  schemaOnly,
-		stores:  make([]*pagestore.Store, fs.M),
-		metrics: newClusterMetrics("durable", fs.M),
+		dir:    dir,
+		fs:     fs,
+		alloc:  alloc,
+		im:     query.NewInverseMapper(alloc),
+		schema: schemaOnly,
+		stores: make([]*pagestore.Store, fs.M),
+	}
+	if c.eng, err = c.engineFor(model); err != nil {
+		return nil, err
 	}
 	for dev := range c.stores {
 		s, err := pagestore.Open(devicePath(dir, dev))
@@ -123,14 +171,15 @@ func OpenDurable(dir string, model CostModel, opts ...mkhash.Option) (*DurableCl
 	}
 	fs := alloc.FileSystem()
 	c := &DurableCluster{
-		dir:     dir,
-		fs:      fs,
-		alloc:   alloc,
-		im:      query.NewInverseMapper(alloc),
-		model:   model,
-		schema:  schemaOnly,
-		stores:  make([]*pagestore.Store, fs.M),
-		metrics: newClusterMetrics("durable", fs.M),
+		dir:    dir,
+		fs:     fs,
+		alloc:  alloc,
+		im:     query.NewInverseMapper(alloc),
+		schema: schemaOnly,
+		stores: make([]*pagestore.Store, fs.M),
+	}
+	if c.eng, err = c.engineFor(model); err != nil {
+		return nil, err
 	}
 	for dev := range c.stores {
 		s, err := pagestore.Open(devicePath(dir, dev))
@@ -285,74 +334,23 @@ func (c *DurableCluster) Close() error {
 	return first
 }
 
-// Retrieve answers a value-level partial match query: every device
-// concurrently inverse-maps its qualified buckets and scans them from
-// disk. The simulated cost accounting matches Cluster.Retrieve.
+// Retrieve answers a value-level partial match query through the shared
+// engine executor: every device inverse-maps its qualified buckets and
+// scans them from disk. The simulated cost accounting matches
+// Cluster.Retrieve. When devices fail, the returned error reports every
+// failing device (match individual ones with errors.As on
+// *engine.DeviceFailure).
 func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	c.metrics.retrieves.Inc()
-	t0 := time.Now()
-	defer c.metrics.latency.ObserveSince(t0)
-	q, err := c.schema.BucketQuery(pm)
-	if err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-	if err := q.Validate(c.fs); err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-	m := c.fs.M
-	res := Result{
-		DeviceBuckets: make([]int, m),
-		DeviceRecords: make([]int, m),
-		DeviceTime:    make([]time.Duration, m),
-	}
-	perDev := make([][]mkhash.Record, m)
-	errs := make([]error, m)
+	return c.eng.Retrieve(context.Background(), pm)
+}
 
-	var wg sync.WaitGroup
-	for dev := 0; dev < m; dev++ {
-		wg.Add(1)
-		go func(dev int) {
-			defer wg.Done()
-			buckets, records := 0, 0
-			var hits []mkhash.Record
-			c.im.EachOnDevice(q, dev, func(coords []int) {
-				if errs[dev] != nil {
-					return
-				}
-				buckets++
-				errs[dev] = c.stores[dev].Scan(uint32(c.fs.Linear(coords)), func(r mkhash.Record) error {
-					records++
-					if matches(pm, r) {
-						hits = append(hits, r)
-					}
-					return nil
-				})
-			})
-			res.DeviceBuckets[dev] = buckets
-			res.DeviceRecords[dev] = records
-			res.DeviceTime[dev] = c.model.PerQuery +
-				time.Duration(buckets)*c.model.PerBucket +
-				time.Duration(records)*c.model.PerRecord
-			perDev[dev] = hits
-		}(dev)
-	}
-	wg.Wait()
-	c.metrics.observe(res.DeviceBuckets)
-	for dev := 0; dev < m; dev++ {
-		if errs[dev] != nil {
-			c.metrics.errors.Inc()
-			return Result{}, fmt.Errorf("storage: device %d: %w", dev, errs[dev])
-		}
-		res.Records = append(res.Records, perDev[dev]...)
-		res.TotalWork += res.DeviceTime[dev]
-		if res.DeviceTime[dev] > res.Response {
-			res.Response = res.DeviceTime[dev]
-		}
-		if res.DeviceBuckets[dev] > res.LargestResponseSize {
-			res.LargestResponseSize = res.DeviceBuckets[dev]
-		}
-	}
-	return res, nil
+// RetrieveContext is Retrieve with cancellation and deadlines.
+func (c *DurableCluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	return c.eng.Retrieve(ctx, pm)
+}
+
+// RetrieveBatch answers a batch of queries over the shared device pool;
+// see engine.Executor.RetrieveBatch.
+func (c *DurableCluster) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
+	return c.eng.RetrieveBatch(ctx, pms)
 }

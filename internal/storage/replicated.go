@@ -1,11 +1,10 @@
 package storage
 
 import (
-	"fmt"
-	"sync"
-	"time"
+	"context"
 
 	"fxdist/internal/decluster"
+	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/query"
@@ -23,34 +22,25 @@ type ReplicatedCluster struct {
 	fs        decluster.FileSystem
 	placement *replica.Placement
 	im        *query.InverseMapper
-	model     CostModel
 	// devs[d].buckets holds both d's primary buckets and its backup
 	// copies (primaries of d-1).
-	devs    []*device
-	metrics clusterMetrics
+	devs []*device
+	eng  *engine.Executor
 }
 
 // NewReplicated distributes file's buckets over the allocator's devices
 // with primary and backup copies.
 func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode replica.Mode, model CostModel) (*ReplicatedCluster, error) {
 	fs := alloc.FileSystem()
-	sizes := file.Sizes()
-	if len(sizes) != fs.NumFields() {
-		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
-	}
-	for i, f := range sizes {
-		if fs.Sizes[i] != f {
-			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
-		}
+	if err := checkAllocator(file, fs); err != nil {
+		return nil, err
 	}
 	c := &ReplicatedCluster{
 		file:      file,
 		fs:        fs,
 		placement: replica.New(alloc, mode),
 		im:        query.NewInverseMapper(alloc),
-		model:     model,
 		devs:      make([]*device, fs.M),
-		metrics:   newClusterMetrics("replicated", fs.M),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -62,7 +52,70 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		c.devs[prim].buckets[idx] = records
 		c.devs[back].buckets[idx] = records
 	})
+	devices := make([]engine.Device, fs.M)
+	for dev := range devices {
+		devices[dev] = replDevice{c: c, dev: dev}
+	}
+	eng, err := engine.New(engine.Config{
+		Schema:   file,
+		FS:       fs,
+		Devices:  devices,
+		Model:    model,
+		Observer: engine.NewClusterMetrics("replicated", fs.M),
+		Tracer:   obs.DefaultTracer(),
+		Span:     "storage.retrieve",
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
 	return c, nil
+}
+
+// replDevice adapts one replicated device to the engine's Device
+// contract: its candidate buckets are its own primaries plus the backups
+// it holds (primaries of the ring predecessor), filtered by the failover
+// policy's routing decision. A failed device reports itself idle, so the
+// cost model charges it nothing while its ring successor absorbs its
+// share.
+type replDevice struct {
+	c   *ReplicatedCluster
+	dev int
+}
+
+func (d replDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
+	c := d.c
+	if c.placement.Failed(d.dev) {
+		return engine.Answer{Idle: true}, nil
+	}
+	var ans engine.Answer
+	store := c.devs[d.dev]
+	var err error
+	serve := func(coords []int) {
+		if err != nil {
+			return
+		}
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		if c.placement.Server(coords) != d.dev {
+			return
+		}
+		ans.Buckets++
+		for _, r := range store.buckets[c.fs.Linear(coords)] {
+			ans.Records++
+			if engine.Matches(pm, r) {
+				ans.Hits = append(ans.Hits, r)
+			}
+		}
+	}
+	c.im.EachOnDevice(q, d.dev, serve)
+	prev := (d.dev - 1 + c.fs.M) % c.fs.M
+	c.im.EachOnDevice(q, prev, serve)
+	if err != nil {
+		return engine.Answer{}, err
+	}
+	return ans, nil
 }
 
 // Fail marks a device failed (see replica.Placement.Fail for the adjacency
@@ -91,79 +144,22 @@ func (c *ReplicatedCluster) Failed(dev int) bool { return c.placement.Failed(dev
 func (c *ReplicatedCluster) M() int { return c.fs.M }
 
 // Retrieve answers a value-level partial match query under the current
-// failure set. Each healthy device serves the qualified buckets the
-// failover policy routes to it: a subset of its own primaries plus a
-// subset of the backups it holds. Devices work concurrently, as in
-// Cluster.Retrieve.
+// failure set through the shared engine executor. Each healthy device
+// serves the qualified buckets the failover policy routes to it: a
+// subset of its own primaries plus a subset of the backups it holds.
 func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	c.metrics.retrieves.Inc()
-	t0 := time.Now()
-	defer c.metrics.latency.ObserveSince(t0)
-	q, err := c.file.BucketQuery(pm)
-	if err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-	if err := q.Validate(c.fs); err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-	m := c.fs.M
-	res := Result{
-		DeviceBuckets: make([]int, m),
-		DeviceRecords: make([]int, m),
-		DeviceTime:    make([]time.Duration, m),
-	}
-	perDev := make([][]mkhash.Record, m)
-	var wg sync.WaitGroup
-	for dev := 0; dev < m; dev++ {
-		if c.placement.Failed(dev) {
-			continue
-		}
-		wg.Add(1)
-		go func(dev int) {
-			defer wg.Done()
-			d := c.devs[dev]
-			buckets, records := 0, 0
-			var hits []mkhash.Record
-			serve := func(coords []int) {
-				if c.placement.Server(coords) != dev {
-					return
-				}
-				buckets++
-				for _, r := range d.buckets[c.fs.Linear(coords)] {
-					records++
-					if matches(pm, r) {
-						hits = append(hits, r)
-					}
-				}
-			}
-			// Candidates: this device's primary buckets, plus the
-			// backups it holds (primaries of the ring predecessor).
-			c.im.EachOnDevice(q, dev, serve)
-			prev := (dev - 1 + m) % m
-			c.im.EachOnDevice(q, prev, serve)
-			res.DeviceBuckets[dev] = buckets
-			res.DeviceRecords[dev] = records
-			res.DeviceTime[dev] = c.model.PerQuery +
-				time.Duration(buckets)*c.model.PerBucket +
-				time.Duration(records)*c.model.PerRecord
-			perDev[dev] = hits
-		}(dev)
-	}
-	wg.Wait()
-	c.metrics.observe(res.DeviceBuckets)
-	for dev := 0; dev < m; dev++ {
-		res.Records = append(res.Records, perDev[dev]...)
-		res.TotalWork += res.DeviceTime[dev]
-		if res.DeviceTime[dev] > res.Response {
-			res.Response = res.DeviceTime[dev]
-		}
-		if res.DeviceBuckets[dev] > res.LargestResponseSize {
-			res.LargestResponseSize = res.DeviceBuckets[dev]
-		}
-	}
-	return res, nil
+	return c.eng.Retrieve(context.Background(), pm)
+}
+
+// RetrieveContext is Retrieve with cancellation and deadlines.
+func (c *ReplicatedCluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	return c.eng.Retrieve(ctx, pm)
+}
+
+// RetrieveBatch answers a batch of queries over the shared device pool;
+// see engine.Executor.RetrieveBatch.
+func (c *ReplicatedCluster) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
+	return c.eng.RetrieveBatch(ctx, pms)
 }
 
 // StorageOverhead returns the total stored bucket copies divided by the

@@ -9,40 +9,35 @@
 // Devices answer queries with the per-device inverse mapping of package
 // query: each device enumerates only its own qualified buckets, never the
 // whole grid, exactly as the paper's §4.2 prescribes for main-memory
-// databases.
+// databases. Retrieval itself — validation, fan-out, cancellation, cost
+// aggregation, metrics — is package engine's single executor; this
+// package contributes only the Device adapters that know where the
+// records live.
 package storage
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"fxdist/internal/decluster"
+	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 	"fxdist/internal/query"
 )
 
-// CostModel is the per-device service time model. Service time for a
-// query on one device is PerQuery + buckets*PerBucket + records*PerRecord.
-type CostModel struct {
-	Name string
-	// PerQuery is the fixed per-device overhead of dispatching one query.
-	PerQuery time.Duration
-	// PerBucket is the cost of accessing one qualified bucket (for disks:
-	// seek + rotational latency + transfer of one bucket).
-	PerBucket time.Duration
-	// PerRecord is the cost of scanning or shipping one record.
-	PerRecord time.Duration
-}
+// CostModel is the per-device service time model; see engine.CostModel.
+type CostModel = engine.CostModel
 
-// ParallelDisk models late-1980s disks on a shared bus: ~28 ms per bucket
-// access (16 ms average seek + 8.3 ms rotational latency + transfer), plus
-// per-record transfer cost.
-var ParallelDisk = CostModel{Name: "parallel-disk", PerQuery: 1 * time.Millisecond, PerBucket: 28 * time.Millisecond, PerRecord: 50 * time.Microsecond}
+// ParallelDisk models late-1980s disks on a shared bus.
+var ParallelDisk = engine.ParallelDisk
 
-// MainMemory models a multiprocessor main-memory database node: bucket
-// access is a few microseconds of address computation and pointer chasing.
-var MainMemory = CostModel{Name: "main-memory", PerQuery: 2 * time.Microsecond, PerBucket: 2 * time.Microsecond, PerRecord: 200 * time.Nanosecond}
+// MainMemory models a multiprocessor main-memory database node.
+var MainMemory = engine.MainMemory
+
+// Result reports one retrieval; see engine.Result.
+type Result = engine.Result
 
 // device is one parallel device's local bucket store.
 type device struct {
@@ -55,33 +50,41 @@ type Cluster struct {
 	file  *mkhash.File
 	fs    decluster.FileSystem
 	alloc decluster.GroupAllocator
-	im      *query.InverseMapper
-	model   CostModel
-	devs    []*device
-	metrics clusterMetrics
+	im    *query.InverseMapper
+	model CostModel // used by Project; retrieval prices via eng
+	devs  []*device
+	eng   *engine.Executor
+}
+
+// checkAllocator verifies the allocator was built for the file's current
+// directory sizes — shared by every cluster constructor.
+func checkAllocator(file *mkhash.File, fs decluster.FileSystem) error {
+	sizes := file.Sizes()
+	if len(sizes) != fs.NumFields() {
+		return fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
+	}
+	for i, f := range sizes {
+		if fs.Sizes[i] != f {
+			return fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
+		}
+	}
+	return nil
 }
 
 // NewCluster distributes file's buckets over the allocator's devices. The
 // allocator must be built for the file's current directory sizes.
 func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*Cluster, error) {
 	fs := alloc.FileSystem()
-	sizes := file.Sizes()
-	if len(sizes) != fs.NumFields() {
-		return nil, fmt.Errorf("storage: allocator has %d fields, file has %d", fs.NumFields(), len(sizes))
-	}
-	for i, f := range sizes {
-		if fs.Sizes[i] != f {
-			return nil, fmt.Errorf("storage: allocator field %d sized %d, file directory is %d", i, fs.Sizes[i], f)
-		}
+	if err := checkAllocator(file, fs); err != nil {
+		return nil, err
 	}
 	c := &Cluster{
-		file:    file,
-		fs:      fs,
-		alloc:   alloc,
-		im:      query.NewInverseMapper(alloc),
-		model:   model,
-		devs:    make([]*device, fs.M),
-		metrics: newClusterMetrics("memory", fs.M),
+		file:  file,
+		fs:    fs,
+		alloc: alloc,
+		im:    query.NewInverseMapper(alloc),
+		model: model,
+		devs:  make([]*device, fs.M),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -90,7 +93,56 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		d := alloc.Device(coords)
 		c.devs[d].buckets[fs.Linear(coords)] = records
 	})
+	devices := make([]engine.Device, fs.M)
+	for dev := range devices {
+		devices[dev] = memDevice{c: c, dev: dev}
+	}
+	eng, err := engine.New(engine.Config{
+		Schema:   file,
+		FS:       fs,
+		Devices:  devices,
+		Model:    model,
+		Observer: engine.NewClusterMetrics("memory", fs.M),
+		Tracer:   obs.DefaultTracer(),
+		Span:     "storage.retrieve",
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.eng = eng
 	return c, nil
+}
+
+// memDevice adapts one in-memory device's bucket map to the engine's
+// Device contract.
+type memDevice struct {
+	c   *Cluster
+	dev int
+}
+
+func (d memDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
+	var ans engine.Answer
+	store := d.c.devs[d.dev]
+	var err error
+	d.c.im.EachOnDevice(q, d.dev, func(coords []int) {
+		if err != nil {
+			return
+		}
+		if err = ctx.Err(); err != nil {
+			return
+		}
+		ans.Buckets++
+		for _, r := range store.buckets[d.c.fs.Linear(coords)] {
+			ans.Records++
+			if engine.Matches(pm, r) {
+				ans.Hits = append(ans.Hits, r)
+			}
+		}
+	})
+	if err != nil {
+		return engine.Answer{}, err
+	}
+	return ans, nil
 }
 
 // M returns the device count.
@@ -109,100 +161,21 @@ func (c *Cluster) DeviceBucketCounts() []int {
 	return out
 }
 
-// Result reports one retrieval: the matching records plus the simulated
-// parallel cost breakdown.
-type Result struct {
-	// Records are the matching records, grouped by device in device order.
-	Records []mkhash.Record
-	// DeviceBuckets[i] is the number of qualified buckets device i accessed.
-	DeviceBuckets []int
-	// DeviceRecords[i] is the number of records device i scanned.
-	DeviceRecords []int
-	// DeviceTime[i] is device i's simulated service time.
-	DeviceTime []time.Duration
-	// Response is the simulated parallel response time: the slowest device.
-	Response time.Duration
-	// TotalWork is the sum of all device times (what a single device would
-	// have spent, modulo per-query overhead).
-	TotalWork time.Duration
-	// LargestResponseSize is max(DeviceBuckets), the paper's metric.
-	LargestResponseSize int
-}
-
 // Retrieve answers a value-level partial match query in parallel: every
 // device concurrently inverse-maps its qualified buckets and scans them.
 func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	c.metrics.retrieves.Inc()
-	t0 := time.Now()
-	defer c.metrics.latency.ObserveSince(t0)
-	q, err := c.file.BucketQuery(pm)
-	if err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-	if err := q.Validate(c.fs); err != nil {
-		c.metrics.errors.Inc()
-		return Result{}, err
-	}
-
-	m := c.fs.M
-	res := Result{
-		DeviceBuckets: make([]int, m),
-		DeviceRecords: make([]int, m),
-		DeviceTime:    make([]time.Duration, m),
-	}
-	perDev := make([][]mkhash.Record, m)
-
-	var wg sync.WaitGroup
-	for dev := 0; dev < m; dev++ {
-		wg.Add(1)
-		go func(dev int) {
-			defer wg.Done()
-			d := c.devs[dev]
-			buckets, records := 0, 0
-			var hits []mkhash.Record
-			c.im.EachOnDevice(q, dev, func(coords []int) {
-				buckets++
-				for _, r := range d.buckets[c.fs.Linear(coords)] {
-					records++
-					if matches(pm, r) {
-						hits = append(hits, r)
-					}
-				}
-			})
-			res.DeviceBuckets[dev] = buckets
-			res.DeviceRecords[dev] = records
-			res.DeviceTime[dev] = c.model.PerQuery +
-				time.Duration(buckets)*c.model.PerBucket +
-				time.Duration(records)*c.model.PerRecord
-			perDev[dev] = hits
-		}(dev)
-	}
-	wg.Wait()
-	c.metrics.observe(res.DeviceBuckets)
-
-	for dev := 0; dev < m; dev++ {
-		res.Records = append(res.Records, perDev[dev]...)
-		res.TotalWork += res.DeviceTime[dev]
-		if res.DeviceTime[dev] > res.Response {
-			res.Response = res.DeviceTime[dev]
-		}
-		if res.DeviceBuckets[dev] > res.LargestResponseSize {
-			res.LargestResponseSize = res.DeviceBuckets[dev]
-		}
-	}
-	return res, nil
+	return c.eng.Retrieve(context.Background(), pm)
 }
 
-// matches re-checks actual values (hash collisions can put non-matching
-// records in qualified buckets).
-func matches(pm mkhash.PartialMatch, r mkhash.Record) bool {
-	for i, v := range pm {
-		if v != nil && r[i] != *v {
-			return false
-		}
-	}
-	return true
+// RetrieveContext is Retrieve with cancellation and deadlines.
+func (c *Cluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
+	return c.eng.Retrieve(ctx, pm)
+}
+
+// RetrieveBatch answers a batch of queries over the shared device pool;
+// see engine.Executor.RetrieveBatch.
+func (c *Cluster) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
+	return c.eng.RetrieveBatch(ctx, pms)
 }
 
 // SimResult is a record-free simulated retrieval at bucket granularity,
@@ -217,19 +190,13 @@ type SimResult struct {
 
 // Simulate computes the simulated response time of a bucket-level query
 // directly from its per-device load vector (e.g. convolve.Loads) —
-// §5.2.1's model: response time is determined by the device with the most
-// qualified buckets.
+// §5.2.1's model via the same cost accumulation the executor merge uses.
 func Simulate(loads []int, model CostModel) SimResult {
-	res := SimResult{Loads: loads}
-	for _, l := range loads {
-		t := model.PerQuery + time.Duration(l)*model.PerBucket
-		res.TotalWork += t
-		if t > res.Response {
-			res.Response = t
-		}
-		if l > res.LargestResponseSize {
-			res.LargestResponseSize = l
-		}
+	times := make([]time.Duration, len(loads))
+	for i, l := range loads {
+		times[i] = model.DeviceTime(l, 0)
 	}
+	res := SimResult{Loads: loads}
+	res.Response, res.TotalWork, res.LargestResponseSize = engine.AccumulateCost(times, loads)
 	return res
 }

@@ -21,7 +21,7 @@ done
 DATE=$(date +%Y-%m-%d)
 [ -n "$OUT" ] || OUT="BENCH_${DATE}.json"
 
-PATTERN='^(BenchmarkAddressFX|BenchmarkInverseMapping|BenchmarkDistributedRetrieve|BenchmarkDurable)'
+PATTERN='^(BenchmarkAddressFX|BenchmarkInverseMapping|BenchmarkClusterRetrieve|BenchmarkBatchRetrieve|BenchmarkDistributedRetrieve|BenchmarkDurable)'
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
