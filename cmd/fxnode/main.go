@@ -22,6 +22,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -116,7 +117,9 @@ func runQuery(args []string) error {
 	snapshot := fs.String("snapshot", "", "snapshot file (schema source)")
 	addrsArg := fs.String("addrs", "", "comma-separated device addresses, in device order")
 	timeout := fs.Duration("timeout", 0, "overall retrieval deadline (0 waits indefinitely)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address")
+	slo := fs.Duration("slo", 0, "latency objective per query shape (0 disables SLO tracking)")
+	sloGoal := fs.Float64("slo-goal", 0.99, "fraction of queries that must meet -slo")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality and /debug/pprof/ on this address")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -147,6 +150,9 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *slo > 0 {
+		fxdist.SetLatencySLO("netdist", *slo, *sloGoal)
+	}
 	coord, err := fxdist.DialCluster(file, strings.Split(*addrsArg, ","))
 	if err != nil {
 		return err
@@ -160,10 +166,17 @@ func runQuery(args []string) error {
 	}
 	res, err := coord.RetrieveContext(ctx, pm)
 	if err != nil {
+		var terr *fxdist.TracedError
+		if errors.As(err, &terr) {
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w [deadline %v exceeded; join trace %d against /debug/traces]", err, *timeout, terr.TraceID)
+			}
+			return fmt.Errorf("%w [join trace %d against /debug/traces]", err, terr.TraceID)
+		}
 		return err
 	}
-	fmt.Printf("%d matching records; buckets/device %v; largest %d\n",
-		len(res.Records), res.DeviceBuckets, res.LargestResponseSize)
+	fmt.Printf("%d matching records; buckets/device %v; largest %d; trace %d\n",
+		len(res.Records), res.DeviceBuckets, res.LargestResponseSize, res.TraceID)
 	for i, r := range res.Records {
 		if i == 20 {
 			fmt.Printf("... and %d more\n", len(res.Records)-20)
@@ -171,5 +184,25 @@ func runQuery(args []string) error {
 		}
 		fmt.Println(" ", strings.Join(r, ", "))
 	}
+	printAudit()
 	return nil
+}
+
+// printAudit summarises the per-shape optimality audit and SLO state of
+// the coordinator's backend after the query.
+func printAudit() {
+	for _, rep := range fxdist.OptimalityReport() {
+		if rep.Backend != "netdist" {
+			continue
+		}
+		for _, s := range rep.Shapes {
+			line := fmt.Sprintf("audit shape %s: %d queries, %d violations, max deviation %d (bound %d)",
+				s.Shape, s.Queries, s.Violations, s.MaxDeviation, s.Bound)
+			if s.SLOTarget > 0 {
+				line += fmt.Sprintf("; slo %v/%.2f%%: %d good %d bad, burn %.2f",
+					s.SLOTarget, s.SLOGoal*100, s.Good, s.Bad, s.BurnRate)
+			}
+			fmt.Println(line)
+		}
+	}
 }

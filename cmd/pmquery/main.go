@@ -9,10 +9,12 @@
 //	pmquery -records 20000 -devices 16 -method fx -queries 10 -p 0.5
 //	pmquery -method modulo -model disk
 //	pmquery -queries 64 -batch
+//	pmquery -queries 3 -explain
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +32,8 @@ func main() {
 	model := flag.String("model", "memory", "device model: memory or disk")
 	seed := flag.Int64("seed", 1988, "workload seed")
 	batch := flag.Bool("batch", false, "submit the whole workload as one RetrieveBatch instead of one query at a time")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address while the workload runs")
+	explain := flag.Bool("explain", false, "print the span tree and per-device optimality verdict for each query")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality and /debug/pprof/ on this address while the workload runs")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -112,7 +115,7 @@ func main() {
 		results = make([]fxdist.RetrieveResult, len(pms))
 		for i, pm := range pms {
 			if results[i], err = cluster.Retrieve(pm); err != nil {
-				fatal(err)
+				fatal(fmt.Errorf("query %d: %w", i, err))
 			}
 		}
 	}
@@ -121,12 +124,55 @@ func main() {
 		fmt.Printf("q%-2d %-60s hits=%-6d buckets(max/dev)=%-4d response=%-12v work=%v\n",
 			i, renderQuery(spec, pms[i]), len(res.Records), res.LargestResponseSize,
 			res.Response, res.TotalWork)
+		if *explain {
+			explainResult(file, fs, pms[i], res)
+		}
 		total += res.Response.Seconds()
 		if res.Response.Seconds() > worst {
 			worst = res.Response.Seconds()
 		}
 	}
 	fmt.Printf("\navg response %.6fs, worst %.6fs\n", total/float64(len(pms)), worst)
+}
+
+// explainResult prints one query's per-device optimality verdict against
+// the paper's strict-optimality bound ceil(|R(q)|/M), plus the span tree
+// of the retrieval (joinable with /debug/traces?tree=1 by trace id).
+func explainResult(file *fxdist.File, fs fxdist.FileSystem, pm fxdist.PartialMatch, res fxdist.RetrieveResult) {
+	q, err := file.BucketQuery(pm)
+	if err != nil {
+		fmt.Printf("    explain: %v\n", err)
+		return
+	}
+	rq := q.NumQualified(fs)
+	m := len(res.DeviceBuckets)
+	bound := (rq + m - 1) / m
+	fmt.Printf("    |R(q)|=%d devices=%d strict-optimal bound=ceil(%d/%d)=%d\n", rq, m, rq, m, bound)
+	for d, b := range res.DeviceBuckets {
+		verdict := "ok"
+		if b > bound {
+			verdict = fmt.Sprintf("OVER bound by %d", b-bound)
+		}
+		fmt.Printf("    device %-3d buckets=%-5d %s\n", d, b, verdict)
+	}
+	if res.TraceID == 0 {
+		return
+	}
+	for _, tree := range fxdist.RecentTraceTrees(256) {
+		if tree.TraceID == res.TraceID {
+			fmt.Printf("    trace %d:\n", res.TraceID)
+			printTree(tree, "      ")
+			return
+		}
+	}
+	fmt.Printf("    trace %d: evicted from trace ring\n", res.TraceID)
+}
+
+func printTree(t fxdist.TraceTree, indent string) {
+	fmt.Printf("%s%s span=%d dur=%v events=%d\n", indent, t.Name, t.ID, t.Duration, len(t.Events))
+	for _, c := range t.Children {
+		printTree(c, indent+"  ")
+	}
 }
 
 func renderQuery(spec fxdist.RecordSpec, pm fxdist.PartialMatch) string {
@@ -142,6 +188,11 @@ func renderQuery(spec fxdist.RecordSpec, pm fxdist.PartialMatch) string {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pmquery:", err)
+	var terr *fxdist.TracedError
+	if errors.As(err, &terr) {
+		fmt.Fprintf(os.Stderr, "pmquery: %v [join trace %d against /debug/traces]\n", err, terr.TraceID)
+	} else {
+		fmt.Fprintln(os.Stderr, "pmquery:", err)
+	}
 	os.Exit(1)
 }

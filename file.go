@@ -49,6 +49,12 @@ type Cluster = storage.Cluster
 // error; match individual failures with errors.As.
 type DeviceFailure = engine.DeviceFailure
 
+// TracedError wraps a retrieval error with the trace id of the failed
+// retrieval — every retrieval error from a traced cluster carries one,
+// so log lines join against RecentTraces//debug/traces output. Match
+// with errors.As; Unwrap exposes the underlying cause.
+type TracedError = engine.TracedError
+
 // CostModel is the simulated per-device service time model.
 type CostModel = storage.CostModel
 

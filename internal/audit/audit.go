@@ -1,0 +1,407 @@
+// Package audit turns the paper's optimality theorems into a live
+// production invariant. The paper proves that FX is strict optimal for
+// a characterised class of query shapes: no device serves more than
+// ceil(|R(q)|/M) qualified buckets. The engine executor already
+// computes per-device qualified-bucket counts for every retrieval, so
+// this package compares them against that bound online, for every
+// served query, and aggregates the deviation — violation counts, max
+// and mean excess, worst offender device — keyed by *query shape*: the
+// set of unspecified fields, i.e. the paper's k classes. A second layer
+// tracks per-shape latency SLOs (good/bad counters plus a rolling
+// burn-rate) so tail latency attributes to the shapes that cause it.
+//
+// One Auditor exists per backend ("memory", "durable", "replicated",
+// "netdist"); For is idempotent, like the obs registry. Every counter
+// the auditor keeps is mirrored into the obs metric registry (labels
+// backend + shape), and the whole state renders on /debug/optimality
+// (JSON or text) and through the facade's OptimalityReport.
+package audit
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fxdist/internal/obs"
+	"fxdist/internal/query"
+)
+
+// ShapeOf returns the audit key for a query: one byte per field, 's'
+// for specified and '*' for unspecified — e.g. "s**s". Two queries with
+// the same unspecified field set are the same shape (the paper's query
+// class), whatever values they specify.
+func ShapeOf(q query.Query) string {
+	var b strings.Builder
+	b.Grow(len(q.Spec))
+	for _, v := range q.Spec {
+		if v == query.Unspecified {
+			b.WriteByte('*')
+		} else {
+			b.WriteByte('s')
+		}
+	}
+	return b.String()
+}
+
+// Bound returns the paper's strict-optimality bound ceil(rq/m) for a
+// query with |R(q)| = rq qualified buckets on m devices.
+func Bound(rq, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	return (rq + m - 1) / m
+}
+
+// SLO is a per-shape latency objective: at least Goal of the shape's
+// queries must complete within Target. Failed retrievals always count
+// against the objective. The zero SLO disables tracking.
+type SLO struct {
+	// Target is the latency objective for one query.
+	Target time.Duration
+	// Goal is the fraction of queries that must meet Target (e.g. 0.99);
+	// 1-Goal is the error budget the burn rate is measured against.
+	Goal float64
+}
+
+// sloWindow is the rolling window (in queries, per shape) the burn-rate
+// gauge is computed over.
+const sloWindow = 512
+
+// shapeState is one (backend, shape) accumulation cell. All fields are
+// guarded by the owning Auditor's mutex; the obs instruments are
+// internally atomic and mirrored for scraping only — reports read the
+// fields, so ResetAudit can zero them without fighting the monotonic
+// Prometheus counters.
+type shapeState struct {
+	queries    uint64
+	violations uint64
+	sumDev     uint64 // total excess over the bound, across all queries
+	maxDev     int
+	worstDev   int // device that produced maxDev; -1 before any violation
+	bound      int // bound of the most recent audited query
+	rq         int
+	m          int
+	maxBuckets int // largest single-device count ever observed
+
+	good, bad uint64
+	window    []bool // ring of recent outcomes; true = bad
+	wpos      int
+	wlen      int
+	wbad      int
+
+	mQueries    *obs.Counter
+	mViolations *obs.Counter
+	mMaxDev     *obs.Gauge
+	mBound      *obs.Gauge
+	mGood       *obs.Counter
+	mBad        *obs.Counter
+	mBurn       *obs.Gauge
+}
+
+// Auditor audits every retrieval of one backend against the
+// strict-optimality bound, keyed by query shape. It implements the
+// engine's Auditor hook; construction is via For.
+type Auditor struct {
+	backend string
+
+	mu        sync.Mutex
+	shapes    map[string]*shapeState
+	slo       SLO
+	overrides map[string]SLO
+}
+
+func (a *Auditor) state(shape string) *shapeState {
+	st := a.shapes[shape]
+	if st == nil {
+		r := obs.Default()
+		bl, sl := obs.L("backend", a.backend), obs.L("shape", shape)
+		st = &shapeState{
+			worstDev: -1,
+			window:   make([]bool, sloWindow),
+			mQueries: r.Counter("fxdist_audit_queries_total",
+				"Retrievals audited against the strict-optimality bound, per backend and query shape.", bl, sl),
+			mViolations: r.Counter("fxdist_audit_violations_total",
+				"Retrievals where some device exceeded ceil(|R(q)|/M) qualified buckets.", bl, sl),
+			mMaxDev: r.Gauge("fxdist_audit_max_deviation_buckets",
+				"Largest observed per-device excess over the strict-optimality bound.", bl, sl),
+			mBound: r.Gauge("fxdist_audit_bound_buckets",
+				"Strict-optimality bound ceil(|R(q)|/M) of the most recent audited query.", bl, sl),
+			mGood: r.Counter("fxdist_slo_good_total",
+				"Queries that met the shape's latency objective.", bl, sl),
+			mBad: r.Counter("fxdist_slo_bad_total",
+				"Queries that missed the shape's latency objective (failures included).", bl, sl),
+			mBurn: r.Gauge("fxdist_slo_burn_rate",
+				"Rolling bad-fraction divided by the error budget (1-goal); >1 burns budget faster than allowed.", bl, sl),
+		}
+		a.shapes[shape] = st
+	}
+	return st
+}
+
+func (a *Auditor) sloFor(shape string) SLO {
+	if s, ok := a.overrides[shape]; ok {
+		return s
+	}
+	return a.slo
+}
+
+// RetrievalDone audits one finished retrieval: rq is |R(q)| and
+// deviceBuckets the per-device qualified-bucket counts (nil for a
+// failed retrieval, which still counts against the shape's SLO). It is
+// the engine executor's audit hook.
+func (a *Auditor) RetrievalDone(q query.Query, rq int, deviceBuckets []int, elapsed time.Duration) {
+	shape := ShapeOf(q)
+	a.mu.Lock()
+	st := a.state(shape)
+	st.queries++
+	st.mQueries.Inc()
+	ok := deviceBuckets != nil
+	if ok {
+		m := len(deviceBuckets)
+		bound := Bound(rq, m)
+		st.bound, st.rq, st.m = bound, rq, m
+		st.mBound.Set(float64(bound))
+		worst, worstDev := 0, -1
+		for dev, b := range deviceBuckets {
+			if b > st.maxBuckets {
+				st.maxBuckets = b
+			}
+			if d := b - bound; d > worst {
+				worst, worstDev = d, dev
+			}
+		}
+		if worst > 0 {
+			st.violations++
+			st.mViolations.Inc()
+			st.sumDev += uint64(worst)
+			if worst >= st.maxDev {
+				st.maxDev = worst
+				st.worstDev = worstDev
+				st.mMaxDev.Set(float64(worst))
+			}
+		}
+	}
+	if slo := a.sloFor(shape); slo.Target > 0 {
+		bad := !ok || elapsed > slo.Target
+		if bad {
+			st.bad++
+			st.mBad.Inc()
+		} else {
+			st.good++
+			st.mGood.Inc()
+		}
+		if st.wlen < len(st.window) {
+			st.wlen++
+		} else if st.window[st.wpos] {
+			st.wbad--
+		}
+		st.window[st.wpos] = bad
+		if bad {
+			st.wbad++
+		}
+		st.wpos = (st.wpos + 1) % len(st.window)
+		budget := 1 - slo.Goal
+		if budget <= 0 {
+			budget = 1e-9 // goal of 1.0: any miss burns "infinitely" fast
+		}
+		st.mBurn.Set((float64(st.wbad) / float64(st.wlen)) / budget)
+	}
+	a.mu.Unlock()
+}
+
+// Backend returns the backend label this auditor reports under.
+func (a *Auditor) Backend() string { return a.backend }
+
+// ShapeReport is one (backend, shape) row of an optimality report.
+type ShapeReport struct {
+	// Shape is the query-shape key: 's' per specified field, '*' per
+	// unspecified one (the paper's query class).
+	Shape string `json:"shape"`
+	// Queries is the number of audited retrievals of this shape.
+	Queries uint64 `json:"queries"`
+	// Violations counts retrievals where some device exceeded the bound.
+	Violations uint64 `json:"violations"`
+	// MaxDeviation is the largest observed per-device excess over the
+	// bound; 0 means every retrieval of this shape was strict optimal.
+	MaxDeviation int `json:"max_deviation"`
+	// MeanDeviation is the mean excess per audited query (0 deviations
+	// included).
+	MeanDeviation float64 `json:"mean_deviation"`
+	// WorstDevice is the device that produced MaxDeviation, -1 if none.
+	WorstDevice int `json:"worst_device"`
+	// Bound, RQ and M describe the most recent audited query: the
+	// strict-optimality bound ceil(RQ/M), |R(q)| and the device count.
+	Bound int `json:"bound"`
+	RQ    int `json:"r_q"`
+	M     int `json:"m"`
+	// MaxBuckets is the largest single-device qualified-bucket count
+	// observed for this shape.
+	MaxBuckets int `json:"max_device_buckets"`
+	// SLO state; zero SLOTarget means no objective is configured.
+	SLOTarget time.Duration `json:"slo_target_ns,omitempty"`
+	SLOGoal   float64       `json:"slo_goal,omitempty"`
+	Good      uint64        `json:"slo_good,omitempty"`
+	Bad       uint64        `json:"slo_bad,omitempty"`
+	// BurnRate is the rolling bad-fraction over the error budget; >1
+	// means the shape is burning budget faster than the goal allows.
+	BurnRate float64 `json:"slo_burn_rate,omitempty"`
+}
+
+// BackendReport is every shape one backend has served.
+type BackendReport struct {
+	Backend string        `json:"backend"`
+	Shapes  []ShapeReport `json:"shapes"`
+}
+
+// Report snapshots the auditor's per-shape state, sorted by shape.
+func (a *Auditor) Report() BackendReport {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := BackendReport{Backend: a.backend}
+	for shape, st := range a.shapes {
+		sr := ShapeReport{
+			Shape:        shape,
+			Queries:      st.queries,
+			Violations:   st.violations,
+			MaxDeviation: st.maxDev,
+			WorstDevice:  st.worstDev,
+			Bound:        st.bound,
+			RQ:           st.rq,
+			M:            st.m,
+			MaxBuckets:   st.maxBuckets,
+			Good:         st.good,
+			Bad:          st.bad,
+		}
+		if st.queries > 0 {
+			sr.MeanDeviation = float64(st.sumDev) / float64(st.queries)
+		}
+		if slo := a.sloFor(shape); slo.Target > 0 {
+			sr.SLOTarget, sr.SLOGoal = slo.Target, slo.Goal
+			if st.wlen > 0 {
+				budget := 1 - slo.Goal
+				if budget <= 0 {
+					budget = 1e-9
+				}
+				sr.BurnRate = (float64(st.wbad) / float64(st.wlen)) / budget
+			}
+		}
+		rep.Shapes = append(rep.Shapes, sr)
+	}
+	sort.Slice(rep.Shapes, func(i, j int) bool { return rep.Shapes[i].Shape < rep.Shapes[j].Shape })
+	return rep
+}
+
+// reset zeroes the auditor's accumulation (the mirrored Prometheus
+// counters stay monotonic; gauges drop to zero).
+func (a *Auditor) reset() {
+	a.mu.Lock()
+	for _, st := range a.shapes {
+		st.queries, st.violations, st.sumDev = 0, 0, 0
+		st.maxDev, st.worstDev, st.maxBuckets = 0, -1, 0
+		st.bound, st.rq, st.m = 0, 0, 0
+		st.good, st.bad = 0, 0
+		st.wpos, st.wlen, st.wbad = 0, 0, 0
+		for i := range st.window {
+			st.window[i] = false
+		}
+		st.mMaxDev.Set(0)
+		st.mBound.Set(0)
+		st.mBurn.Set(0)
+	}
+	a.mu.Unlock()
+}
+
+// Process-wide auditor registry, one Auditor per backend label.
+var (
+	regMu      sync.Mutex
+	auditors   = make(map[string]*Auditor)
+	defaultSLO SLO
+)
+
+// For returns the auditor for one backend ("memory", "durable",
+// "replicated", "netdist"), creating it on first use — idempotent, so
+// every cluster of a backend kind shares one accumulation point.
+func For(backend string) *Auditor {
+	regMu.Lock()
+	defer regMu.Unlock()
+	a := auditors[backend]
+	if a == nil {
+		a = &Auditor{
+			backend:   backend,
+			shapes:    make(map[string]*shapeState),
+			slo:       defaultSLO,
+			overrides: make(map[string]SLO),
+		}
+		auditors[backend] = a
+	}
+	return a
+}
+
+// Report snapshots every registered auditor, sorted by backend.
+func Report() []BackendReport {
+	regMu.Lock()
+	all := make([]*Auditor, 0, len(auditors))
+	for _, a := range auditors {
+		all = append(all, a)
+	}
+	regMu.Unlock()
+	out := make([]BackendReport, 0, len(all))
+	for _, a := range all {
+		out = append(out, a.Report())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Backend < out[j].Backend })
+	return out
+}
+
+// Reset zeroes every auditor's accumulated state (configured SLOs are
+// kept). Mirrored Prometheus counters stay monotonic.
+func Reset() {
+	regMu.Lock()
+	all := make([]*Auditor, 0, len(auditors))
+	for _, a := range auditors {
+		all = append(all, a)
+	}
+	regMu.Unlock()
+	for _, a := range all {
+		a.reset()
+	}
+}
+
+// SetSLO sets the default latency objective for one backend's shapes
+// (overridable per shape with SetShapeSLO). backend "" applies to every
+// registered auditor and becomes the default for future ones.
+func SetSLO(backend string, slo SLO) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if backend == "" {
+		defaultSLO = slo
+		for _, a := range auditors {
+			a.mu.Lock()
+			a.slo = slo
+			a.mu.Unlock()
+		}
+		return
+	}
+	a := auditors[backend]
+	if a == nil {
+		a = &Auditor{
+			backend:   backend,
+			shapes:    make(map[string]*shapeState),
+			overrides: make(map[string]SLO),
+		}
+		auditors[backend] = a
+	}
+	a.mu.Lock()
+	a.slo = slo
+	a.mu.Unlock()
+}
+
+// SetShapeSLO overrides the latency objective for one (backend, shape),
+// creating the backend's auditor if needed.
+func SetShapeSLO(backend, shape string, slo SLO) {
+	a := For(backend)
+	a.mu.Lock()
+	a.overrides[shape] = slo
+	a.mu.Unlock()
+}

@@ -1,0 +1,62 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"fxdist/internal/obs"
+)
+
+func init() {
+	obs.RegisterDebugHandler("/debug/optimality", Handler())
+}
+
+// Handler serves the optimality report of every registered auditor:
+// JSON by default, a human-readable per-shape table with
+// ?format=text. Mounted as /debug/optimality on every obs.Handler.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reps := Report()
+		if req.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, reps)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reps) //nolint:errcheck // client gone
+	})
+}
+
+func writeText(w http.ResponseWriter, reps []BackendReport) {
+	if len(reps) == 0 {
+		fmt.Fprintln(w, "no retrievals audited yet")
+		return
+	}
+	for _, rep := range reps {
+		fmt.Fprintf(w, "backend %s\n", rep.Backend)
+		fmt.Fprintf(w, "  %-12s %8s %6s %6s %8s %6s %6s %8s  %s\n",
+			"shape", "queries", "viol", "maxdev", "meandev", "bound", "worst", "burn", "verdict")
+		for _, s := range rep.Shapes {
+			verdict := "strict optimal"
+			if s.Violations > 0 {
+				verdict = fmt.Sprintf("VIOLATED (device %d: bound %d exceeded by %d)",
+					s.WorstDevice, s.Bound, s.MaxDeviation)
+			}
+			burn := "-"
+			if s.SLOTarget > 0 {
+				burn = fmt.Sprintf("%.2f", s.BurnRate)
+			}
+			fmt.Fprintf(w, "  %-12s %8d %6d %6d %8.3f %6d %6d %8s  %s\n",
+				s.Shape, s.Queries, s.Violations, s.MaxDeviation, s.MeanDeviation,
+				s.Bound, s.WorstDevice, burn, verdict)
+			if s.SLOTarget > 0 {
+				fmt.Fprintf(w, "  %-12s slo: target=%s goal=%.4f good=%d bad=%d\n",
+					"", time.Duration(s.SLOTarget), s.SLOGoal, s.Good, s.Bad)
+			}
+		}
+	}
+}

@@ -81,6 +81,10 @@ type Device interface {
 // Result reports one retrieval: the matching records plus the simulated
 // parallel cost breakdown.
 type Result struct {
+	// TraceID identifies the retrieval's trace (0 when the executor has
+	// no tracer); join it against obs.Tracer.Recent/Trees to see the
+	// span tree behind this result.
+	TraceID uint64
 	// Records are the matching records, grouped by device in device order.
 	Records []mkhash.Record
 	// DeviceBuckets[i] is the number of qualified buckets device i accessed.
@@ -142,3 +146,28 @@ func (e *DeviceFailure) Error() string {
 }
 
 func (e *DeviceFailure) Unwrap() error { return e.Err }
+
+// TracedError wraps a retrieval error with the trace ID of the failed
+// retrieval, so an error printed in a log line can be joined against
+// /debug/traces output. It unwraps to the underlying error, so errors.Is
+// and errors.As see through it. The executor attaches it to every
+// retrieval error when a tracer is configured.
+type TracedError struct {
+	TraceID uint64
+	Err     error
+}
+
+func (e *TracedError) Error() string {
+	return fmt.Sprintf("%v (trace %d)", e.Err, e.TraceID)
+}
+
+func (e *TracedError) Unwrap() error { return e.Err }
+
+// Auditor receives every finished retrieval for online optimality
+// auditing (implemented by internal/audit): rq is |R(q)|, deviceBuckets
+// the per-device qualified-bucket counts (nil for a failed retrieval),
+// elapsed the wall-clock time. Called synchronously on the retrieval
+// path — implementations must be cheap.
+type Auditor interface {
+	RetrievalDone(q query.Query, rq int, deviceBuckets []int, elapsed time.Duration)
+}

@@ -54,6 +54,9 @@ type Config struct {
 	Workers int
 	// Retry, if set, is consulted on every device failure.
 	Retry RetryPolicy
+	// Audit, if set, receives every finished retrieval for online
+	// strict-optimality auditing and per-shape SLO accounting.
+	Audit Auditor
 }
 
 // Executor is the single retrieval code path shared by every backend:
@@ -68,6 +71,7 @@ type Executor struct {
 	tracer *obs.Tracer
 	span   string
 	retry  RetryPolicy
+	audit  Auditor
 	pool   *pool
 }
 
@@ -95,6 +99,7 @@ func New(cfg Config) (*Executor, error) {
 		tracer: cfg.Tracer,
 		span:   cfg.Span,
 		retry:  cfg.Retry,
+		audit:  cfg.Audit,
 		pool:   newPool(workers),
 	}, nil
 }
@@ -145,6 +150,24 @@ func (e *Executor) lower(pm mkhash.PartialMatch) (query.Query, error) {
 	return q, nil
 }
 
+// numQualified computes |R(q)|: the product of the unspecified field
+// domain sizes. The validated file system is used when configured;
+// backends that only know the schema (the TCP coordinator) fall back to
+// its current directory sizes.
+func (e *Executor) numQualified(q query.Query) int {
+	if e.fs.M > 0 {
+		return q.NumQualified(e.fs)
+	}
+	sizes := e.schema.Sizes()
+	n := 1
+	for i, v := range q.Spec {
+		if v == query.Unspecified && i < len(sizes) {
+			n *= sizes[i]
+		}
+	}
+	return n
+}
+
 // call is one in-flight fan-out: per-device answer slots plus an atomic
 // countdown that closes done when the last device task finishes. Waiters
 // that give up early (context cancelled) simply abandon the call; the
@@ -152,6 +175,8 @@ func (e *Executor) lower(pm mkhash.PartialMatch) (query.Query, error) {
 type call struct {
 	t0      time.Time
 	span    *obs.Span
+	q       query.Query
+	rq      int // |R(q)| for the optimality audit
 	answers []Answer
 	errs    []error
 	pending atomic.Int64
@@ -164,6 +189,8 @@ func (e *Executor) launch(ctx context.Context, q query.Query, pm mkhash.PartialM
 	m := len(e.devs)
 	c := &call{
 		t0:      time.Now(),
+		q:       q,
+		rq:      e.numQualified(q),
 		answers: make([]Answer, m),
 		errs:    make([]error, m),
 		done:    make(chan struct{}),
@@ -235,7 +262,8 @@ func (e *Executor) wait(ctx context.Context, c *call) (Result, error) {
 	return res, nil
 }
 
-// finish closes the call's span and reports the retrieval to the observer.
+// finish closes the call's span, audits the retrieval against the
+// strict-optimality bound, and reports it to the observer.
 func (e *Executor) finish(c *call, res Result, err error) {
 	if c.span != nil {
 		if err != nil {
@@ -243,16 +271,34 @@ func (e *Executor) finish(c *call, res Result, err error) {
 		}
 		c.span.End()
 	}
+	elapsed := time.Since(c.t0)
+	if e.audit != nil {
+		if err != nil {
+			e.audit.RetrievalDone(c.q, c.rq, nil, elapsed)
+		} else {
+			e.audit.RetrievalDone(c.q, c.rq, res.DeviceBuckets, elapsed)
+		}
+	}
 	if e.obs == nil {
 		return
 	}
-	elapsed := time.Since(c.t0)
 	if err != nil {
 		e.obs.RetrieveError()
 		e.obs.RetrieveDone(elapsed, nil)
 		return
 	}
 	e.obs.RetrieveDone(elapsed, res.DeviceBuckets)
+}
+
+// seal stamps the call's trace ID onto the result and, on failure, wraps
+// the error so log lines carry the trace ID.
+func (c *call) seal(res Result, err error) (Result, error) {
+	tid := c.span.Trace()
+	res.TraceID = tid
+	if err != nil && tid != 0 {
+		err = &TracedError{TraceID: tid, Err: err}
+	}
+	return res, err
 }
 
 // planFailed reports a retrieval that died before fan-out.
@@ -280,7 +326,7 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 	c := e.launch(ctx, q, pm)
 	res, err := e.wait(ctx, c)
 	e.finish(c, res, err)
-	return res, err
+	return c.seal(res, err)
 }
 
 // RetrieveBatch answers a batch of queries over the shared worker pool:
@@ -312,7 +358,7 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 		}
 		res, err := e.wait(ctx, c)
 		e.finish(c, res, err)
-		results[i], errs[i] = res, err
+		results[i], errs[i] = c.seal(res, err)
 	}
 	var joined []error
 	for i, err := range errs {

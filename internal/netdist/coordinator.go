@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"fxdist/internal/audit"
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
@@ -35,11 +36,17 @@ type DeviceError struct {
 	// Remote is true when the server answered but rejected the request
 	// (a protocol error), false for transport failures and timeouts.
 	Remote bool
+	// TraceID is the retrieval's trace id (0 when untraced); join it
+	// against /debug/traces to see the whole query's span tree.
+	TraceID uint64
 	// Err is the underlying cause.
 	Err error
 }
 
 func (e *DeviceError) Error() string {
+	if e.TraceID != 0 {
+		return fmt.Sprintf("netdist: device %d (%s) request %d trace %d: %v", e.Device, e.Addr, e.RequestID, e.TraceID, e.Err)
+	}
 	return fmt.Sprintf("netdist: device %d (%s) request %d: %v", e.Device, e.Addr, e.RequestID, e.Err)
 }
 
@@ -209,6 +216,7 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		Observer: coordObserver{},
 		Tracer:   c.tracer,
 		Span:     "netdist.retrieve",
+		Audit:    audit.For("netdist"),
 	})
 	if err != nil {
 		c.Close()
@@ -242,6 +250,9 @@ type remoteDevice struct {
 func (d *remoteDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
 	req := NewRequest(q.Spec, pm)
 	req.AsDevice = d.as
+	if span := engine.SpanFromContext(ctx); span != nil {
+		req.TraceID, req.ParentSpan = span.Trace(), span.SpanID()
+	}
 	resp, err := d.c.ask(ctx, d.server, req)
 	if err != nil {
 		return engine.Answer{}, err
@@ -292,13 +303,13 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, 
 		if errors.Is(err, ErrTimeout) {
 			dm.timeouts.Inc()
 		}
-		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, Err: err}
+		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Err: err}
 		span.Event(derr.Error())
 		return Response{}, derr
 	}
 	if resp.Err != "" {
 		dm.errors.Inc()
-		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, Remote: true, Err: errors.New(resp.Err)}
+		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Remote: true, Err: errors.New(resp.Err)}
 		span.Event(derr.Error())
 		return Response{}, derr
 	}
@@ -319,6 +330,9 @@ func (r Request) targetDevice(server int) int {
 
 // Result is a merged distributed retrieval.
 type Result struct {
+	// TraceID identifies the retrieval's stitched span tree in
+	// /debug/traces?tree=1 (coordinator root + one child per device).
+	TraceID uint64
 	// Records are the matching records, grouped by device in device order.
 	Records []mkhash.Record
 	// DeviceBuckets[i] / DeviceRecords[i] are device i's accessed bucket
@@ -334,6 +348,7 @@ type Result struct {
 // Result (the coordinator attaches no cost model, so time fields drop).
 func fromEngine(r engine.Result) Result {
 	return Result{
+		TraceID:             r.TraceID,
 		Records:             r.Records,
 		DeviceBuckets:       r.DeviceBuckets,
 		DeviceRecords:       r.DeviceRecords,

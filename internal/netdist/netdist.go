@@ -42,6 +42,12 @@ type Request struct {
 	// server to answer from the backup partition it holds for that device
 	// (coordinator failover). NewRequest sets it to -1.
 	AsDevice int
+	// TraceID and ParentSpan propagate the coordinator's trace across the
+	// wire: the server opens its serving span as a child of ParentSpan
+	// inside TraceID, so one query stitches into a single span tree even
+	// across processes. Zero means untraced.
+	TraceID    uint64
+	ParentSpan uint64
 }
 
 // NewRequest builds the wire request for a hashed query and its
@@ -196,7 +202,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		s.sm.inflight.Inc()
 		t0 := time.Now()
-		span := s.tracer.Start("netdist.serve")
+		span := s.tracer.StartChild("netdist.serve", req.TraceID, req.ParentSpan)
 		span.SetRequestID(req.ID)
 		var resp Response
 		if req.AsDevice >= 0 && req.AsDevice != s.deviceID {

@@ -5,14 +5,36 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
+
+// Debug handler registry: packages that layer on obs (e.g. the
+// optimality auditor) mount their own endpoints on every Handler
+// without obs importing them.
+var (
+	debugMu       sync.Mutex
+	debugHandlers = make(map[string]http.Handler)
+)
+
+// RegisterDebugHandler mounts h at path (e.g. "/debug/optimality") on
+// every handler built by Handler/HandlerFor. Registering the same path
+// again replaces the handler. Typically called from an init function.
+func RegisterDebugHandler(path string, h http.Handler) {
+	debugMu.Lock()
+	debugHandlers[path] = h
+	debugMu.Unlock()
+}
 
 // Handler serves the default registry and tracer:
 //
-//	/metrics        Prometheus text exposition
-//	/debug/vars     expvar-style JSON of every metric
-//	/debug/traces   recent query spans as JSON (?n=K, default 32)
-//	/debug/pprof/   net/http/pprof runtime profiles
+//	/metrics            Prometheus text exposition
+//	/debug/vars         expvar-style JSON of every metric
+//	/debug/traces       recent query spans as JSON (?n=K, default 32;
+//	                    ?tree=1 stitches parent→child span trees)
+//	/debug/pprof/       net/http/pprof runtime profiles
+//
+// plus every endpoint mounted via RegisterDebugHandler (the optimality
+// auditor's /debug/optimality, when internal/audit is linked in).
 func Handler() http.Handler { return HandlerFor(Default(), DefaultTracer()) }
 
 // HandlerFor builds the observability handler for a specific registry
@@ -40,6 +62,10 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
 			enc := json.NewEncoder(w)
 			enc.SetIndent("", "  ")
+			if req.URL.Query().Get("tree") == "1" {
+				enc.Encode(t.Trees(n)) //nolint:errcheck // client gone
+				return
+			}
 			enc.Encode(t.Recent(n)) //nolint:errcheck // client gone
 		})
 	}
@@ -48,6 +74,11 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	debugMu.Lock()
+	for path, h := range debugHandlers {
+		mux.Handle(path, h)
+	}
+	debugMu.Unlock()
 	return mux
 }
 

@@ -76,3 +76,61 @@ func TestConcurrentPrimitives(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentParentedSpans hammers the trace ring with parented span
+// writers while readers stitch trees; run with -race in CI. Each worker
+// builds a root with children (as the netdist coordinator and device
+// servers do concurrently) and the final window must still stitch into
+// consistent trees.
+func TestConcurrentParentedSpans(t *testing.T) {
+	const workers, traces, children = 8, 50, 4
+	tr := NewTracer(workers * traces * (children + 1)) // big enough: no eviction
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < traces; i++ {
+				root := tr.Start("root")
+				var cwg sync.WaitGroup
+				for c := 0; c < children; c++ {
+					cwg.Add(1)
+					go func(c int) {
+						defer cwg.Done()
+						sp := tr.StartChild("child", root.Trace(), root.SpanID())
+						sp.SetRequestID(uint64(c))
+						sp.Event("work")
+						sp.End()
+					}(c)
+				}
+				if i%10 == 0 {
+					tr.Trees(64) // concurrent reader against live writers
+					tr.Recent(64)
+				}
+				cwg.Wait()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+
+	trees := tr.Trees(workers * traces * (children + 1))
+	roots := 0
+	for _, tree := range trees {
+		if tree.Name != "root" {
+			t.Fatalf("orphaned child promoted to root: %+v (ring should not have evicted)", tree.SpanSnapshot)
+		}
+		roots++
+		if len(tree.Children) != children {
+			t.Errorf("root %d has %d children, want %d", tree.ID, len(tree.Children), children)
+		}
+		for _, c := range tree.Children {
+			if c.TraceID != tree.ID || c.Parent != tree.ID {
+				t.Errorf("child %d trace=%d parent=%d, want both %d", c.ID, c.TraceID, c.Parent, tree.ID)
+			}
+		}
+	}
+	if roots != workers*traces {
+		t.Errorf("stitched %d roots, want %d", roots, workers*traces)
+	}
+}

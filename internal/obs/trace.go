@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"math/rand/v2"
+	"sort"
 	"sync"
 	"time"
 )
@@ -9,7 +11,11 @@ import (
 // when the coordinator (or a device server) starts work on a query and
 // carries timestamped events; spans on both sides share the pipelined
 // wire request ID, so a coordinator trace correlates with the matching
-// server traces.
+// server traces. Spans additionally carry a trace ID and a parent span
+// ID: the coordinator's retrieval span is the root of a trace, and the
+// device-server spans it fans out to are its children — the netdist
+// protocol propagates both IDs on the wire, so one query stitches into
+// a single parent→child tree even across processes (see Trees).
 type Tracer struct {
 	mu   sync.Mutex
 	cap  int
@@ -19,7 +25,10 @@ type Tracer struct {
 	seq  uint64
 }
 
-// NewTracer returns a tracer retaining the last capacity spans.
+// NewTracer returns a tracer retaining the last capacity spans. Span
+// ids count up from 1 — deterministic, which tests rely on; the
+// process-wide DefaultTracer instead starts from a random epoch so ids
+// crossing the wire don't collide between processes.
 func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
@@ -27,22 +36,44 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity, ring: make([]*Span, capacity)}
 }
 
-var defaultTracer = NewTracer(256)
+// newProcessTracer seeds the span-id sequence with a per-process random
+// epoch. Device servers receive coordinator span ids off the wire;
+// with every process counting from 1, a server's own span id would
+// collide with the coordinator's parent id and Trees would stitch
+// foreign spans into the wrong tree (or cycle a span onto itself).
+func newProcessTracer(capacity int) *Tracer {
+	t := NewTracer(capacity)
+	t.seq = rand.Uint64() >> 1 // keep 2^63 ids of monotonic headroom
+	return t
+}
+
+var defaultTracer = newProcessTracer(256)
 
 // DefaultTracer returns the process-wide tracer the instrumented
 // packages record against.
 func DefaultTracer() *Tracer { return defaultTracer }
 
-// Start opens a span and records it in the ring (in-flight spans are
-// visible in Recent, marked not Done). Safe on a nil tracer, which
-// returns a nil span whose methods no-op.
-func (t *Tracer) Start(name string) *Span {
+// Start opens a root span and records it in the ring (in-flight spans
+// are visible in Recent, marked not Done). A root span's trace ID is
+// its own span ID. Safe on a nil tracer, which returns a nil span whose
+// methods no-op.
+func (t *Tracer) Start(name string) *Span { return t.StartChild(name, 0, 0) }
+
+// StartChild opens a span inside an existing trace: traceID is the
+// root's trace ID and parent the span ID of the caller's span — both
+// may come off the wire from another process. traceID 0 starts a new
+// root (the span's own ID becomes the trace ID). Safe on a nil tracer.
+func (t *Tracer) StartChild(name string, traceID, parent uint64) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	t.seq++
-	s := &Span{ID: t.seq, Name: name, start: time.Now()}
+	if traceID == 0 {
+		traceID = t.seq
+		parent = 0
+	}
+	s := &Span{ID: t.seq, Name: name, traceID: traceID, parent: parent, start: time.Now()}
 	t.ring[t.next] = s
 	t.next++
 	if t.next == t.cap {
@@ -81,6 +112,56 @@ func (t *Tracer) Recent(n int) []SpanSnapshot {
 	return out
 }
 
+// SpanTree is one span and the spans that ran under it — a stitched
+// view of a whole query: coordinator root, one child per device server.
+type SpanTree struct {
+	SpanSnapshot
+	Children []SpanTree `json:"children,omitempty"`
+}
+
+// Trees groups up to n recent spans into parent→child trees, most
+// recent root first. A span whose parent is absent from the window
+// (evicted from the ring, or rooted in another process's tracer) is
+// promoted to a root so no span is dropped.
+func (t *Tracer) Trees(n int) []SpanTree {
+	snaps := t.Recent(n)
+	if len(snaps) == 0 {
+		return nil
+	}
+	present := make(map[uint64]uint64, len(snaps)) // span id → trace id
+	for _, s := range snaps {
+		present[s.ID] = s.TraceID
+	}
+	children := make(map[uint64][]SpanSnapshot)
+	var roots []SpanSnapshot
+	for _, s := range snaps {
+		// Attach only under a local parent in the same trace; a parent id
+		// minted by another process can collide with a local span id, and
+		// a span must never parent itself.
+		ptrace, ok := present[s.Parent]
+		if s.Parent != 0 && s.Parent != s.ID && ok && ptrace == s.TraceID {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var build func(s SpanSnapshot) SpanTree
+	build = func(s SpanSnapshot) SpanTree {
+		tree := SpanTree{SpanSnapshot: s}
+		kids := children[s.ID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, k := range kids {
+			tree.Children = append(tree.Children, build(k))
+		}
+		return tree
+	}
+	out := make([]SpanTree, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, build(r))
+	}
+	return out
+}
+
 // SpanEvent is one timestamped annotation inside a span.
 type SpanEvent struct {
 	// At is the offset from the span's start.
@@ -94,13 +175,40 @@ type Span struct {
 	ID   uint64
 	Name string
 
-	start time.Time
+	traceID uint64
+	parent  uint64
+	start   time.Time
 
 	mu        sync.Mutex
 	requestID uint64
 	events    []SpanEvent
 	duration  time.Duration
 	done      bool
+}
+
+// SpanID returns the span's own ID, 0 on a nil span.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.ID
+}
+
+// Trace returns the ID of the trace this span belongs to (its own ID
+// for roots), 0 on a nil span.
+func (s *Span) Trace() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// ParentID returns the span ID of this span's parent, 0 for roots.
+func (s *Span) ParentID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.parent
 }
 
 // SetRequestID attaches the pipelined wire request ID, correlating this
@@ -148,6 +256,8 @@ func (s *Span) snapshot() SpanSnapshot {
 	}
 	return SpanSnapshot{
 		ID:        s.ID,
+		TraceID:   s.traceID,
+		Parent:    s.parent,
 		RequestID: s.requestID,
 		Name:      s.Name,
 		Start:     s.start,
@@ -159,11 +269,13 @@ func (s *Span) snapshot() SpanSnapshot {
 
 // SpanSnapshot is a point-in-time copy of a span, safe to retain.
 type SpanSnapshot struct {
-	ID        uint64      `json:"id"`
-	RequestID uint64      `json:"request_id,omitempty"`
-	Name      string      `json:"name"`
-	Start     time.Time   `json:"start"`
+	ID        uint64        `json:"id"`
+	TraceID   uint64        `json:"trace_id"`
+	Parent    uint64        `json:"parent_id,omitempty"`
+	RequestID uint64        `json:"request_id,omitempty"`
+	Name      string        `json:"name"`
+	Start     time.Time     `json:"start"`
 	Duration  time.Duration `json:"duration_ns"`
-	Done      bool        `json:"done"`
-	Events    []SpanEvent `json:"events,omitempty"`
+	Done      bool          `json:"done"`
+	Events    []SpanEvent   `json:"events,omitempty"`
 }

@@ -74,4 +74,130 @@ func TestNilTracerAndSpanNoOp(t *testing.T) {
 	if tr.Recent(5) != nil {
 		t.Error("nil tracer returned spans")
 	}
+	if s.SpanID() != 0 || s.Trace() != 0 || s.ParentID() != 0 {
+		t.Error("nil span reported nonzero ids")
+	}
+	if tr.Trees(5) != nil {
+		t.Error("nil tracer returned trees")
+	}
+}
+
+func TestStartChildParenting(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("root")
+	if root.Trace() != root.SpanID() || root.ParentID() != 0 {
+		t.Fatalf("root trace=%d parent=%d span=%d; want trace==span, parent 0",
+			root.Trace(), root.ParentID(), root.SpanID())
+	}
+	child := tr.StartChild("child", root.Trace(), root.SpanID())
+	if child.Trace() != root.Trace() || child.ParentID() != root.SpanID() {
+		t.Errorf("child trace=%d parent=%d; want trace %d parent %d",
+			child.Trace(), child.ParentID(), root.Trace(), root.SpanID())
+	}
+	// traceID 0 forces a new root even with a nonzero parent hint.
+	fresh := tr.StartChild("fresh", 0, 999)
+	if fresh.Trace() != fresh.SpanID() || fresh.ParentID() != 0 {
+		t.Errorf("zero traceID did not start a new root: trace=%d parent=%d span=%d",
+			fresh.Trace(), fresh.ParentID(), fresh.SpanID())
+	}
+	child.End()
+	root.End()
+	fresh.End()
+}
+
+func TestTreesStitchParentChild(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Start("coordinator")
+	c1 := tr.StartChild("serve-0", root.Trace(), root.SpanID())
+	c1.End()
+	grand := tr.StartChild("scan", root.Trace(), c1.SpanID())
+	grand.End()
+	c2 := tr.StartChild("serve-1", root.Trace(), root.SpanID())
+	c2.End()
+	root.End()
+	other := tr.Start("loner")
+	other.End()
+
+	trees := tr.Trees(16)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2: %+v", len(trees), trees)
+	}
+	// Most recent root first.
+	if trees[0].Name != "loner" || len(trees[0].Children) != 0 {
+		t.Errorf("trees[0] = %+v, want childless loner", trees[0])
+	}
+	coord := trees[1]
+	if coord.Name != "coordinator" || len(coord.Children) != 2 {
+		t.Fatalf("coordinator tree = %+v, want 2 children", coord)
+	}
+	// Children sorted by start time.
+	if coord.Children[0].Name != "serve-0" || coord.Children[1].Name != "serve-1" {
+		t.Errorf("children = %s, %s", coord.Children[0].Name, coord.Children[1].Name)
+	}
+	if len(coord.Children[0].Children) != 1 || coord.Children[0].Children[0].Name != "scan" {
+		t.Errorf("grandchild missing: %+v", coord.Children[0])
+	}
+	for _, c := range coord.Children {
+		if c.TraceID != coord.ID {
+			t.Errorf("child %s trace %d, want %d", c.Name, c.TraceID, coord.ID)
+		}
+	}
+}
+
+// TestTreesForeignParentIDCollision reproduces the cross-process trap:
+// every process's span ids would count from 1, so a server's first
+// local span can share an id with the remote coordinator parent it (or
+// a sibling) references. Such spans must become roots — never parent
+// themselves, never adopt a same-id span from a different trace.
+func TestTreesForeignParentIDCollision(t *testing.T) {
+	tr := NewTracer(8)
+	// Local span id 1 whose wire parent is also id 1 (the remote
+	// coordinator's root): self-id parent, must be promoted.
+	self := tr.StartChild("serve-a", 1, 1)
+	self.End()
+	// Local span id 2 referencing remote trace 7, parent id 1: span 1
+	// exists locally but belongs to trace 1, not 7 — no adoption.
+	foreign := tr.StartChild("serve-b", 7, 1)
+	foreign.End()
+	trees := tr.Trees(8)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2 promoted roots: %+v", len(trees), trees)
+	}
+	for _, tree := range trees {
+		if len(tree.Children) != 0 {
+			t.Errorf("%s adopted children across traces: %+v", tree.Name, tree.Children)
+		}
+	}
+}
+
+// TestDefaultTracerRandomEpoch: the process tracer's span ids start at
+// a random epoch so two processes' ids (and trace ids) don't collide.
+func TestDefaultTracerRandomEpoch(t *testing.T) {
+	sp := DefaultTracer().Start("epoch-probe")
+	sp.End()
+	if sp.SpanID() < 1<<32 {
+		t.Errorf("default tracer span id %d looks sequential, want random epoch", sp.SpanID())
+	}
+}
+
+func TestTreesOrphanPromotedToRoot(t *testing.T) {
+	tr := NewTracer(2) // tiny ring: the root gets evicted
+	root := tr.Start("root")
+	a := tr.StartChild("a", root.Trace(), root.SpanID())
+	b := tr.StartChild("b", root.Trace(), root.SpanID())
+	a.End()
+	b.End()
+	root.End()
+	trees := tr.Trees(4) // ring holds only a and b; root evicted
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2 promoted orphans: %+v", len(trees), trees)
+	}
+	for _, tree := range trees {
+		if tree.Parent == 0 {
+			t.Errorf("orphan %s lost its parent id", tree.Name)
+		}
+		if len(tree.Children) != 0 {
+			t.Errorf("orphan %s has children", tree.Name)
+		}
+	}
 }

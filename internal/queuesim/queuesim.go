@@ -14,10 +14,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strconv"
 	"time"
 
 	"fxdist/internal/convolve"
 	"fxdist/internal/decluster"
+	"fxdist/internal/obs"
 	"fxdist/internal/query"
 	"fxdist/internal/storage"
 )
@@ -48,6 +50,24 @@ type Stats struct {
 	// DeviceBusy[d] / Makespan.
 	DeviceBusy  []time.Duration
 	Utilization []float64
+	// DeviceWait[d] is device d's total queue wait — time device tasks
+	// spent queued behind earlier work (start - arrival, summed). Skewed
+	// declustering shows up here first: the overloaded device's queue
+	// wait grows while its peers stay near zero.
+	DeviceWait []time.Duration
+}
+
+// waitHists returns the per-device simulated queue-wait histograms
+// (fxdist_queuesim_device_wait_seconds{device=...}) so simulated skew
+// lands on the same dashboard as the live per-device latencies.
+func waitHists(m int) []*obs.Histogram {
+	hs := make([]*obs.Histogram, m)
+	for d := range hs {
+		hs[d] = obs.Default().Histogram("fxdist_queuesim_device_wait_seconds",
+			"Simulated per-device queue wait (task start minus job arrival) in Run/RunClosed.",
+			nil, obs.L("device", strconv.Itoa(d)))
+	}
+	return hs
 }
 
 // Run simulates the job stream under the device cost model. Jobs are
@@ -74,6 +94,8 @@ func Run(jobs []Job, model storage.CostModel) (Stats, error) {
 
 	deviceFree := make([]time.Duration, m)
 	busy := make([]time.Duration, m)
+	wait := make([]time.Duration, m)
+	hists := waitHists(m)
 	stats := Stats{PerQuery: make([]QueryStats, len(jobs))}
 	var totalResp time.Duration
 	for _, idx := range order {
@@ -88,6 +110,8 @@ func Run(jobs []Job, model storage.CostModel) (Stats, error) {
 			if deviceFree[d] > start {
 				start = deviceFree[d]
 			}
+			wait[d] += start - j.Arrival
+			hists[d].Observe((start - j.Arrival).Seconds())
 			end := start + service
 			deviceFree[d] = end
 			busy[d] += service
@@ -107,6 +131,7 @@ func Run(jobs []Job, model storage.CostModel) (Stats, error) {
 	}
 	stats.MeanResponse = totalResp / time.Duration(len(jobs))
 	stats.DeviceBusy = busy
+	stats.DeviceWait = wait
 	stats.Utilization = make([]float64, m)
 	if stats.Makespan > 0 {
 		for d, bz := range busy {
@@ -140,6 +165,8 @@ func RunClosed(pool [][]int, clients, completions int, model storage.CostModel) 
 
 	deviceFree := make([]time.Duration, m)
 	busy := make([]time.Duration, m)
+	wait := make([]time.Duration, m)
+	hists := waitHists(m)
 	clientFree := make([]time.Duration, clients)
 	clientNext := make([]int, clients)
 	for c := range clientNext {
@@ -171,6 +198,8 @@ func RunClosed(pool [][]int, clients, completions int, model storage.CostModel) 
 			if deviceFree[d] > start {
 				start = deviceFree[d]
 			}
+			wait[d] += start - arrival
+			hists[d].Observe((start - arrival).Seconds())
 			end := start + service
 			deviceFree[d] = end
 			busy[d] += service
@@ -191,6 +220,7 @@ func RunClosed(pool [][]int, clients, completions int, model storage.CostModel) 
 	}
 	stats.MeanResponse = totalResp / time.Duration(completions)
 	stats.DeviceBusy = busy
+	stats.DeviceWait = wait
 	stats.Utilization = make([]float64, m)
 	if stats.Makespan > 0 {
 		for d, bz := range busy {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
@@ -51,6 +52,7 @@ func (c *DurableCluster) engineFor(model CostModel) (*engine.Executor, error) {
 		Observer: engine.NewClusterMetrics("durable", c.fs.M),
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
+		Audit:    audit.For("durable"),
 	})
 }
 

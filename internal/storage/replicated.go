@@ -3,6 +3,7 @@ package storage
 import (
 	"context"
 
+	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
@@ -64,6 +65,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		Observer: engine.NewClusterMetrics("replicated", fs.M),
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
+		Audit:    audit.For("replicated"),
 	})
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
@@ -105,6 +106,7 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		Observer: engine.NewClusterMetrics("memory", fs.M),
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
+		Audit:    audit.For("memory"),
 	})
 	if err != nil {
 		return nil, err

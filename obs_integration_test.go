@@ -2,9 +2,12 @@ package fxdist_test
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
@@ -132,6 +135,39 @@ func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
 		t.Fatalf("healthy retrieve %d records, want %d", len(got.Records), len(want))
 	}
 
+	// The coordinator's trace id rode the wire to every device server, so
+	// the query's spans stitch into one tree: coordinator root, one serve
+	// child per device.
+	if got.TraceID == 0 {
+		t.Fatal("retrieve result carries no trace id")
+	}
+	var tree *fxdist.TraceTree
+	trees := fxdist.RecentTraceTrees(256)
+	for i := range trees {
+		if trees[i].ID == got.TraceID {
+			tree = &trees[i]
+			break
+		}
+	}
+	if tree == nil {
+		t.Fatalf("no span tree for trace %d in recent traces", got.TraceID)
+	}
+	if tree.Name != "netdist.retrieve-failover" {
+		t.Errorf("trace root = %q, want netdist.retrieve-failover", tree.Name)
+	}
+	if len(tree.Children) != m {
+		t.Fatalf("trace %d has %d child spans, want one per device (%d): %+v",
+			got.TraceID, len(tree.Children), m, tree.Children)
+	}
+	for _, c := range tree.Children {
+		if c.Name != "netdist.serve" {
+			t.Errorf("child span = %q, want netdist.serve", c.Name)
+		}
+		if c.TraceID != tree.ID || c.Parent != tree.ID {
+			t.Errorf("child %d trace=%d parent=%d, want both %d", c.ID, c.TraceID, c.Parent, tree.ID)
+		}
+	}
+
 	before := scrapeMetrics(t, srv.URL+"/metrics")
 	for dev := 0; dev < m; dev++ {
 		key := `fxdist_netdist_coordinator_device_request_seconds_count{device="` + strconv.Itoa(dev) + `"}`
@@ -188,5 +224,46 @@ func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
 	}
 	if !sawFailover {
 		t.Error("no netdist.retrieve-failover span in recent traces")
+	}
+
+	// The optimality audit is served over the same handler. CI uploads
+	// this JSON as a build artifact when AUDIT_JSON names a destination.
+	resp, err := http.Get(srv.URL + "/debug/optimality")
+	if err != nil {
+		t.Fatalf("GET /debug/optimality: %v", err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /debug/optimality: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /debug/optimality: status %d", resp.StatusCode)
+	}
+	var audits []fxdist.BackendAudit
+	if err := json.Unmarshal(raw, &audits); err != nil {
+		t.Fatalf("/debug/optimality is not audit JSON: %v\n%s", err, raw)
+	}
+	var netdist *fxdist.BackendAudit
+	for i := range audits {
+		if audits[i].Backend == "netdist" {
+			netdist = &audits[i]
+		}
+	}
+	if netdist == nil || len(netdist.Shapes) == 0 {
+		t.Fatalf("/debug/optimality has no netdist shapes: %s", raw)
+	}
+	var audited uint64
+	for _, s := range netdist.Shapes {
+		audited += s.Queries
+	}
+	if audited < 2 {
+		t.Errorf("netdist audit saw %d queries, want >= 2 (healthy + failover)", audited)
+	}
+	if path := os.Getenv("AUDIT_JSON"); path != "" {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("write AUDIT_JSON: %v", err)
+		}
+		t.Logf("optimality audit written to %s", path)
 	}
 }

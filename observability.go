@@ -3,7 +3,9 @@ package fxdist
 import (
 	"io"
 	"net/http"
+	"time"
 
+	"fxdist/internal/audit"
 	"fxdist/internal/obs"
 )
 
@@ -43,11 +45,61 @@ func MetricsHandler() http.Handler { return obs.Handler() }
 func ServeMetrics(addr string) (string, func(), error) { return obs.ListenAndServe(addr) }
 
 // TraceSpan is a completed or in-flight query trace: coordinator fan-out
-// and device-server spans correlate via RequestID.
+// and device-server spans correlate via RequestID, and parent→child
+// links (TraceID/Parent) stitch one query's spans into a tree even
+// across processes.
 type TraceSpan = obs.SpanSnapshot
 
 // RecentTraces returns up to n recent query spans, most recent first.
 func RecentTraces(n int) []TraceSpan { return obs.DefaultTracer().Recent(n) }
+
+// TraceTree is one span and the spans that ran under it — for a netdist
+// query: the coordinator's retrieval span as root with one device-server
+// span per device as children.
+type TraceTree = obs.SpanTree
+
+// RecentTraceTrees groups up to n recent spans into parent→child trees,
+// most recent root first (the programmatic /debug/traces?tree=1).
+func RecentTraceTrees(n int) []TraceTree { return obs.DefaultTracer().Trees(n) }
+
+// Online optimality auditing: every retrieval on every backend is
+// compared against the paper's strict-optimality bound ceil(|R(q)|/M),
+// aggregated by query shape (the set of unspecified fields). The same
+// data is served on /debug/optimality by MetricsHandler.
+
+// ShapeAudit is one (backend, query shape) row of the audit: violation
+// counts, max/mean deviation from the bound, worst offender device, and
+// the shape's latency-SLO counters.
+type ShapeAudit = audit.ShapeReport
+
+// BackendAudit is every query shape one backend has served.
+type BackendAudit = audit.BackendReport
+
+// OptimalityReport snapshots the optimality audit of every backend,
+// sorted by backend then shape.
+func OptimalityReport() []BackendAudit { return audit.Report() }
+
+// ResetAudit zeroes all accumulated audit state (counters exported to
+// Prometheus stay monotonic; configured SLOs are kept).
+func ResetAudit() { audit.Reset() }
+
+// LatencySLO is a per-shape latency objective: at least Goal (e.g. 0.99)
+// of a shape's queries must complete within Target.
+type LatencySLO = audit.SLO
+
+// SetLatencySLO sets the default latency objective for every query shape
+// of one backend ("memory", "durable", "replicated", "netdist"); an
+// empty backend applies it everywhere.
+func SetLatencySLO(backend string, target time.Duration, goal float64) {
+	audit.SetSLO(backend, audit.SLO{Target: target, Goal: goal})
+}
+
+// SetShapeLatencySLO overrides the latency objective for one query shape
+// (e.g. "s**" — 's' per specified field, '*' per unspecified) of one
+// backend.
+func SetShapeLatencySLO(backend, shape string, target time.Duration, goal float64) {
+	audit.SetShapeSLO(backend, shape, audit.SLO{Target: target, Goal: goal})
+}
 
 // SetLogLevel tunes the runtime logger: "debug", "info", "warn",
 // "error" or "off". The default is "warn", which keeps routine

@@ -15,10 +15,16 @@ import (
 // QueueJob is one query's arrival time and per-device bucket work.
 type QueueJob = queuesim.Job
 
-// QueueStats aggregates a queueing simulation run.
+// QueueStats aggregates a queueing simulation run, including per-device
+// total queue wait (DeviceWait) — the same waits are observed into the
+// fxdist_queuesim_device_wait_seconds{device} histograms of the metric
+// registry, so simulated skew and live per-device latency land on the
+// same dashboard.
 type QueueStats = queuesim.Stats
 
-// RunQueue simulates a job stream under the device cost model.
+// RunQueue simulates a job stream under the device cost model. Every
+// device task's queue wait is recorded in QueueStats.DeviceWait and in
+// the per-device obs wait histograms.
 func RunQueue(jobs []QueueJob, model CostModel) (QueueStats, error) {
 	return queuesim.Run(jobs, model)
 }
@@ -31,7 +37,8 @@ func JobsFromQueries(a GroupAllocator, queries []Query, arrivals []time.Duration
 
 // RunClosedQueue simulates a closed system: `clients` concurrent clients
 // cycle through the pool of per-query load vectors at a fixed
-// multiprogramming level until `completions` queries finish.
+// multiprogramming level until `completions` queries finish. Per-device
+// queue waits are reported like RunQueue's.
 func RunClosedQueue(pool [][]int, clients, completions int, model CostModel) (QueueStats, error) {
 	return queuesim.RunClosed(pool, clients, completions, model)
 }

@@ -19,7 +19,17 @@ while [ $# -gt 0 ]; do
 	esac
 done
 DATE=$(date +%Y-%m-%d)
-[ -n "$OUT" ] || OUT="BENCH_${DATE}.json"
+# Default output is keyed by date and never overwrites an existing
+# snapshot: a second run on the same day writes BENCH_<date>.2.json,
+# then .3, ... An explicit output argument is used verbatim.
+if [ -z "$OUT" ]; then
+	OUT="BENCH_${DATE}.json"
+	N=2
+	while [ -e "$OUT" ]; do
+		OUT="BENCH_${DATE}.${N}.json"
+		N=$((N + 1))
+	done
+fi
 
 PATTERN='^(BenchmarkAddressFX|BenchmarkInverseMapping|BenchmarkClusterRetrieve|BenchmarkBatchRetrieve|BenchmarkDistributedRetrieve|BenchmarkDurable)'
 RAW=$(mktemp)
