@@ -79,12 +79,12 @@ func TestPublicDurableCheck(t *testing.T) {
 	file := buildTestFile(t)
 	fs, _ := file.FileSystem(4)
 	fx, _ := fxdist.NewFX(fs)
-	c, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.MainMemory)
+	h, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
-	report, err := c.Check()
+	defer h.Close()
+	report, err := h.Durable().Check()
 	if err != nil {
 		t.Fatal(err)
 	}

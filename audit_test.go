@@ -64,7 +64,7 @@ func TestOptimalityReportAcrossBackends(t *testing.T) {
 
 	backends := map[string]func(alloc fxdist.GroupAllocator, pm fxdist.PartialMatch) error{
 		"memory": func(alloc fxdist.GroupAllocator, pm fxdist.PartialMatch) error {
-			c, err := fxdist.NewCluster(file, alloc, fxdist.MainMemory)
+			c, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc})
 			if err != nil {
 				return err
 			}
@@ -72,7 +72,8 @@ func TestOptimalityReportAcrossBackends(t *testing.T) {
 			return err
 		},
 		"durable": func(alloc fxdist.GroupAllocator, pm fxdist.PartialMatch) error {
-			c, err := fxdist.CreateDurableCluster(t.TempDir(), file, alloc, fxdist.ParallelDisk)
+			c, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: alloc},
+				fxdist.WithCostModel(fxdist.ParallelDisk))
 			if err != nil {
 				return err
 			}
@@ -81,7 +82,8 @@ func TestOptimalityReportAcrossBackends(t *testing.T) {
 			return err
 		},
 		"replicated": func(alloc fxdist.GroupAllocator, pm fxdist.PartialMatch) error {
-			c, err := fxdist.NewReplicatedCluster(file, alloc, fxdist.ChainedFailover, fxdist.MainMemory)
+			c, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc},
+				fxdist.WithReplication(fxdist.ChainedFailover))
 			if err != nil {
 				return err
 			}
@@ -94,7 +96,7 @@ func TestOptimalityReportAcrossBackends(t *testing.T) {
 				return err
 			}
 			defer stop()
-			coord, err := fxdist.DialCluster(file, addrs)
+			coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs})
 			if err != nil {
 				return err
 			}

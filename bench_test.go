@@ -255,7 +255,7 @@ func benchCluster(b *testing.B) (*fxdist.Cluster, []fxdist.PartialMatch) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cluster, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -300,6 +300,66 @@ func BenchmarkBatchRetrieve(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPlanCacheRepeatedShape measures what the per-shape plan
+// cache buys on the hot path: a repeated-shape workload (64 queries over
+// a handful of shapes, the pattern a real query mix produces) against
+// the same cluster with the cache disabled, which pays validation,
+// |R(q)| counting and the per-device inverse-mapper walk on every
+// retrieval. One warm-up pass primes the cache, so the cached
+// sub-benchmark measures pure hits.
+func BenchmarkPlanCacheRepeatedShape(b *testing.B) {
+	run := func(b *testing.B, opts ...fxdist.Option) {
+		spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+			{Name: "a", Cardinality: 500},
+			{Name: "b", Cardinality: 100},
+			{Name: "c", Cardinality: 20},
+		}}
+		file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{5, 4, 3}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err := fxdist.GenerateRecords(spec, 4000, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := file.Insert(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fs, err := file.FileSystem(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fx, err := fxdist.NewFX(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pms, err := fxdist.GeneratePartialMatches(spec, 64, 0.35, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pm := range pms { // warm-up: compile every shape once
+			if _, err := cluster.Retrieve(pm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cluster.Retrieve(pms[i%64]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) { run(b) })
+	b.Run("uncached", func(b *testing.B) { run(b, fxdist.WithoutPlanCache()) })
 }
 
 // --- Ablations -----------------------------------------------------------
@@ -436,7 +496,7 @@ func BenchmarkDurableRetrieve(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c, err := fxdist.CreateDurableCluster(b.TempDir(), file, fx, fxdist.MainMemory)
+	c, err := fxdist.Open(fxdist.Config{Dir: b.TempDir(), File: file, Allocator: fx})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -479,12 +539,12 @@ func BenchmarkDurableBulkLoad(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		c, err := fxdist.CreateDurableCluster(b.TempDir(), file, fx, fxdist.MainMemory)
+		c, err := fxdist.Open(fxdist.Config{Dir: b.TempDir(), File: file, Allocator: fx})
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if err := c.BulkInsert(recs); err != nil {
+		if err := c.Durable().BulkInsert(recs); err != nil {
 			b.Fatal(err)
 		}
 		b.StopTimer()
@@ -509,7 +569,7 @@ func BenchmarkDistributedRetrieve(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer stop()
-	coord, err := fxdist.DialCluster(file, addrs)
+	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs})
 	if err != nil {
 		b.Fatal(err)
 	}

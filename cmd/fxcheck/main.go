@@ -24,12 +24,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fxcheck -dir DIR")
 		os.Exit(2)
 	}
-	c, err := fxdist.OpenDurableCluster(*dir, fxdist.ParallelDisk)
+	h, err := fxdist.Open(fxdist.Config{Dir: *dir}, fxdist.WithCostModel(fxdist.ParallelDisk))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fxcheck:", err)
 		os.Exit(1)
 	}
-	defer c.Close()
+	defer h.Close()
+	c := h.Durable()
 	report, err := c.Check()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fxcheck:", err)

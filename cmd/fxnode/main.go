@@ -150,10 +150,11 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	var opts []fxdist.Option
 	if *slo > 0 {
-		fxdist.SetLatencySLO("netdist", *slo, *sloGoal)
+		opts = append(opts, fxdist.WithLatencySLO(*slo, *sloGoal))
 	}
-	coord, err := fxdist.DialCluster(file, strings.Split(*addrsArg, ","))
+	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: strings.Split(*addrsArg, ",")}, opts...)
 	if err != nil {
 		return err
 	}

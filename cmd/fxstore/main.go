@@ -94,29 +94,30 @@ func runCreate(dir string, args []string) error {
 	if err != nil {
 		return err
 	}
-	c, err := fxdist.CreateDurableCluster(dir, file, alloc, fxdist.ParallelDisk)
+	c, err := fxdist.Open(fxdist.Config{Dir: dir, File: file, Allocator: alloc},
+		fxdist.WithCostModel(fxdist.ParallelDisk))
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	fmt.Printf("created %s: %d records on %d devices under %s\n",
-		alloc.Name(), c.Len(), c.M(), dir)
+		alloc.Name(), c.Durable().Len(), c.M(), dir)
 	return nil
 }
 
 func runInfo(dir string) error {
-	c, err := fxdist.OpenDurableCluster(dir, fxdist.ParallelDisk)
+	c, err := fxdist.Open(fxdist.Config{Dir: dir}, fxdist.WithCostModel(fxdist.ParallelDisk))
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	fmt.Printf("cluster %s\n  method: %s\n  devices: %d\n  records: %d\n",
-		dir, c.Allocator().Name(), c.M(), c.Len())
+		dir, c.Durable().Allocator().Name(), c.M(), c.Durable().Len())
 	return nil
 }
 
 func runQuery(dir string, args []string) error {
-	c, err := fxdist.OpenDurableCluster(dir, fxdist.ParallelDisk)
+	c, err := fxdist.Open(fxdist.Config{Dir: dir}, fxdist.WithCostModel(fxdist.ParallelDisk))
 	if err != nil {
 		return err
 	}

@@ -93,7 +93,7 @@ func main() {
 		cm = fxdist.ParallelDisk
 	}
 
-	cluster, err := fxdist.NewCluster(file, alloc, cm)
+	cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc}, fxdist.WithCostModel(cm))
 	if err != nil {
 		fatal(err)
 	}
@@ -105,16 +105,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx := context.Background()
 	var results []fxdist.RetrieveResult
 	if *batch {
-		results, err = cluster.RetrieveBatch(context.Background(), pms)
+		results, err = cluster.RetrieveBatch(ctx, pms)
 		if err != nil {
 			fatal(err)
 		}
 	} else {
 		results = make([]fxdist.RetrieveResult, len(pms))
 		for i, pm := range pms {
-			if results[i], err = cluster.Retrieve(pm); err != nil {
+			if results[i], err = cluster.RetrieveContext(ctx, pm); err != nil {
 				fatal(fmt.Errorf("query %d: %w", i, err))
 			}
 		}

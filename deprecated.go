@@ -1,0 +1,57 @@
+package fxdist
+
+import (
+	"fxdist/internal/netdist"
+	"fxdist/internal/storage"
+)
+
+// This file keeps the pre-Open constructor zoo compiling. Each wrapper
+// is a thin forward to the internal constructor Open itself uses, so
+// old call sites behave identically — they just miss the functional
+// options (plan-cache sizing, SLOs, failover policy) that only Open
+// exposes.
+
+// NewCluster distributes file's buckets over the allocator's devices.
+//
+// Deprecated: use Open(Config{File: file, Allocator: alloc},
+// WithCostModel(model)) and the unified Cluster handle.
+func NewCluster(file *File, alloc GroupAllocator, model CostModel) (*MemoryCluster, error) {
+	return storage.NewCluster(file, alloc, model)
+}
+
+// NewReplicatedCluster distributes file's buckets with primary and backup
+// copies under the given failover mode.
+//
+// Deprecated: use Open(Config{File: file, Allocator: alloc},
+// WithReplication(mode), WithCostModel(model)).
+func NewReplicatedCluster(file *File, alloc GroupAllocator, mode ReplicaMode, model CostModel) (*ReplicatedCluster, error) {
+	return storage.NewReplicated(file, alloc, mode, model)
+}
+
+// CreateDurableCluster materialises file's buckets as per-device logs
+// under dir and writes the metadata snapshot.
+//
+// Deprecated: use Open(Config{Dir: dir, File: file, Allocator: alloc},
+// WithCostModel(model)).
+func CreateDurableCluster(dir string, file *File, alloc GroupAllocator, model CostModel) (*DurableCluster, error) {
+	return storage.CreateDurable(dir, file, alloc, model)
+}
+
+// OpenDurableCluster reopens a durable cluster; pass the same
+// WithFieldHash options the original file was built with, if any.
+//
+// Deprecated: use Open(Config{Dir: dir}, WithCostModel(model),
+// WithFileOptions(opts...)).
+func OpenDurableCluster(dir string, model CostModel, opts ...FileOption) (*DurableCluster, error) {
+	return storage.OpenDurable(dir, model, opts...)
+}
+
+// DialCluster connects a coordinator to one server per device. The file
+// supplies the schema and hash functions (it can be empty of records).
+// Concurrent retrievals pipeline over the per-device connections.
+//
+// Deprecated: use Open(Config{File: file, Addrs: addrs},
+// WithDialTimeout(d)).
+func DialCluster(file *File, addrs []string, opts ...DialOption) (*Coordinator, error) {
+	return netdist.Dial(file, addrs, opts...)
+}

@@ -1,0 +1,85 @@
+package fxdist_test
+
+import (
+	"testing"
+
+	"fxdist"
+)
+
+// The deprecated constructors must keep working exactly as before the
+// Open redesign: each wrapper builds the same backend Open would and
+// answers queries identically. This file is the only in-repo caller of
+// the deprecated surface (CI enforces that).
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	file := buildTestFile(t)
+	fs, err := file.FileSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm, err := file.Spec(map[string]string{"b": "b-4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := file.Search(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHits := func(name string, records []fxdist.Record, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(records) != len(want) {
+			t.Errorf("%s: %d records, want %d", name, len(records), len(want))
+		}
+	}
+
+	mem, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mem.Retrieve(pm)
+	assertHits("NewCluster", res.Records, err)
+
+	repl, err := fxdist.NewReplicatedCluster(file, fx, fxdist.ChainedFailover, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = repl.Retrieve(pm)
+	assertHits("NewReplicatedCluster", res.Records, err)
+
+	dir := t.TempDir()
+	dur, err := fxdist.CreateDurableCluster(dir, file, fx, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = dur.Retrieve(pm)
+	assertHits("CreateDurableCluster", res.Records, err)
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := fxdist.OpenDurableCluster(dir, fxdist.MainMemory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	res, err = reopened.Retrieve(pm)
+	assertHits("OpenDurableCluster", res.Records, err)
+
+	addrs, stop, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	coord, err := fxdist.DialCluster(file, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	dres, err := coord.Retrieve(pm)
+	assertHits("DialCluster", dres.Records, err)
+}

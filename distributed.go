@@ -80,20 +80,14 @@ func DeployReplicatedLocal(file *File, alloc GroupAllocator) (addrs []string, st
 	return netdist.DeployReplicated(file, alloc)
 }
 
-// DialOption configures DialCluster.
+// DialOption configures dialing a distributed cluster (see
+// WithDialTimeout on Open, or the deprecated DialCluster).
 type DialOption = netdist.DialOption
 
 // WithRequestTimeout bounds each per-device request; zero (the default)
 // waits indefinitely.
 func WithRequestTimeout(d time.Duration) DialOption {
 	return netdist.WithTimeout(d)
-}
-
-// DialCluster connects a coordinator to one server per device. The file
-// supplies the schema and hash functions (it can be empty of records).
-// Concurrent retrievals pipeline over the per-device connections.
-func DialCluster(file *File, addrs []string, opts ...DialOption) (*Coordinator, error) {
-	return netdist.Dial(file, addrs, opts...)
 }
 
 // SaveSnapshot writes the file — and, when alloc is non-nil, its

@@ -45,7 +45,7 @@ func TestPublicDistributedRetrieval(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stop()
-	coord, err := fxdist.DialCluster(file, addrs)
+	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,14 +76,15 @@ func TestPublicReplicatedFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stop()
-	coord, err := fxdist.DialCluster(file, addrs, fxdist.WithRequestTimeout(5e9))
+	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs},
+		fxdist.WithDialTimeout(5e9), fxdist.WithFailover())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
 	pm, _ := file.Spec(map[string]string{"b": "b-5"})
 	want, _ := file.Search(pm)
-	got, err := coord.RetrieveWithFailover(pm)
+	got, err := coord.Retrieve(pm)
 	if err != nil {
 		t.Fatal(err)
 	}

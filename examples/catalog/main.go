@@ -48,7 +48,8 @@ func main() {
 	check(err)
 
 	for _, alloc := range []fxdist.GroupAllocator{fx, md} {
-		cluster, err := fxdist.NewCluster(file, alloc, fxdist.ParallelDisk)
+		cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc},
+			fxdist.WithCostModel(fxdist.ParallelDisk))
 		check(err)
 		var worstResp, totalResp time.Duration
 		var worstLRS, hits int
@@ -73,7 +74,8 @@ func main() {
 	check(err)
 	fmt.Println("\nquery: supplier=supplier-0 (all parts, warehouses, statuses)")
 	for _, alloc := range []fxdist.GroupAllocator{fx, md} {
-		cluster, err := fxdist.NewCluster(file, alloc, fxdist.ParallelDisk)
+		cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc},
+			fxdist.WithCostModel(fxdist.ParallelDisk))
 		check(err)
 		res, err := cluster.Retrieve(pm)
 		check(err)

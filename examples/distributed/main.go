@@ -51,7 +51,7 @@ func main() {
 	fmt.Printf("deployed %d device servers: %v ...\n\n", len(addrs), addrs[:2])
 
 	// The coordinator needs only the schema (an empty file would do).
-	coord, err := fxdist.DialCluster(restored, addrs)
+	coord, err := fxdist.Open(fxdist.Config{File: restored, Addrs: addrs})
 	check(err)
 	defer coord.Close()
 
@@ -78,12 +78,12 @@ func main() {
 	raddrs, rstop, err := fxdist.DeployReplicatedLocal(restored, alloc)
 	check(err)
 	defer rstop()
-	rcoord, err := fxdist.DialCluster(restored, raddrs)
+	rcoord, err := fxdist.Open(fxdist.Config{File: restored, Addrs: raddrs}, fxdist.WithFailover())
 	check(err)
 	defer rcoord.Close()
 	pm, err := restored.Spec(map[string]string{"metric": "metric-3"})
 	check(err)
-	res, err := rcoord.RetrieveWithFailover(pm)
+	res, err := rcoord.Retrieve(pm)
 	check(err)
 	fmt.Printf("\nreplicated deployment: %d hits with failover-capable retrieval\n",
 		len(res.Records))

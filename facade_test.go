@@ -82,11 +82,15 @@ func TestFacadeReplicationSurface(t *testing.T) {
 	fs, _ := file.FileSystem(4)
 	fx, _ := fxdist.NewFX(fs)
 
-	rc, err := fxdist.NewReplicatedCluster(file, fx, fxdist.ChainedFailover, fxdist.MainMemory)
+	rc, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx},
+		fxdist.WithReplication(fxdist.ChainedFailover))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rc.Fail(1); err != nil {
+	if rc.Kind() != fxdist.KindReplicated {
+		t.Fatalf("kind = %q, want replicated", rc.Kind())
+	}
+	if err := rc.Replicated().Fail(1); err != nil {
 		t.Fatal(err)
 	}
 	pm, _ := file.Spec(map[string]string{"b": "b-2"})
@@ -115,20 +119,20 @@ func TestFacadeReplicationSurface(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Durable cluster reopen through the facade.
+	// Durable cluster create + reopen through Open.
 	dir := t.TempDir()
-	dc, err := fxdist.CreateDurableCluster(dir, file, fx, fxdist.MainMemory)
+	dc, err := fxdist.Open(fxdist.Config{Dir: dir, File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
 	dc.Close()
-	re, err := fxdist.OpenDurableCluster(dir, fxdist.MainMemory)
+	re, err := fxdist.Open(fxdist.Config{Dir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if re.Len() != file.Len() {
-		t.Errorf("reopened %d records, want %d", re.Len(), file.Len())
+	if re.Durable().Len() != file.Len() {
+		t.Errorf("reopened %d records, want %d", re.Durable().Len(), file.Len())
 	}
 }
 

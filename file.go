@@ -34,15 +34,16 @@ func NewFile(schema Schema, opts ...FileOption) (*File, error) {
 	return mkhash.New(schema, opts...)
 }
 
-// Cluster distributes a File's buckets over M simulated parallel devices
-// according to a declustering allocator, and answers partial match queries
-// in parallel with per-device inverse mapping. All cluster kinds —
-// Cluster, DurableCluster, ReplicatedCluster and the distributed
-// Coordinator — retrieve through one shared engine executor and therefore
-// share the same capabilities: RetrieveContext (cancellation/deadlines)
-// and RetrieveBatch (multi-query pipelining over one bounded worker
-// pool).
-type Cluster = storage.Cluster
+// MemoryCluster distributes a File's buckets over M simulated parallel
+// devices according to a declustering allocator, and answers partial
+// match queries in parallel with per-device inverse mapping. All cluster
+// kinds — MemoryCluster, DurableCluster, ReplicatedCluster and the
+// distributed Coordinator — retrieve through one shared engine executor
+// and therefore share the same capabilities: RetrieveContext
+// (cancellation/deadlines) and RetrieveBatch (multi-query pipelining
+// over one bounded worker pool). Most callers should build clusters
+// through Open, whose unified Cluster handle wraps every kind.
+type MemoryCluster = storage.Cluster
 
 // DeviceFailure wraps one device's retrieval failure with the failing
 // device's id. A failed retrieval reports every failing device in its
@@ -73,11 +74,6 @@ type RetrieveResult = storage.Result
 // SimResult is a record-free simulated retrieval at bucket granularity.
 type SimResult = storage.SimResult
 
-// NewCluster distributes file's buckets over the allocator's devices.
-func NewCluster(file *File, alloc GroupAllocator, model CostModel) (*Cluster, error) {
-	return storage.NewCluster(file, alloc, model)
-}
-
 // Simulate computes the simulated parallel response time of a query from
 // its per-device load vector (see Loads): response time is the slowest
 // device's service time (§5.2.1's symmetric-device model).
@@ -97,25 +93,7 @@ type ProjectResult = storage.ProjectResult
 // through any single failure.
 type ReplicatedCluster = storage.ReplicatedCluster
 
-// NewReplicatedCluster distributes file's buckets with primary and backup
-// copies under the given failover mode.
-func NewReplicatedCluster(file *File, alloc GroupAllocator, mode ReplicaMode, model CostModel) (*ReplicatedCluster, error) {
-	return storage.NewReplicated(file, alloc, mode, model)
-}
-
 // DurableCluster is the disk-backed cluster: every device persists its
 // bucket partition in a crash-safe log under one directory, with the
 // schema and allocator spec in a metadata snapshot.
 type DurableCluster = storage.DurableCluster
-
-// CreateDurableCluster materialises file's buckets as per-device logs
-// under dir and writes the metadata snapshot.
-func CreateDurableCluster(dir string, file *File, alloc GroupAllocator, model CostModel) (*DurableCluster, error) {
-	return storage.CreateDurable(dir, file, alloc, model)
-}
-
-// OpenDurableCluster reopens a durable cluster; pass the same
-// WithFieldHash options the original file was built with, if any.
-func OpenDurableCluster(dir string, model CostModel, opts ...FileOption) (*DurableCluster, error) {
-	return storage.OpenDurable(dir, model, opts...)
-}

@@ -100,7 +100,7 @@ func TestPublicAPIFileAndCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	fx, _ := fxdist.NewFX(fs)
-	cluster, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,16 +43,17 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	mem, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	mem, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dur, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.MainMemory)
+	dur, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer dur.Close()
-	repl, err := fxdist.NewReplicatedCluster(file, fx, fxdist.ChainedFailover, fxdist.MainMemory)
+	repl, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx},
+		fxdist.WithReplication(fxdist.ChainedFailover))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRetrievalPathsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stop()
-	net, err := fxdist.DialCluster(file, addrs)
+	net, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestSnapshotToDurablePipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dur, err := fxdist.CreateDurableCluster(t.TempDir(), restored, alloc, fxdist.MainMemory)
+	dur, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: restored, Allocator: alloc})
 	if err != nil {
 		t.Fatal(err)
 	}

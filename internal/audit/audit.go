@@ -19,7 +19,6 @@ package audit
 
 import (
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -31,18 +30,7 @@ import (
 // for specified and '*' for unspecified — e.g. "s**s". Two queries with
 // the same unspecified field set are the same shape (the paper's query
 // class), whatever values they specify.
-func ShapeOf(q query.Query) string {
-	var b strings.Builder
-	b.Grow(len(q.Spec))
-	for _, v := range q.Spec {
-		if v == query.Unspecified {
-			b.WriteByte('*')
-		} else {
-			b.WriteByte('s')
-		}
-	}
-	return b.String()
-}
+func ShapeOf(q query.Query) string { return q.Shape() }
 
 // Bound returns the paper's strict-optimality bound ceil(rq/m) for a
 // query with |R(q)| = rq qualified buckets on m devices.
@@ -292,9 +280,10 @@ func (a *Auditor) Report() BackendReport {
 	return rep
 }
 
-// reset zeroes the auditor's accumulation (the mirrored Prometheus
-// counters stay monotonic; gauges drop to zero).
-func (a *Auditor) reset() {
+// Reset zeroes the auditor's accumulation (the mirrored Prometheus
+// counters stay monotonic; gauges drop to zero). Configured SLOs are
+// kept.
+func (a *Auditor) Reset() {
 	a.mu.Lock()
 	for _, st := range a.shapes {
 		st.queries, st.violations, st.sumDev = 0, 0, 0
@@ -364,7 +353,7 @@ func Reset() {
 	}
 	regMu.Unlock()
 	for _, a := range all {
-		a.reset()
+		a.Reset()
 	}
 }
 

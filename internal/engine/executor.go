@@ -11,6 +11,7 @@ import (
 	"fxdist/internal/decluster"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
+	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 )
 
@@ -57,6 +58,15 @@ type Config struct {
 	// Audit, if set, receives every finished retrieval for online
 	// strict-optimality auditing and per-shape SLO accounting.
 	Audit Auditor
+	// Alloc, when set, is the group allocator behind Devices; it lets the
+	// plan cache compile per-device qualified-bucket enumerations that
+	// devices use instead of re-walking the inverse mapper.
+	Alloc decluster.GroupAllocator
+	// Plans, when set, caches compiled plans per (allocator identity,
+	// query shape): a hit skips validation, |R(q)| and bound computation,
+	// and (with Alloc set) the per-device enumeration. Nil or disabled
+	// runs the uncached path.
+	Plans *plancache.Cache
 }
 
 // Executor is the single retrieval code path shared by every backend:
@@ -72,6 +82,8 @@ type Executor struct {
 	span   string
 	retry  RetryPolicy
 	audit  Auditor
+	alloc  decluster.GroupAllocator
+	plans  *plancache.Cache
 	pool   *pool
 }
 
@@ -100,6 +112,8 @@ func New(cfg Config) (*Executor, error) {
 		span:   cfg.Span,
 		retry:  cfg.Retry,
 		audit:  cfg.Audit,
+		alloc:  cfg.Alloc,
+		plans:  cfg.Plans,
 		pool:   newPool(workers),
 	}, nil
 }
@@ -116,6 +130,9 @@ func (e *Executor) Derive(span string, retry RetryPolicy) *Executor {
 
 // M returns the device count.
 func (e *Executor) M() int { return len(e.devs) }
+
+// Plans returns the executor's plan cache, nil when uncached.
+func (e *Executor) Plans() *plancache.Cache { return e.plans }
 
 // spanKey carries the retrieval's trace span through the context so that
 // devices (e.g. the remote gob device) can attach protocol events to it.
@@ -135,25 +152,20 @@ func SpanFromContext(ctx context.Context) *obs.Span {
 	return span
 }
 
-// lower hashes the value-level query and validates it once, for every
-// device, before any fan-out.
+// lower hashes the value-level query into bucket coordinates. Range
+// validation happens once per shape inside planFor, not per retrieval.
 func (e *Executor) lower(pm mkhash.PartialMatch) (query.Query, error) {
-	q, err := e.schema.BucketQuery(pm)
-	if err != nil {
-		return query.Query{}, err
-	}
-	if e.fs.M > 0 {
-		if err := q.Validate(e.fs); err != nil {
-			return query.Query{}, err
-		}
-	}
-	return q, nil
+	return e.schema.BucketQuery(pm)
 }
 
 // numQualified computes |R(q)|: the product of the unspecified field
 // domain sizes. The validated file system is used when configured;
 // backends that only know the schema (the TCP coordinator) fall back to
-// its current directory sizes.
+// its current directory sizes. With the plan cache enabled this runs
+// once per shape and the result rides the cached plan, so the
+// coordinator path and the auditor always agree on the strict bound —
+// previously it was recomputed per retrieval and could drift as the
+// schema's directory grew mid-workload.
 func (e *Executor) numQualified(q query.Query) int {
 	if e.fs.M > 0 {
 		return q.NumQualified(e.fs)
@@ -166,6 +178,70 @@ func (e *Executor) numQualified(q query.Query) int {
 		}
 	}
 	return n
+}
+
+// compile builds the plan for q's shape: validate once, then (with an
+// allocator configured) compile the per-device tuple groups, otherwise
+// a summary plan carrying only |R(q)| and the bound.
+func (e *Executor) compile(q query.Query) (*plancache.Plan, error) {
+	if e.fs.M > 0 {
+		if err := q.Validate(e.fs); err != nil {
+			return nil, err
+		}
+	}
+	if e.alloc != nil {
+		maxTuples := plancache.DefaultMaxTuples
+		if e.plans != nil {
+			maxTuples = e.plans.MaxTuples()
+		}
+		return plancache.Compile(e.alloc, q, maxTuples), nil
+	}
+	return plancache.Summary(q, e.numQualified(q), len(e.devs)), nil
+}
+
+// planFor returns q's retrieval plan, from the cache when enabled. A
+// cache hit skips validation entirely — sound because engine queries
+// come from Schema.BucketQuery, which only produces in-range values,
+// and the cache key's allocator identity pins the plan to this
+// executor's allocator.
+func (e *Executor) planFor(q query.Query) (*plancache.Plan, error) {
+	if e.plans != nil && e.plans.Enabled() {
+		var owner any = e.schema
+		if e.alloc != nil {
+			owner = e.alloc
+		}
+		key := plancache.Key{Owner: plancache.IdentityOf(owner), Shape: q.Shape()}
+		p, _, err := e.plans.Get(key, func() (*plancache.Plan, error) { return e.compile(q) })
+		return p, err
+	}
+	// Uncached path: per-retrieval validation and |R(q)|, exactly the
+	// pre-cache behaviour; the summary plan never reaches devices.
+	if e.fs.M > 0 {
+		if err := q.Validate(e.fs); err != nil {
+			return nil, err
+		}
+	}
+	return plancache.Summary(q, e.numQualified(q), len(e.devs)), nil
+}
+
+// planKey carries the retrieval's compiled plan through the context so
+// device adapters can enumerate their qualified buckets from the cached
+// tuple groups instead of re-walking the inverse mapper.
+type planKey struct{}
+
+// ContextWithPlan returns ctx carrying p (only tuple-carrying plans are
+// attached).
+func ContextWithPlan(ctx context.Context, p *plancache.Plan) context.Context {
+	if p == nil || !p.Ready() {
+		return ctx
+	}
+	return context.WithValue(ctx, planKey{}, p)
+}
+
+// PlanFromContext returns the compiled plan carried by ctx, or nil.
+func PlanFromContext(ctx context.Context) *plancache.Plan {
+	p, _ := ctx.Value(planKey{}).(*plancache.Plan)
+	return p
 }
 
 // call is one in-flight fan-out: per-device answer slots plus an atomic
@@ -183,14 +259,16 @@ type call struct {
 	done    chan struct{}
 }
 
-// launch starts the fan-out for one lowered query and returns without
-// waiting: every device's scan is queued on the shared pool.
-func (e *Executor) launch(ctx context.Context, q query.Query, pm mkhash.PartialMatch) *call {
+// launch starts the fan-out for one planned query and returns without
+// waiting: every device's scan is queued on the shared pool. The plan's
+// |R(q)| feeds the audit; its tuple groups (when compiled) travel to
+// the devices via the context.
+func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Plan, pm mkhash.PartialMatch) *call {
 	m := len(e.devs)
 	c := &call{
 		t0:      time.Now(),
 		q:       q,
-		rq:      e.numQualified(q),
+		rq:      plan.RQ,
 		answers: make([]Answer, m),
 		errs:    make([]error, m),
 		done:    make(chan struct{}),
@@ -200,6 +278,7 @@ func (e *Executor) launch(ctx context.Context, q query.Query, pm mkhash.PartialM
 	}
 	c.pending.Store(int64(m))
 	ctx = ContextWithSpan(ctx, c.span)
+	ctx = ContextWithPlan(ctx, plan)
 	for dev := 0; dev < m; dev++ {
 		dev := dev
 		e.pool.submit(func() {
@@ -323,7 +402,12 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 		e.planFailed(t0)
 		return Result{}, err
 	}
-	c := e.launch(ctx, q, pm)
+	plan, err := e.planFor(q)
+	if err != nil {
+		e.planFailed(t0)
+		return Result{}, err
+	}
+	c := e.launch(ctx, q, plan, pm)
 	res, err := e.wait(ctx, c)
 	e.finish(c, res, err)
 	return c.seal(res, err)
@@ -332,9 +416,11 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 // RetrieveBatch answers a batch of queries over the shared worker pool:
 // every query's fan-out is launched up front, so devices pipeline across
 // queries instead of idling at per-query barriers. Each query gets its
-// own trace span and metrics events. The returned slice always has one
-// Result per query; queries that failed have a zero Result and contribute
-// a "query %d" error to the joined error.
+// own trace span and metrics events. Queries sharing a shape are
+// deduped through the plan cache: the first occurrence compiles, the
+// rest reuse its plan. The returned slice always has one Result per
+// query; queries that failed have a zero Result and contribute a
+// "query %d" error to the joined error.
 func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
 	results := make([]Result, len(pms))
 	errs := make([]error, len(pms))
@@ -350,7 +436,13 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 			e.planFailed(t0)
 			continue
 		}
-		calls[i] = e.launch(ctx, q, pm)
+		plan, err := e.planFor(q)
+		if err != nil {
+			errs[i] = err
+			e.planFailed(t0)
+			continue
+		}
+		calls[i] = e.launch(ctx, q, plan, pm)
 	}
 	for i, c := range calls {
 		if c == nil {

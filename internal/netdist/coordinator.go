@@ -13,6 +13,7 @@ import (
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
+	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 )
 
@@ -210,6 +211,10 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 	for i := range devices {
 		devices[i] = &remoteDevice{c: c, server: i, as: -1}
 	}
+	// The coordinator holds no allocator (servers do their own inverse
+	// mapping), so its plans are summaries: cached |R(q)| and bound per
+	// shape, computed once — keeping the audit's strict bound stable
+	// across the workload instead of re-deriving it per retrieval.
 	eng, err := engine.New(engine.Config{
 		Schema:   file,
 		Devices:  devices,
@@ -217,6 +222,7 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		Tracer:   c.tracer,
 		Span:     "netdist.retrieve",
 		Audit:    audit.For("netdist"),
+		Plans:    plancache.New("netdist"),
 	})
 	if err != nil {
 		c.Close()
@@ -276,14 +282,23 @@ func (c *Coordinator) failover(ctx context.Context, dev int, err error) engine.D
 	return &remoteDevice{c: c, server: (dev + 1) % m, as: dev}
 }
 
-// Close drops all device connections.
+// Close drops all device connections and releases the plan cache.
 func (c *Coordinator) Close() {
+	if c.eng != nil && c.eng.Plans() != nil {
+		c.eng.Plans().Close()
+	}
 	for _, dc := range c.conns {
 		if dc != nil {
 			dc.conn.Close()
 		}
 	}
 }
+
+// PlanCache returns the coordinator's per-shape plan cache.
+func (c *Coordinator) PlanCache() *plancache.Cache { return c.eng.Plans() }
+
+// M returns the device count.
+func (c *Coordinator) M() int { return len(c.conns) }
 
 // ask runs one instrumented round trip against device dev's server,
 // classifying errors into the per-device counters and wrapping failures

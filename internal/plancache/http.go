@@ -1,0 +1,59 @@
+package plancache
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"fxdist/internal/obs"
+)
+
+// Process-wide registry of live caches, for /debug/plancache and the
+// facade's PlanCacheReport.
+var (
+	regMu  sync.Mutex
+	caches []*Cache
+)
+
+func register(c *Cache) {
+	regMu.Lock()
+	caches = append(caches, c)
+	regMu.Unlock()
+}
+
+func unregister(c *Cache) {
+	regMu.Lock()
+	for i, o := range caches {
+		if o == c {
+			caches = append(caches[:i], caches[i+1:]...)
+			break
+		}
+	}
+	regMu.Unlock()
+}
+
+// Report snapshots every live cache, sorted by backend (stable across
+// same-backend caches: registration order).
+func Report() []Snapshot {
+	regMu.Lock()
+	all := make([]*Cache, len(caches))
+	copy(all, caches)
+	regMu.Unlock()
+	out := make([]Snapshot, 0, len(all))
+	for _, c := range all {
+		out = append(out, c.Stats())
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Backend < out[j].Backend })
+	return out
+}
+
+func init() {
+	obs.RegisterDebugHandler("/debug/plancache", http.HandlerFunc(
+		func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(Report()) //nolint:errcheck
+		}))
+}

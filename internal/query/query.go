@@ -133,6 +133,22 @@ func (q Query) EachQualified(fs decluster.FileSystem, fn func(bucket []int)) {
 	rec(0)
 }
 
+// Shape returns the query's shape key: one byte per field, 's' for
+// specified and '*' for unspecified — e.g. "s**s". Two queries with the
+// same unspecified field set are the same shape (the paper's query
+// class), whatever values they specify.
+func (q Query) Shape() string {
+	b := make([]byte, len(q.Spec))
+	for i, v := range q.Spec {
+		if v == Unspecified {
+			b[i] = '*'
+		} else {
+			b[i] = 's'
+		}
+	}
+	return string(b)
+}
+
 // String renders the query with '*' for unspecified fields, e.g. "<3,*,0>".
 func (q Query) String() string {
 	parts := make([]string, len(q.Spec))

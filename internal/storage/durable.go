@@ -15,6 +15,7 @@ import (
 	"fxdist/internal/obs"
 	"fxdist/internal/pagestore"
 	"fxdist/internal/persist"
+	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 )
 
@@ -53,6 +54,8 @@ func (c *DurableCluster) engineFor(model CostModel) (*engine.Executor, error) {
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
 		Audit:    audit.For("durable"),
+		Alloc:    c.alloc,
+		Plans:    plancache.New("durable"),
 	})
 }
 
@@ -68,7 +71,7 @@ func (d durDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMat
 	var ans engine.Answer
 	c := d.c
 	var err error
-	c.im.EachOnDevice(q, d.dev, func(coords []int) {
+	eachOnDevice(ctx, c.im, q, d.dev, func(coords []int) {
 		if err != nil {
 			return
 		}
@@ -322,8 +325,11 @@ func (c *DurableCluster) Sync() error {
 	return nil
 }
 
-// Close closes every device log.
+// Close closes every device log and releases the plan cache.
 func (c *DurableCluster) Close() error {
+	if c.eng != nil && c.eng.Plans() != nil {
+		c.eng.Plans().Close()
+	}
 	var first error
 	for _, s := range c.stores {
 		if s == nil {
@@ -336,20 +342,25 @@ func (c *DurableCluster) Close() error {
 	return first
 }
 
-// Retrieve answers a value-level partial match query through the shared
-// engine executor: every device inverse-maps its qualified buckets and
-// scans them from disk. The simulated cost accounting matches
-// Cluster.Retrieve. When devices fail, the returned error reports every
-// failing device (match individual ones with errors.As on
-// *engine.DeviceFailure).
-func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	return c.eng.Retrieve(context.Background(), pm)
-}
-
-// RetrieveContext is Retrieve with cancellation and deadlines.
+// RetrieveContext answers a value-level partial match query through the
+// shared engine executor: every device enumerates its qualified buckets
+// (from the cached plan when one is compiled) and scans them from disk.
+// The simulated cost accounting matches Cluster.RetrieveContext. When
+// devices fail, the returned error reports every failing device (match
+// individual ones with errors.As on *engine.DeviceFailure). This is the
+// canonical retrieval entry point; Retrieve is its context.Background()
+// wrapper.
 func (c *DurableCluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
 	return c.eng.Retrieve(ctx, pm)
 }
+
+// Retrieve is RetrieveContext with context.Background().
+func (c *DurableCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	return c.RetrieveContext(context.Background(), pm)
+}
+
+// PlanCache returns the cluster's per-shape plan cache.
+func (c *DurableCluster) PlanCache() *plancache.Cache { return c.eng.Plans() }
 
 // RetrieveBatch answers a batch of queries over the shared device pool;
 // see engine.Executor.RetrieveBatch.

@@ -8,6 +8,7 @@ import (
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
+	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 	"fxdist/internal/replica"
 )
@@ -66,6 +67,8 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
 		Audit:    audit.For("replicated"),
+		Alloc:    alloc,
+		Plans:    plancache.New("replicated"),
 	})
 	if err != nil {
 		return nil, err
@@ -111,9 +114,9 @@ func (d replDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMa
 			}
 		}
 	}
-	c.im.EachOnDevice(q, d.dev, serve)
+	eachOnDevice(ctx, c.im, q, d.dev, serve)
 	prev := (d.dev - 1 + c.fs.M) % c.fs.M
-	c.im.EachOnDevice(q, prev, serve)
+	eachOnDevice(ctx, c.im, q, prev, serve)
 	if err != nil {
 		return engine.Answer{}, err
 	}
@@ -145,18 +148,23 @@ func (c *ReplicatedCluster) Failed(dev int) bool { return c.placement.Failed(dev
 // M returns the device count.
 func (c *ReplicatedCluster) M() int { return c.fs.M }
 
-// Retrieve answers a value-level partial match query under the current
-// failure set through the shared engine executor. Each healthy device
-// serves the qualified buckets the failover policy routes to it: a
-// subset of its own primaries plus a subset of the backups it holds.
-func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	return c.eng.Retrieve(context.Background(), pm)
-}
-
-// RetrieveContext is Retrieve with cancellation and deadlines.
+// RetrieveContext answers a value-level partial match query under the
+// current failure set through the shared engine executor. Each healthy
+// device serves the qualified buckets the failover policy routes to it:
+// a subset of its own primaries plus a subset of the backups it holds.
+// This is the canonical retrieval entry point; Retrieve is its
+// context.Background() wrapper.
 func (c *ReplicatedCluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
 	return c.eng.Retrieve(ctx, pm)
 }
+
+// Retrieve is RetrieveContext with context.Background().
+func (c *ReplicatedCluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	return c.RetrieveContext(context.Background(), pm)
+}
+
+// PlanCache returns the cluster's per-shape plan cache.
+func (c *ReplicatedCluster) PlanCache() *plancache.Cache { return c.eng.Plans() }
 
 // RetrieveBatch answers a batch of queries over the shared device pool;
 // see engine.Executor.RetrieveBatch.

@@ -25,6 +25,7 @@ import (
 	"fxdist/internal/engine"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
+	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 )
 
@@ -107,6 +108,8 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		Tracer:   obs.DefaultTracer(),
 		Span:     "storage.retrieve",
 		Audit:    audit.For("memory"),
+		Alloc:    alloc,
+		Plans:    plancache.New("memory"),
 	})
 	if err != nil {
 		return nil, err
@@ -126,7 +129,7 @@ func (d memDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMat
 	var ans engine.Answer
 	store := d.c.devs[d.dev]
 	var err error
-	d.c.im.EachOnDevice(q, d.dev, func(coords []int) {
+	eachOnDevice(ctx, d.c.im, q, d.dev, func(coords []int) {
 		if err != nil {
 			return
 		}
@@ -147,6 +150,18 @@ func (d memDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMat
 	return ans, nil
 }
 
+// eachOnDevice enumerates q's qualified buckets on dev from the cached
+// plan the executor put in ctx when one is compiled, falling back to
+// the per-call inverse-mapper walk otherwise. Both produce buckets in
+// the same order, so cached and uncached retrievals are byte-identical.
+func eachOnDevice(ctx context.Context, im *query.InverseMapper, q query.Query, dev int, fn func(bucket []int)) {
+	if p := engine.PlanFromContext(ctx); p != nil {
+		p.EachOnDevice(q, dev, fn)
+		return
+	}
+	im.EachOnDevice(q, dev, fn)
+}
+
 // M returns the device count.
 func (c *Cluster) M() int { return c.fs.M }
 
@@ -163,16 +178,22 @@ func (c *Cluster) DeviceBucketCounts() []int {
 	return out
 }
 
-// Retrieve answers a value-level partial match query in parallel: every
-// device concurrently inverse-maps its qualified buckets and scans them.
-func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
-	return c.eng.Retrieve(context.Background(), pm)
-}
-
-// RetrieveContext is Retrieve with cancellation and deadlines.
+// RetrieveContext answers a value-level partial match query in
+// parallel: every device concurrently enumerates its qualified buckets
+// (from the cached plan when one is compiled) and scans them.
+// Cancelling ctx returns promptly with its error. This is the canonical
+// retrieval entry point; Retrieve is its context.Background() wrapper.
 func (c *Cluster) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
 	return c.eng.Retrieve(ctx, pm)
 }
+
+// Retrieve is RetrieveContext with context.Background().
+func (c *Cluster) Retrieve(pm mkhash.PartialMatch) (Result, error) {
+	return c.RetrieveContext(context.Background(), pm)
+}
+
+// PlanCache returns the cluster's per-shape plan cache.
+func (c *Cluster) PlanCache() *plancache.Cache { return c.eng.Plans() }
 
 // RetrieveBatch answers a batch of queries over the shared device pool;
 // see engine.Executor.RetrieveBatch.

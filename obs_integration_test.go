@@ -81,7 +81,8 @@ func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
 
 	// Durable cluster retrieve feeds the storage latency histogram and
 	// the load-imbalance gauge.
-	dc, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.ParallelDisk)
+	dc, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: fx},
+		fxdist.WithCostModel(fxdist.ParallelDisk))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,12 +123,13 @@ func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
 		}
 	}()
 
-	coord, err := fxdist.DialCluster(file, addrs, fxdist.WithRequestTimeout(5*time.Second))
+	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs},
+		fxdist.WithDialTimeout(5*time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer coord.Close()
-	got, err := coord.RetrieveWithFailover(pm)
+	got, err := coord.Coordinator().RetrieveWithFailover(pm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +196,7 @@ func TestMetricsScrapeDuringDistributedRetrieve(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	got, err = coord.RetrieveWithFailover(pm)
+	got, err = coord.Coordinator().RetrieveWithFailover(pm)
 	if err != nil {
 		t.Fatalf("failover retrieve: %v", err)
 	}

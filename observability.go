@@ -81,6 +81,9 @@ func OptimalityReport() []BackendAudit { return audit.Report() }
 
 // ResetAudit zeroes all accumulated audit state (counters exported to
 // Prometheus stay monotonic; configured SLOs are kept).
+//
+// Deprecated: use Cluster.ResetAudit to scope the reset to one
+// cluster's backend; this package-level form clears every backend.
 func ResetAudit() { audit.Reset() }
 
 // LatencySLO is a per-shape latency objective: at least Goal (e.g. 0.99)
@@ -90,6 +93,9 @@ type LatencySLO = audit.SLO
 // SetLatencySLO sets the default latency objective for every query shape
 // of one backend ("memory", "durable", "replicated", "netdist"); an
 // empty backend applies it everywhere.
+//
+// Deprecated: use Cluster.SetLatencySLO (or WithLatencySLO at Open
+// time), which derives the backend name from the cluster itself.
 func SetLatencySLO(backend string, target time.Duration, goal float64) {
 	audit.SetSLO(backend, audit.SLO{Target: target, Goal: goal})
 }
@@ -97,6 +103,9 @@ func SetLatencySLO(backend string, target time.Duration, goal float64) {
 // SetShapeLatencySLO overrides the latency objective for one query shape
 // (e.g. "s**" — 's' per specified field, '*' per unspecified) of one
 // backend.
+//
+// Deprecated: use Cluster.SetShapeLatencySLO (or WithShapeLatencySLO at
+// Open time), which derives the backend name from the cluster itself.
 func SetShapeLatencySLO(backend, shape string, target time.Duration, goal float64) {
 	audit.SetShapeSLO(backend, shape, audit.SLO{Target: target, Goal: goal})
 }

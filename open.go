@@ -1,0 +1,417 @@
+package fxdist
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"fxdist/internal/audit"
+	"fxdist/internal/netdist"
+	"fxdist/internal/plancache"
+	"fxdist/internal/storage"
+)
+
+// Config selects what Open builds. Exactly one backend kind is implied
+// by which fields are set:
+//
+//	File + Allocator                    in-memory cluster
+//	File + Allocator + WithReplication  replicated in-memory cluster
+//	Dir + File + Allocator              durable cluster, created under Dir
+//	Dir                                 durable cluster, reopened from Dir
+//	Addrs + File                        distributed coordinator (File is
+//	                                    the schema; it may hold no records)
+type Config struct {
+	// File is the multi-key hashed file: schema plus records for the
+	// in-memory kinds, schema only for the coordinator.
+	File *File
+	// Allocator is the declustering method, built for File's directory
+	// sizes. Required except when reopening a durable cluster (its
+	// allocator spec lives in the metadata snapshot) or dialing servers
+	// (they run their own inverse mapping).
+	Allocator GroupAllocator
+	// Dir, when set, selects the durable backend rooted at this
+	// directory.
+	Dir string
+	// Addrs, when set, selects the distributed backend; Addrs[i] must
+	// serve device i.
+	Addrs []string
+}
+
+// openSettings accumulates the functional options of Open.
+type openSettings struct {
+	model       CostModel
+	modelSet    bool
+	replicated  bool
+	replicaMode ReplicaMode
+	dialTimeout time.Duration
+	failover    bool
+	sloSet      bool
+	slo         LatencySLO
+	shapeSLOs   map[string]LatencySLO
+	cacheSize   int // 0 = default, < 0 = disabled
+	fileOpts    []FileOption
+}
+
+// Option configures Open.
+type Option func(*openSettings)
+
+// WithCostModel prices each device's simulated work (default
+// MainMemory). The coordinator backend attaches no cost model; the
+// option is ignored there.
+func WithCostModel(m CostModel) Option {
+	return func(s *openSettings) { s.model, s.modelSet = m, true }
+}
+
+// WithReplication selects the replicated in-memory backend: every
+// bucket is stored on its primary device and the ring successor, under
+// the given failover mode (e.g. ChainedFailover).
+func WithReplication(mode ReplicaMode) Option {
+	return func(s *openSettings) { s.replicated, s.replicaMode = true, mode }
+}
+
+// WithDialTimeout bounds each per-device request of the distributed
+// backend; zero (the default) waits indefinitely.
+func WithDialTimeout(d time.Duration) Option {
+	return func(s *openSettings) { s.dialTimeout = d }
+}
+
+// WithFailover routes the distributed backend's retrievals through the
+// ring-successor retry policy: when a device's server is unreachable,
+// its successor answers from the backup copy (requires servers deployed
+// with replication, e.g. DeployReplicatedLocal).
+func WithFailover() Option {
+	return func(s *openSettings) { s.failover = true }
+}
+
+// WithLatencySLO sets the default latency objective for every query
+// shape of the cluster's backend: at least goal (e.g. 0.99) of queries
+// must complete within target.
+func WithLatencySLO(target time.Duration, goal float64) Option {
+	return func(s *openSettings) { s.sloSet, s.slo = true, LatencySLO{Target: target, Goal: goal} }
+}
+
+// WithShapeLatencySLO overrides the latency objective for one query
+// shape ('s' per specified field, '*' per unspecified — e.g. "s**").
+func WithShapeLatencySLO(shape string, target time.Duration, goal float64) Option {
+	return func(s *openSettings) {
+		if s.shapeSLOs == nil {
+			s.shapeSLOs = make(map[string]LatencySLO)
+		}
+		s.shapeSLOs[shape] = LatencySLO{Target: target, Goal: goal}
+	}
+}
+
+// WithPlanCacheSize bounds the cluster's plan cache to n shapes
+// (LRU-evicted beyond it). n = 0 keeps the default (256); n < 0
+// disables the cache entirely, taking the uncached retrieval path.
+func WithPlanCacheSize(n int) Option {
+	return func(s *openSettings) {
+		if n < 0 {
+			s.cacheSize = -1
+		} else {
+			s.cacheSize = n
+		}
+	}
+}
+
+// WithoutPlanCache disables the cluster's plan cache; equivalent to
+// WithPlanCacheSize(-1).
+func WithoutPlanCache() Option { return WithPlanCacheSize(-1) }
+
+// WithFileOptions passes file options (e.g. WithFieldHash) through to
+// the schema reconstruction when reopening a durable cluster whose file
+// was built with custom field hashes.
+func WithFileOptions(opts ...FileOption) Option {
+	return func(s *openSettings) { s.fileOpts = append(s.fileOpts, opts...) }
+}
+
+// Cluster is the unified handle over every backend kind — in-memory,
+// replicated, durable, distributed — built by Open. All kinds retrieve
+// through the same engine executor and plan cache, so the handle offers
+// one surface: RetrieveContext (canonical), Retrieve, RetrieveBatch,
+// SLO and audit knobs, and plan-cache introspection. Backend-specific
+// operations (durable inserts, replica failure injection, distributed
+// failover) are reachable through the typed accessors Memory, Durable,
+// Replicated and Coordinator.
+type Cluster struct {
+	kind     string
+	file     *File // schema source; nil only for reopened durable clusters
+	mem      *MemoryCluster
+	dur      *DurableCluster
+	repl     *ReplicatedCluster
+	coord    *Coordinator
+	failover bool
+}
+
+// Backend kinds reported by Cluster.Kind.
+const (
+	KindMemory     = "memory"
+	KindDurable    = "durable"
+	KindReplicated = "replicated"
+	KindNetdist    = "netdist"
+)
+
+// Open builds a cluster of the backend kind cfg implies (see Config)
+// and applies the options. It is the single entry point subsuming the
+// deprecated NewCluster, NewReplicatedCluster, CreateDurableCluster,
+// OpenDurableCluster and DialCluster constructors.
+func Open(cfg Config, opts ...Option) (*Cluster, error) {
+	var s openSettings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	model := MainMemory
+	if s.modelSet {
+		model = s.model
+	}
+
+	c := &Cluster{file: cfg.File}
+	switch {
+	case len(cfg.Addrs) > 0:
+		if cfg.Dir != "" || s.replicated {
+			return nil, errors.New("fxdist: Addrs selects the distributed backend; it cannot combine with Dir or WithReplication")
+		}
+		if cfg.File == nil {
+			return nil, errors.New("fxdist: the distributed backend needs Config.File as the query schema")
+		}
+		var dialOpts []DialOption
+		if s.dialTimeout > 0 {
+			dialOpts = append(dialOpts, WithRequestTimeout(s.dialTimeout))
+		}
+		coord, err := netdist.Dial(cfg.File, cfg.Addrs, dialOpts...)
+		if err != nil {
+			return nil, err
+		}
+		c.kind, c.coord, c.failover = KindNetdist, coord, s.failover
+
+	case cfg.Dir != "":
+		if s.replicated {
+			return nil, errors.New("fxdist: the durable backend does not support WithReplication")
+		}
+		if cfg.File != nil {
+			if cfg.Allocator == nil {
+				return nil, errors.New("fxdist: creating a durable cluster needs Config.Allocator")
+			}
+			dur, err := storage.CreateDurable(cfg.Dir, cfg.File, cfg.Allocator, model)
+			if err != nil {
+				return nil, err
+			}
+			c.kind, c.dur = KindDurable, dur
+		} else {
+			dur, err := storage.OpenDurable(cfg.Dir, model, s.fileOpts...)
+			if err != nil {
+				return nil, err
+			}
+			c.kind, c.dur = KindDurable, dur
+		}
+
+	case s.replicated:
+		if cfg.File == nil || cfg.Allocator == nil {
+			return nil, errors.New("fxdist: the replicated backend needs Config.File and Config.Allocator")
+		}
+		repl, err := storage.NewReplicated(cfg.File, cfg.Allocator, s.replicaMode, model)
+		if err != nil {
+			return nil, err
+		}
+		c.kind, c.repl = KindReplicated, repl
+
+	default:
+		if cfg.File == nil || cfg.Allocator == nil {
+			return nil, errors.New("fxdist: the in-memory backend needs Config.File and Config.Allocator")
+		}
+		mem, err := storage.NewCluster(cfg.File, cfg.Allocator, model)
+		if err != nil {
+			return nil, err
+		}
+		c.kind, c.mem = KindMemory, mem
+	}
+
+	if pc := c.planCache(); pc != nil {
+		switch {
+		case s.cacheSize < 0:
+			pc.SetEnabled(false)
+		case s.cacheSize > 0:
+			pc.Resize(s.cacheSize)
+		}
+	}
+	if s.sloSet {
+		c.SetLatencySLO(s.slo.Target, s.slo.Goal)
+	}
+	for shape, slo := range s.shapeSLOs {
+		c.SetShapeLatencySLO(shape, slo.Target, slo.Goal)
+	}
+	return c, nil
+}
+
+// Kind returns the backend kind: "memory", "durable", "replicated" or
+// "netdist".
+func (c *Cluster) Kind() string { return c.kind }
+
+// Memory returns the underlying in-memory cluster, nil for other kinds.
+func (c *Cluster) Memory() *MemoryCluster { return c.mem }
+
+// Durable returns the underlying durable cluster, nil for other kinds.
+func (c *Cluster) Durable() *DurableCluster { return c.dur }
+
+// Replicated returns the underlying replicated cluster, nil for other
+// kinds.
+func (c *Cluster) Replicated() *ReplicatedCluster { return c.repl }
+
+// Coordinator returns the underlying distributed coordinator, nil for
+// other kinds.
+func (c *Cluster) Coordinator() *Coordinator { return c.coord }
+
+// M returns the device count.
+func (c *Cluster) M() int {
+	switch c.kind {
+	case KindMemory:
+		return c.mem.M()
+	case KindDurable:
+		return c.dur.M()
+	case KindReplicated:
+		return c.repl.M()
+	default:
+		return c.coord.M()
+	}
+}
+
+// Spec builds a value-level partial match query against the cluster's
+// schema: pairs of (field name, value); unmentioned fields are
+// unspecified.
+func (c *Cluster) Spec(pairs map[string]string) (PartialMatch, error) {
+	if c.kind == KindDurable {
+		return c.dur.Spec(pairs)
+	}
+	return c.file.Spec(pairs)
+}
+
+// RetrieveContext answers one value-level partial match query. It is
+// the canonical retrieval entry point on every backend kind; Retrieve
+// is its context.Background() wrapper. The distributed backend carries
+// no cost model, so its results leave Response, TotalWork and
+// DeviceTime zero; with WithFailover set it routes through the
+// ring-successor retry policy.
+func (c *Cluster) RetrieveContext(ctx context.Context, pm PartialMatch) (RetrieveResult, error) {
+	switch c.kind {
+	case KindMemory:
+		return c.mem.RetrieveContext(ctx, pm)
+	case KindDurable:
+		return c.dur.RetrieveContext(ctx, pm)
+	case KindReplicated:
+		return c.repl.RetrieveContext(ctx, pm)
+	default:
+		var res DistributedResult
+		var err error
+		if c.failover {
+			res, err = c.coord.RetrieveWithFailoverContext(ctx, pm)
+		} else {
+			res, err = c.coord.RetrieveContext(ctx, pm)
+		}
+		if err != nil {
+			return RetrieveResult{}, err
+		}
+		return fromDistributed(res), nil
+	}
+}
+
+// Retrieve is RetrieveContext with context.Background().
+func (c *Cluster) Retrieve(pm PartialMatch) (RetrieveResult, error) {
+	return c.RetrieveContext(context.Background(), pm)
+}
+
+// RetrieveBatch answers a batch of queries, pipelining their fan-outs
+// over the shared worker pool (see engine.Executor.RetrieveBatch).
+// Queries sharing a shape reuse one cached plan.
+func (c *Cluster) RetrieveBatch(ctx context.Context, pms []PartialMatch) ([]RetrieveResult, error) {
+	switch c.kind {
+	case KindMemory:
+		return c.mem.RetrieveBatch(ctx, pms)
+	case KindDurable:
+		return c.dur.RetrieveBatch(ctx, pms)
+	case KindReplicated:
+		return c.repl.RetrieveBatch(ctx, pms)
+	default:
+		dres, err := c.coord.RetrieveBatch(ctx, pms)
+		out := make([]RetrieveResult, len(dres))
+		for i, r := range dres {
+			out[i] = fromDistributed(r)
+		}
+		return out, err
+	}
+}
+
+// fromDistributed lifts a coordinator result onto the unified result
+// type (no cost model on the wire, so the time fields stay zero).
+func fromDistributed(r DistributedResult) RetrieveResult {
+	return RetrieveResult{
+		TraceID:             r.TraceID,
+		Records:             r.Records,
+		DeviceBuckets:       r.DeviceBuckets,
+		DeviceRecords:       r.DeviceRecords,
+		LargestResponseSize: r.LargestResponseSize,
+	}
+}
+
+// Close releases the backend's resources: device logs for durable
+// clusters, server connections for coordinators; a no-op for the
+// in-memory kinds.
+func (c *Cluster) Close() error {
+	switch c.kind {
+	case KindDurable:
+		return c.dur.Close()
+	case KindNetdist:
+		c.coord.Close()
+	}
+	return nil
+}
+
+// planCache returns the backend's plan cache handle.
+func (c *Cluster) planCache() *plancache.Cache {
+	switch c.kind {
+	case KindMemory:
+		return c.mem.PlanCache()
+	case KindDurable:
+		return c.dur.PlanCache()
+	case KindReplicated:
+		return c.repl.PlanCache()
+	default:
+		return c.coord.PlanCache()
+	}
+}
+
+// PlanCacheStats is a point-in-time snapshot of one cluster's plan
+// cache: hit/miss/eviction counters and the resident plans.
+type PlanCacheStats = plancache.Snapshot
+
+// PlanCache snapshots the cluster's plan cache.
+func (c *Cluster) PlanCache() PlanCacheStats { return c.planCache().Stats() }
+
+// SetLatencySLO sets the default latency objective for every query
+// shape served by this cluster's backend kind: at least goal (e.g.
+// 0.99) of queries must complete within target. The objective is
+// backend-wide (all clusters of one kind share an auditor).
+func (c *Cluster) SetLatencySLO(target time.Duration, goal float64) {
+	audit.SetSLO(c.kind, audit.SLO{Target: target, Goal: goal})
+}
+
+// SetShapeLatencySLO overrides the latency objective for one query
+// shape of this cluster's backend kind.
+func (c *Cluster) SetShapeLatencySLO(shape string, target time.Duration, goal float64) {
+	audit.SetShapeSLO(c.kind, shape, audit.SLO{Target: target, Goal: goal})
+}
+
+// OptimalityReport snapshots the strict-optimality audit of this
+// cluster's backend kind: per-shape violation counts against the
+// paper's ceil(|R(q)|/M) bound and SLO state.
+func (c *Cluster) OptimalityReport() BackendAudit {
+	return audit.For(c.kind).Report()
+}
+
+// ResetAudit zeroes the accumulated audit state of this cluster's
+// backend kind (mirrored Prometheus counters stay monotonic;
+// configured SLOs are kept).
+func (c *Cluster) ResetAudit() { audit.For(c.kind).Reset() }
+
+// PlanCacheReport snapshots every live plan cache in the process,
+// sorted by backend — the programmatic /debug/plancache.
+func PlanCacheReport() []PlanCacheStats { return plancache.Report() }

@@ -10,7 +10,7 @@ func TestPublicProjection(t *testing.T) {
 	file := buildTestFile(t)
 	fs, _ := file.FileSystem(4)
 	fx, _ := fxdist.NewFX(fs)
-	cluster, err := fxdist.NewCluster(file, fx, fxdist.MainMemory)
+	cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,7 @@ func TestPublicProjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := cluster.Project([]int{1}, nw)
+	res, err := cluster.Memory().Project([]int{1}, nw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,12 @@ func TestPublicDurableDeleteCompact(t *testing.T) {
 	file := buildTestFile(t)
 	fs, _ := file.FileSystem(4)
 	fx, _ := fxdist.NewFX(fs)
-	c, err := fxdist.CreateDurableCluster(t.TempDir(), file, fx, fxdist.MainMemory)
+	h, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: fx})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer c.Close()
+	defer h.Close()
+	c := h.Durable()
 	before := c.Len()
 	rec := fxdist.Record{"a-1", "b-1"}
 	if err := c.Insert(rec); err != nil {
