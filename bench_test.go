@@ -819,3 +819,81 @@ func BenchmarkAblationIU1vsIU2(b *testing.B) {
 		_ = fxdist.ResponseTable(fs, methods, []int{3})
 	}
 }
+
+// BenchmarkRetrieveWithInjectedLatency measures what hedging buys
+// against a single straggler device: device 0 carries injected latency
+// with wide jitter (the tail-latency profile chained declustering is
+// meant to absorb), and the hedged variant races a second scan against
+// it once its p99 breaches the peers'. Unhedged retrievals pay the full
+// straggler delay on every query that touches device 0.
+func BenchmarkRetrieveWithInjectedLatency(b *testing.B) {
+	build := func(b *testing.B, hedge bool) (*fxdist.Cluster, fxdist.PartialMatch) {
+		b.Helper()
+		spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+			{Name: "a", Cardinality: 60},
+			{Name: "b", Cardinality: 15},
+		}}
+		file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{3, 2}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs, err := fxdist.GenerateRecords(spec, 2000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := file.Insert(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		fs, err := file.FileSystem(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fx, err := fxdist.NewFX(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := []fxdist.Option{
+			fxdist.WithRetryBudget(2, time.Millisecond, 10*time.Millisecond),
+			fxdist.WithRetrySeed(1),
+			fxdist.WithFaultInjection(1, map[int]fxdist.FaultSchedule{
+				0: {Jitter: 4 * time.Millisecond},
+			}),
+		}
+		if hedge {
+			opts = append(opts, fxdist.WithHedging(100*time.Microsecond))
+		}
+		cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pm, err := file.Spec(nil) // all-free: device 0 is always load-bearing
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm past the hedger's observation gate so the hedged variant
+		// measures steady state, not the arming ramp.
+		for i := 0; i < 16; i++ {
+			if _, err := cluster.Retrieve(pm); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return cluster, pm
+	}
+	for _, hedge := range []bool{false, true} {
+		name := "unhedged"
+		if hedge {
+			name = "hedged"
+		}
+		b.Run(name, func(b *testing.B) {
+			cluster, pm := build(b, hedge)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Retrieve(pm); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -43,7 +43,7 @@ func CreateDurableCluster(dir string, file *File, alloc GroupAllocator, model Co
 // Deprecated: use Open(Config{Dir: dir}, WithCostModel(model),
 // WithFileOptions(opts...)).
 func OpenDurableCluster(dir string, model CostModel, opts ...FileOption) (*DurableCluster, error) {
-	return storage.OpenDurable(dir, model, opts...)
+	return storage.OpenDurable(dir, model, storage.WithFileOptions(opts...))
 }
 
 // DialCluster connects a coordinator to one server per device. The file

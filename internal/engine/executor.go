@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -53,8 +54,13 @@ type Config struct {
 	Span string
 	// Workers bounds the worker pool; 0 means max(len(Devices), GOMAXPROCS).
 	Workers int
-	// Retry, if set, is consulted on every device failure.
+	// Retry, if set, is consulted on every device failure. It is the
+	// legacy single-shot reroute hook; when Resilience.Policies is
+	// non-empty the policy chain takes over and Retry is ignored.
 	Retry RetryPolicy
+	// Resilience is the composable failure-handling configuration:
+	// policy chain, hedger, graceful degradation. See Resilience.
+	Resilience Resilience
 	// Audit, if set, receives every finished retrieval for online
 	// strict-optimality auditing and per-shape SLO accounting.
 	Audit Auditor
@@ -81,6 +87,7 @@ type Executor struct {
 	tracer *obs.Tracer
 	span   string
 	retry  RetryPolicy
+	res    Resilience
 	audit  Auditor
 	alloc  decluster.GroupAllocator
 	plans  *plancache.Cache
@@ -111,6 +118,7 @@ func New(cfg Config) (*Executor, error) {
 		tracer: cfg.Tracer,
 		span:   cfg.Span,
 		retry:  cfg.Retry,
+		res:    cfg.Resilience,
 		audit:  cfg.Audit,
 		alloc:  cfg.Alloc,
 		plans:  cfg.Plans,
@@ -125,6 +133,18 @@ func (e *Executor) Derive(span string, retry RetryPolicy) *Executor {
 	d := *e
 	d.span = span
 	d.retry = retry
+	return &d
+}
+
+// DeriveResilience returns a copy of the executor running under the
+// given resilience configuration (policy chain, hedger, degraded mode),
+// sharing the devices and worker pool. The legacy RetryPolicy is
+// dropped from the copy — the chain subsumes it.
+func (e *Executor) DeriveResilience(span string, r Resilience) *Executor {
+	d := *e
+	d.span = span
+	d.retry = nil
+	d.res = r
 	return &d
 }
 
@@ -291,13 +311,7 @@ func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Pl
 				c.errs[dev] = err
 				return
 			}
-			ans, err := e.devs[dev].Scan(ctx, q, pm)
-			if err != nil && e.retry != nil && ctx.Err() == nil {
-				if alt := e.retry(ctx, dev, err); alt != nil {
-					ans, err = alt.Scan(ctx, q, pm)
-				}
-			}
-			c.answers[dev], c.errs[dev] = ans, err
+			c.answers[dev], c.errs[dev] = e.scanDevice(ctx, dev, q, pm)
 		})
 	}
 	return c
@@ -320,16 +334,25 @@ func (e *Executor) wait(ctx context.Context, c *call) (Result, error) {
 		}
 	}
 	if len(failures) > 0 {
+		if e.res.Partial && len(failures) < len(c.errs) && ctx.Err() == nil {
+			return e.degrade(c)
+		}
 		return Result{}, errors.Join(failures...)
 	}
-	m := len(c.answers)
+	return e.merge(c.answers, nil), nil
+}
+
+// merge folds per-device answers into a Result under the cost model;
+// failed[dev], when non-nil, marks devices whose answers are skipped.
+func (e *Executor) merge(answers []Answer, failed map[int]error) Result {
+	m := len(answers)
 	res := Result{
 		DeviceBuckets: make([]int, m),
 		DeviceRecords: make([]int, m),
 		DeviceTime:    make([]time.Duration, m),
 	}
-	for dev, a := range c.answers {
-		if a.Idle {
+	for dev, a := range answers {
+		if a.Idle || failed[dev] != nil {
 			continue
 		}
 		res.DeviceBuckets[dev] = a.Buckets
@@ -338,7 +361,43 @@ func (e *Executor) wait(ctx context.Context, c *call) (Result, error) {
 		res.Records = append(res.Records, a.Hits...)
 	}
 	res.Response, res.TotalWork, res.LargestResponseSize = AccumulateCost(res.DeviceTime, res.DeviceBuckets)
-	return res, nil
+	return res
+}
+
+// degrade builds the graceful-degradation answer for a partially failed
+// fan-out: the merged result of the devices that answered, plus a
+// *PartialError carrying the per-device error manifest and the fraction
+// of |R(q)| the surviving devices covered.
+func (e *Executor) degrade(c *call) (Result, error) {
+	failed := make(map[int]error)
+	failedDevs := make([]int, 0, len(c.errs))
+	for dev, err := range c.errs {
+		if err != nil {
+			failed[dev] = err
+			failedDevs = append(failedDevs, dev)
+		}
+	}
+	sort.Ints(failedDevs)
+	res := e.merge(c.answers, failed)
+	covered := 0
+	for _, b := range res.DeviceBuckets {
+		covered += b
+	}
+	coverage := 1.0
+	if c.rq > 0 {
+		coverage = float64(covered) / float64(c.rq)
+		if coverage > 1 {
+			coverage = 1
+		}
+	}
+	if c.span != nil {
+		c.span.Event(fmt.Sprintf("degraded: %d device(s) failed, coverage %.3f", len(failed), coverage))
+	}
+	if e.res.OnPartial != nil {
+		e.res.OnPartial(coverage, failedDevs)
+	}
+	perr := &PartialError{Res: res, Failed: failed, Coverage: coverage}
+	return res, perr
 }
 
 // finish closes the call's span, audits the retrieval against the
@@ -374,8 +433,13 @@ func (e *Executor) finish(c *call, res Result, err error) {
 func (c *call) seal(res Result, err error) (Result, error) {
 	tid := c.span.Trace()
 	res.TraceID = tid
-	if err != nil && tid != 0 {
-		err = &TracedError{TraceID: tid, Err: err}
+	if err != nil {
+		if pe, ok := err.(*PartialError); ok {
+			pe.Res.TraceID = tid
+		}
+		if tid != 0 {
+			err = &TracedError{TraceID: tid, Err: err}
+		}
 	}
 	return res, err
 }

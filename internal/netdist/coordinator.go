@@ -15,6 +15,8 @@ import (
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
 	"fxdist/internal/query"
+	"fxdist/internal/resilience"
+	"fxdist/internal/retry"
 )
 
 // ErrTimeout marks a per-device request that exceeded the coordinator's
@@ -110,11 +112,29 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 	}
 }
 
+// dead returns the sticky transport error once the reader has exited,
+// nil while the connection is healthy (the health prober's redial
+// trigger).
+func (dc *deviceConn) dead() error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	return dc.err
+}
+
 // roundTrip sends req and waits for its response, returning the wire
-// request id it assigned (0 when the connection was already dead).
-// Cancelling ctx abandons the wait (the response, if it ever arrives, is
-// discarded by the read loop).
+// request id it assigned (0 when the connection was already dead). The
+// per-request timeout composes with the caller's context deadline —
+// whichever expires first wins — and a coordinator-side expiry surfaces
+// as ErrTimeout wrapping context.DeadlineExceeded, so both errors.Is
+// checks hold. Cancelling ctx abandons the wait (the response, if it
+// ever arrives, is discarded by the read loop).
 func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, timeout,
+			fmt.Errorf("%w after %v: %w", ErrTimeout, timeout, context.DeadlineExceeded))
+		defer cancel()
+	}
 	dc.mu.Lock()
 	if dc.err != nil {
 		err := dc.err
@@ -137,12 +157,6 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 		return Response{}, req.ID, err
 	}
 
-	var timer <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
-	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
@@ -152,16 +166,13 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 			return Response{}, req.ID, err
 		}
 		return resp, req.ID, nil
-	case <-timer:
-		dc.mu.Lock()
-		delete(dc.pending, req.ID)
-		dc.mu.Unlock()
-		return Response{}, req.ID, fmt.Errorf("%w after %v", ErrTimeout, timeout)
 	case <-ctx.Done():
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
-		return Response{}, req.ID, ctx.Err()
+		// Cause distinguishes our per-request timeout (ErrTimeout chain)
+		// from the caller's own deadline or cancellation.
+		return Response{}, req.ID, context.Cause(ctx)
 	}
 }
 
@@ -173,12 +184,25 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 // failover retry policy.
 type Coordinator struct {
 	file    *mkhash.File
-	conns   []*deviceConn
 	dm      []coordDevMetrics
 	tracer  *obs.Tracer
 	timeout time.Duration
 	eng     *engine.Executor
 	feng    *engine.Executor
+
+	// connMu guards conns so the health prober can replace a dead
+	// connection while retrievals are in flight.
+	connMu sync.RWMutex
+	conns  []*deviceConn
+
+	// Resilience (WithResilience / WithInjector).
+	rcfg     *retry.Config
+	ctrl     *retry.Controller
+	injector *resilience.Injector
+
+	probeMu   sync.Mutex
+	probeStop chan struct{}
+	probeWG   sync.WaitGroup
 }
 
 // DialOption configures Dial.
@@ -188,6 +212,20 @@ type DialOption func(*Coordinator)
 // indefinitely.
 func WithTimeout(d time.Duration) DialOption {
 	return func(c *Coordinator) { c.timeout = d }
+}
+
+// WithResilience runs the coordinator's retrievals under the adaptive
+// retry layer: per-device circuit breakers, backoff budgets, hedged
+// failover requests, and (when cfg.Partial) graceful degraded results.
+func WithResilience(cfg retry.Config) DialOption {
+	return func(c *Coordinator) { c.rcfg = &cfg }
+}
+
+// WithInjector applies a fault injector at the connection seam: every
+// outgoing device request first passes the injector's schedule for that
+// device (chaos testing without touching the servers).
+func WithInjector(in *resilience.Injector) DialOption {
+	return func(c *Coordinator) { c.injector = in }
 }
 
 // Dial connects to one server per device; addrs[i] must serve device i.
@@ -230,7 +268,104 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 	}
 	c.eng = eng
 	c.feng = eng.Derive("netdist.retrieve-failover", c.failover)
+	if c.rcfg != nil {
+		c.ctrl = retry.NewController("netdist", *c.rcfg)
+		// Hedge backups impersonate the slow device against its ring
+		// successor's backup partition — only the failover path may
+		// hedge (a plain deployment's successor has no copy to answer
+		// from).
+		backup := func(dev int) engine.Device {
+			return &remoteDevice{c: c, server: (dev + 1) % len(addrs), as: dev}
+		}
+		c.eng = eng.DeriveResilience("netdist.retrieve", c.ctrl.Resilience(nil, nil))
+		c.feng = eng.DeriveResilience("netdist.retrieve-failover", c.ctrl.Resilience(c.failover, backup))
+	}
 	return c, nil
+}
+
+// Controller returns the coordinator's retry controller, nil without
+// WithResilience.
+func (c *Coordinator) Controller() *retry.Controller { return c.ctrl }
+
+// conn returns device dev's current connection.
+func (c *Coordinator) conn(dev int) *deviceConn {
+	c.connMu.RLock()
+	defer c.connMu.RUnlock()
+	return c.conns[dev]
+}
+
+// StartHealthProbes pings every device server each interval: a dead
+// connection is redialed, and the ping outcome drives the device's
+// circuit breaker (a successful probe closes a half-open breaker, so a
+// restarted server rejoins without waiting for live traffic to risk
+// it). Idempotent; Close stops the prober.
+func (c *Coordinator) StartHealthProbes(interval time.Duration) {
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	if c.probeStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	c.probeStop = stop
+	c.probeWG.Add(1)
+	go func() {
+		defer c.probeWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+func (c *Coordinator) probeAll() {
+	c.connMu.RLock()
+	m := len(c.conns)
+	c.connMu.RUnlock()
+	for dev := 0; dev < m; dev++ {
+		dc := c.conn(dev)
+		if dc.dead() != nil {
+			conn, err := net.Dial("tcp", dc.addr)
+			if err != nil {
+				// Still down; charge the breaker so it keeps cooling.
+				if c.ctrl != nil {
+					c.ctrl.Probe(dev, func() error { return err })
+				}
+				continue
+			}
+			fresh := newDeviceConn(conn, dc.addr)
+			c.connMu.Lock()
+			c.conns[dev] = fresh
+			c.connMu.Unlock()
+			dc.conn.Close()
+			dc = fresh
+		}
+		ping := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
+			defer cancel()
+			_, _, err := dc.roundTrip(ctx, Request{Ping: true, AsDevice: -1}, c.timeout)
+			return err
+		}
+		if c.ctrl != nil {
+			c.ctrl.Probe(dev, ping)
+		} else {
+			ping() //nolint:errcheck // next tick retries
+		}
+	}
+}
+
+// probeTimeout bounds one health ping even when no request timeout is
+// configured.
+func (c *Coordinator) probeTimeout() time.Duration {
+	if c.timeout > 0 {
+		return c.timeout
+	}
+	return 2 * time.Second
 }
 
 // coordObserver maps the engine's retrieval events onto the coordinator's
@@ -282,11 +417,21 @@ func (c *Coordinator) failover(ctx context.Context, dev int, err error) engine.D
 	return &remoteDevice{c: c, server: (dev + 1) % m, as: dev}
 }
 
-// Close drops all device connections and releases the plan cache.
+// Close stops the health prober, drops all device connections, and
+// releases the plan cache.
 func (c *Coordinator) Close() {
+	c.probeMu.Lock()
+	if c.probeStop != nil {
+		close(c.probeStop)
+		c.probeStop = nil
+	}
+	c.probeMu.Unlock()
+	c.probeWG.Wait()
 	if c.eng != nil && c.eng.Plans() != nil {
 		c.eng.Plans().Close()
 	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
 	for _, dc := range c.conns {
 		if dc != nil {
 			dc.conn.Close()
@@ -305,9 +450,20 @@ func (c *Coordinator) M() int { return len(c.conns) }
 // with the device id, server address and wire request id. The retrieval
 // span travels in ctx (see engine.SpanFromContext).
 func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, error) {
-	dc := c.conns[dev]
+	dc := c.conn(dev)
 	span := engine.SpanFromContext(ctx)
 	dm := &c.dm[dev]
+	if c.injector != nil {
+		if ierr := c.injector.Before(ctx, dev); ierr != nil {
+			// Injected faults look like transport failures so the whole
+			// resilience stack (retry, breaker, failover) exercises for
+			// real.
+			dm.errors.Inc()
+			derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, TraceID: span.Trace(), Err: ierr}
+			span.Event(derr.Error())
+			return Response{}, derr
+		}
+	}
 	dm.inflight.Inc()
 	t0 := time.Now()
 	resp, id, err := dc.roundTrip(ctx, req, c.timeout)
@@ -324,7 +480,14 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, 
 	}
 	if resp.Err != "" {
 		dm.errors.Inc()
-		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Remote: true, Err: errors.New(resp.Err)}
+		cause := error(errors.New(resp.Err))
+		if resp.RetryAfterMillis > 0 {
+			// The server is shedding load: carry its Retry-After hint so
+			// the budget policy backs off at least that long before
+			// re-asking the same server.
+			cause = &retry.Cooldown{After: time.Duration(resp.RetryAfterMillis) * time.Millisecond, Err: cause}
+		}
+		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Remote: true, Err: cause}
 		span.Event(derr.Error())
 		return Response{}, derr
 	}
@@ -379,13 +542,13 @@ func (c *Coordinator) Retrieve(pm mkhash.PartialMatch) (Result, error) {
 	return c.RetrieveContext(context.Background(), pm)
 }
 
-// RetrieveContext is Retrieve with cancellation and deadlines.
+// RetrieveContext is Retrieve with cancellation and deadlines. Under
+// WithResilience(Partial: true), a partially degraded retrieval returns
+// the surviving devices' merged records alongside the *engine.PartialError
+// manifest (match with errors.As).
 func (c *Coordinator) RetrieveContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
 	res, err := c.eng.Retrieve(ctx, pm)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromEngine(res), nil
+	return fromEngine(res), err
 }
 
 // RetrieveBatch answers a batch of queries, pipelining all of them over

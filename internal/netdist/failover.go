@@ -120,8 +120,5 @@ func (c *Coordinator) RetrieveWithFailover(pm mkhash.PartialMatch) (Result, erro
 // and deadlines.
 func (c *Coordinator) RetrieveWithFailoverContext(ctx context.Context, pm mkhash.PartialMatch) (Result, error) {
 	res, err := c.feng.Retrieve(ctx, pm)
-	if err != nil {
-		return Result{}, err
-	}
-	return fromEngine(res), nil
+	return fromEngine(res), err
 }

@@ -51,6 +51,7 @@ type serverMetrics struct {
 	requests *obs.Counter
 	errors   *obs.Counter
 	backup   *obs.Counter
+	shed     *obs.Counter
 }
 
 func newServerMetrics(dev int) serverMetrics {
@@ -67,5 +68,7 @@ func newServerMetrics(dev int) serverMetrics {
 			"Requests the device server rejected with an error.", d),
 		backup: r.Counter("fxdist_netdist_server_backup_requests_total",
 			"Requests answered from the backup partition on behalf of the ring predecessor.", d),
+		shed: r.Counter("fxdist_netdist_server_shed_requests_total",
+			"Requests rejected by load shedding with a Retry-After hint.", d),
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fxdist/internal/decluster"
@@ -48,6 +49,11 @@ type Request struct {
 	// across processes. Zero means untraced.
 	TraceID    uint64
 	ParentSpan uint64
+	// Ping marks a health probe: the server echoes an empty success
+	// immediately, bypassing load shedding, without running a query. The
+	// coordinator's health prober uses it to close circuit breakers once
+	// a server comes back.
+	Ping bool
 }
 
 // NewRequest builds the wire request for a hashed query and its
@@ -80,6 +86,12 @@ type Response struct {
 	Buckets int
 	// Scanned is the number of records the device examined.
 	Scanned int
+	// RetryAfterMillis, when > 0 alongside a non-empty Err, is the
+	// server's load-shedding hint: it rejected the request because it is
+	// overloaded and asks not to be re-contacted for this many
+	// milliseconds (the wire protocol's Retry-After). The coordinator's
+	// retry budget honors it as the minimum backoff.
+	RetryAfterMillis int64
 }
 
 // Server is one device's network frontend.
@@ -96,6 +108,12 @@ type Server struct {
 
 	sm     serverMetrics
 	tracer *obs.Tracer
+
+	// Load shedding (SetShedding): above shedLimit concurrent requests
+	// the server rejects with a Retry-After hint instead of queueing.
+	shedLimit   atomic.Int64
+	shedAfterMs atomic.Int64
+	inflightN   atomic.Int64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -141,6 +159,15 @@ func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Recor
 
 // DeviceID returns the device this server fronts.
 func (s *Server) DeviceID() int { return s.deviceID }
+
+// SetShedding enables load shedding: beyond maxInflight concurrent
+// requests the server rejects new ones with a Retry-After hint of
+// retryAfter instead of queueing them behind slow scans. maxInflight
+// <= 0 disables shedding. Pings are never shed.
+func (s *Server) SetShedding(maxInflight int, retryAfter time.Duration) {
+	s.shedLimit.Store(int64(maxInflight))
+	s.shedAfterMs.Store(retryAfter.Milliseconds())
+}
 
 // Serve accepts connections on l until the listener is closed (by Close
 // or externally). Each connection handles a sequence of Request/Response
@@ -200,6 +227,23 @@ func (s *Server) handle(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
+		if req.Ping {
+			// Health probes answer before shedding and without a scan: a
+			// drowning server is still alive, and the prober must see that.
+			if err := enc.Encode(&Response{ID: req.ID}); err != nil {
+				return
+			}
+			continue
+		}
+		if n, limit := s.inflightN.Add(1), s.shedLimit.Load(); limit > 0 && n > limit {
+			s.inflightN.Add(-1)
+			s.sm.shed.Inc()
+			resp := Response{ID: req.ID, Err: "netdist: server overloaded", RetryAfterMillis: s.shedAfterMs.Load()}
+			if err := enc.Encode(&resp); err != nil {
+				return
+			}
+			continue
+		}
 		s.sm.inflight.Inc()
 		t0 := time.Now()
 		span := s.tracer.StartChild("netdist.serve", req.TraceID, req.ParentSpan)
@@ -221,6 +265,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.sm.latency.ObserveSince(t0)
 		span.End()
 		s.sm.inflight.Dec()
+		s.inflightN.Add(-1)
 		if err := enc.Encode(&resp); err != nil {
 			return
 		}

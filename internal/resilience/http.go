@@ -1,0 +1,31 @@
+package resilience
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"fxdist/internal/obs"
+	"fxdist/internal/retry"
+)
+
+func init() {
+	obs.RegisterDebugHandler("/debug/resilience", Handler())
+}
+
+// Snapshot is the /debug/resilience document: every retry controller
+// (breaker states, retry/hedge/partial counters) and every fault
+// injector (schedules and injection counters).
+type Snapshot struct {
+	Retry     []retry.Report `json:"retry"`
+	Injectors []Report       `json:"injectors"`
+}
+
+// Handler serves the resilience snapshot as JSON.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Snapshot{Retry: retry.ReportAll(), Injectors: ReportAll()})
+	})
+}

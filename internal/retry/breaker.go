@@ -1,0 +1,141 @@
+package retry
+
+import (
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker's position.
+type State int32
+
+const (
+	// Closed passes every attempt (the healthy state).
+	Closed State = iota
+	// HalfOpen lets exactly one probe through after the cooldown; its
+	// outcome decides between Closed and another Open period.
+	HalfOpen
+	// Open rejects every attempt until the cooldown elapses.
+	Open
+)
+
+// String renders the state for reports and metric labels.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker is one device's circuit breaker: threshold consecutive
+// primary failures open it, the cooldown later it admits a single
+// half-open probe, and that probe's outcome closes or re-opens it.
+// The clock is injectable for tests. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	// onTransition observes every state change (for metrics/reports);
+	// called with the breaker's own mutex held — must not re-enter.
+	onTransition func(from, to State)
+
+	mu          sync.Mutex
+	state       State
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+// NewBreaker builds a breaker opening after threshold consecutive
+// failures and cooling down for cooldown before half-open probing.
+// now and onTransition may be nil.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(from, to State)) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, onTransition: onTransition}
+}
+
+func (b *Breaker) transition(to State) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
+}
+
+// Allow reports whether an attempt may proceed: nil when closed, nil
+// for the single half-open probe after the cooldown, ErrOpen otherwise.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.transition(HalfOpen)
+			b.probing = true
+			return nil
+		}
+		return ErrOpen
+	default: // HalfOpen
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// Success records a successful primary attempt: it closes a half-open
+// breaker and resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.consecutive = 0
+	b.probing = false
+	if b.state != Closed {
+		b.transition(Closed)
+	}
+	b.mu.Unlock()
+}
+
+// Failure records a failed primary attempt: it re-opens a half-open
+// breaker immediately and opens a closed one at the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	switch b.state {
+	case HalfOpen:
+		b.probing = false
+		b.openedAt = b.now()
+		b.transition(Open)
+	case Closed:
+		b.consecutive++
+		if b.threshold > 0 && b.consecutive >= b.threshold {
+			b.openedAt = b.now()
+			b.transition(Open)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// State returns the breaker's current state (an Open breaker past its
+// cooldown still reports Open until the next Allow probes it).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Consecutive returns the current consecutive primary-failure count.
+func (b *Breaker) Consecutive() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consecutive
+}

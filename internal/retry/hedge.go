@@ -1,0 +1,137 @@
+package retry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"fxdist/internal/engine"
+)
+
+// sampleRing is the per-device latency window the hedger computes p99s
+// over.
+const sampleRing = 64
+
+// recomputeEvery bounds how often a device's cached p99 is re-sorted.
+const recomputeEvery = 16
+
+// hedger implements engine.Hedger with outlier detection: a device is
+// hedged only when its own p99 breaches twice its peers', and the
+// hedge fires after the peers' p99 (floored at HedgeMin) — so on a
+// healthy cluster no hedge ever arms, and a genuinely slow device is
+// raced against its backup almost immediately.
+type hedger struct {
+	c      *Controller
+	backup func(dev int) engine.Device
+
+	mu   sync.Mutex
+	devs map[int]*hedgeSamples
+}
+
+type hedgeSamples struct {
+	ring  [sampleRing]time.Duration
+	pos   int
+	n     int
+	since int // observations since the cached p99 was computed
+	p99   time.Duration
+}
+
+func (c *Controller) newHedger(backup func(dev int) engine.Device) engine.Hedger {
+	return &hedger{c: c, backup: backup, devs: make(map[int]*hedgeSamples)}
+}
+
+// p99Of returns the 99th percentile of the ring's live window.
+func (s *hedgeSamples) p99Of() time.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	buf := make([]time.Duration, s.n)
+	copy(buf, s.ring[:s.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := (len(buf)*99 + 99) / 100
+	if idx > len(buf) {
+		idx = len(buf)
+	}
+	return buf[idx-1]
+}
+
+func (h *hedger) samples(dev int) *hedgeSamples {
+	s := h.devs[dev]
+	if s == nil {
+		s = &hedgeSamples{}
+		h.devs[dev] = s
+	}
+	return s
+}
+
+// Observe records one completed primary scan; failures carry no
+// latency signal and are skipped.
+func (h *hedger) Observe(dev int, elapsed time.Duration, err error) {
+	if err != nil {
+		return
+	}
+	h.mu.Lock()
+	s := h.samples(dev)
+	s.ring[s.pos] = elapsed
+	s.pos = (s.pos + 1) % sampleRing
+	if s.n < sampleRing {
+		s.n++
+	}
+	s.since++
+	if s.since >= recomputeEvery || s.n <= recomputeEvery {
+		s.p99 = s.p99Of()
+		s.since = 0
+	}
+	h.mu.Unlock()
+}
+
+// Plan decides whether dev's next primary scan should be hedged: only
+// once dev has enough samples, at least one peer has samples, and dev's
+// p99 breaches twice the peers' merged p99. The hedge delay is the
+// peers' p99 floored at HedgeMin — the backup starts as soon as a
+// healthy device would have answered.
+func (h *hedger) Plan(dev int) (engine.Device, time.Duration, bool) {
+	h.mu.Lock()
+	s := h.devs[dev]
+	if s == nil || s.n < h.c.cfg.HedgeObservations {
+		h.mu.Unlock()
+		return nil, 0, false
+	}
+	own := s.p99
+	var peers time.Duration
+	seen := false
+	for d, ps := range h.devs {
+		if d == dev || ps.n < h.c.cfg.HedgeObservations {
+			continue
+		}
+		seen = true
+		if ps.p99 > peers {
+			peers = ps.p99
+		}
+	}
+	h.mu.Unlock()
+	if !seen || own <= 2*peers {
+		return nil, 0, false
+	}
+	after := peers
+	if after < h.c.cfg.HedgeMin {
+		after = h.c.cfg.HedgeMin
+	}
+	return h.backup(dev), after, true
+}
+
+// Hedged records that a backup request was actually launched.
+func (h *hedger) Hedged(dev int) {
+	h.c.mHedges.Inc()
+	h.c.mu.Lock()
+	h.c.hedges++
+	h.c.mu.Unlock()
+}
+
+// HedgeWon records a backup that beat its primary.
+func (h *hedger) HedgeWon(dev int) {
+	h.c.mHedgeWins.Inc()
+	h.c.mu.Lock()
+	h.c.hedgeWins++
+	h.c.mu.Unlock()
+}

@@ -1,0 +1,129 @@
+// Package retry is the adaptive retry layer behind the engine's
+// composable policy chain: exponential backoff with full jitter,
+// per-device circuit breakers with half-open probing, deadline-aware
+// retry budgets, and hedged requests against a backup device once a
+// device's p99 breaches its peers'. One Controller exists per backend;
+// it owns the breakers and the fxdist_resilience_* metrics, renders on
+// /debug/resilience (via internal/resilience), and hands the engine a
+// ready-made policy chain through Resilience.
+//
+// The FX distribution makes every device load-bearing for every query —
+// the paper's evenness guarantee means a single slow or dead device
+// gates the whole retrieval — so this layer is what keeps tail latency
+// and availability intact when devices misbehave.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config tunes one backend's resilience behaviour. The zero value gets
+// sensible defaults from Normalize; tests inject small thresholds.
+type Config struct {
+	// MaxAttempts bounds attempts per device slot per retrieval,
+	// replacements included (default 3; 1 disables retries).
+	MaxAttempts int
+	// BackoffBase is the cap of the first backoff interval; attempt n
+	// sleeps a full-jitter duration in [0, min(BackoffMax,
+	// BackoffBase<<(n-1))] (default 2ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff interval (default 250ms).
+	BackoffMax time.Duration
+	// Seed seeds the jitter and any other randomness; a fixed seed makes
+	// retry schedules reproducible (default 1).
+	Seed int64
+	// BreakerFailures is the consecutive primary-failure count that
+	// opens a device's circuit breaker; <= 0 disables breakers.
+	BreakerFailures int
+	// BreakerCooldown is how long an open breaker rejects attempts
+	// before letting one half-open probe through (default 2s).
+	BreakerCooldown time.Duration
+	// Hedge enables hedged requests (needs a backup device source).
+	Hedge bool
+	// HedgeMin floors the hedge delay so healthy jitter never triggers
+	// an immediate double-send (default 1ms).
+	HedgeMin time.Duration
+	// HedgeObservations is the per-device latency samples required
+	// before hedging can arm (default 8).
+	HedgeObservations int
+	// Partial enables graceful degradation: partial results with an
+	// error manifest instead of all-or-nothing failures.
+	Partial bool
+}
+
+// Normalize fills zero fields with the defaults.
+func (c Config) Normalize() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 2 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 250 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = time.Millisecond
+	}
+	if c.HedgeObservations <= 0 {
+		c.HedgeObservations = 8
+	}
+	return c
+}
+
+// Cooldown is an error carrying a server's load-shedding hint: the
+// sender is overloaded and asks not to be re-contacted for After (the
+// wire protocol's Retry-After). The budget policy honors After as the
+// minimum backoff before the next attempt. Match with errors.As.
+type Cooldown struct {
+	After time.Duration
+	Err   error
+}
+
+func (e *Cooldown) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+func (e *Cooldown) Unwrap() error { return e.Err }
+
+// ErrOpen marks an attempt vetoed by an open circuit breaker; match
+// with errors.Is. The budget policy never retries it (the breaker would
+// veto again), but a reroute policy still offers the device's backup.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// backoff computes the full-jitter exponential backoff for attempt n
+// (1-based): uniform in [0, min(max, base<<(n-1))]. Seeded and guarded
+// by the controller's mutex for reproducibility.
+type backoff struct {
+	base, max time.Duration
+	mu        sync.Mutex
+	rng       *rand.Rand
+}
+
+func newBackoff(base, max time.Duration, seed int64) *backoff {
+	return &backoff{base: base, max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (b *backoff) delay(attempt int) time.Duration {
+	cap := b.base
+	for i := 1; i < attempt && cap < b.max; i++ {
+		cap *= 2
+	}
+	if cap > b.max {
+		cap = b.max
+	}
+	b.mu.Lock()
+	d := time.Duration(b.rng.Int63n(int64(cap) + 1))
+	b.mu.Unlock()
+	return d
+}

@@ -1,0 +1,277 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"fxdist/internal/engine"
+)
+
+// fakeClock is a manually advanced time source for breaker cooldowns.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerFullCycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	var trans []string
+	b := NewBreaker(3, time.Second, clk.now, func(from, to State) {
+		trans = append(trans, fmt.Sprintf("%v->%v", from, to))
+	})
+
+	// Closed passes and absorbs sub-threshold failures.
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker vetoed attempt %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed || b.Consecutive() != 2 {
+		t.Fatalf("state=%v consecutive=%d, want closed/2", b.State(), b.Consecutive())
+	}
+
+	// Third consecutive failure opens it.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after threshold failures, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed an attempt: %v", err)
+	}
+
+	// Cooldown elapses: exactly one half-open probe passes.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe vetoed: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent half-open probe admitted")
+	}
+
+	// Probe failure re-opens immediately and restarts the cooldown.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state=%v after failed probe, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("re-opened breaker admitted an attempt before the new cooldown")
+	}
+
+	// Next cooldown, successful probe closes it.
+	clk.advance(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe vetoed: %v", err)
+	}
+	b.Success()
+	if b.State() != Closed || b.Consecutive() != 0 {
+		t.Fatalf("state=%v consecutive=%d after good probe, want closed/0", b.State(), b.Consecutive())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker vetoed: %v", err)
+	}
+
+	want := []string{
+		"closed->open", "open->half-open", "half-open->open",
+		"open->half-open", "half-open->closed",
+	}
+	if fmt.Sprint(trans) != fmt.Sprint(want) {
+		t.Errorf("transitions = %v, want %v", trans, want)
+	}
+}
+
+func TestBackoffBoundsAndDeterminism(t *testing.T) {
+	base, max := 2*time.Millisecond, 16*time.Millisecond
+	a := newBackoff(base, max, 42)
+	b := newBackoff(base, max, 42)
+	for attempt := 1; attempt <= 10; attempt++ {
+		cap := base << (attempt - 1)
+		if cap > max || cap <= 0 {
+			cap = max
+		}
+		da, db := a.delay(attempt), b.delay(attempt)
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+		if da < 0 || da > cap {
+			t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, da, cap)
+		}
+	}
+}
+
+func TestBudgetPolicy(t *testing.T) {
+	c := NewController("test-budget", Config{MaxAttempts: 3, BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond})
+	p := &budgetPolicy{c: c}
+	ctx := context.Background()
+	failed := errors.New("scan failed")
+
+	if dec := p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: failed}); !dec.Retry {
+		t.Fatal("budget declined a retryable first failure")
+	}
+	if dec := p.Failure(ctx, engine.Attempt{Device: 0, N: 3, Primary: true, Err: failed}); dec.Retry {
+		t.Fatal("budget retried past MaxAttempts")
+	}
+	if dec := p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: ErrOpen}); dec.Retry {
+		t.Fatal("budget retried a breaker veto")
+	}
+	if dec := p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: context.Canceled}); dec.Retry {
+		t.Fatal("budget retried after cancellation")
+	}
+
+	// A server Cooldown hint raises the backoff floor.
+	cd := &Cooldown{After: 50 * time.Millisecond, Err: failed}
+	if dec := p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: cd}); !dec.Retry || dec.Delay < cd.After {
+		t.Fatalf("cooldown hint not honored: retry=%v delay=%v", dec.Retry, dec.Delay)
+	}
+
+	// A retry that cannot finish before the deadline is declined.
+	dctx, cancel := context.WithDeadline(ctx, c.now().Add(time.Millisecond))
+	defer cancel()
+	if dec := p.Failure(dctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: cd}); dec.Retry {
+		t.Fatal("budget scheduled a retry past the caller's deadline")
+	}
+}
+
+func TestBreakerPolicyChargesOnlyPrimary(t *testing.T) {
+	c := NewController("test-charge", Config{BreakerFailures: 1, BreakerCooldown: time.Hour})
+	p := &breakerPolicy{c: c}
+	ctx := context.Background()
+
+	// Backup failures and breaker vetoes never charge the breaker.
+	p.Failure(ctx, engine.Attempt{Device: 0, N: 2, Primary: false, Err: errors.New("backup failed")})
+	p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: ErrOpen})
+	if err := p.Allow(ctx, 0); err != nil {
+		t.Fatalf("breaker charged by non-primary/veto failures: %v", err)
+	}
+
+	// One primary failure (threshold 1) opens it.
+	p.Failure(ctx, engine.Attempt{Device: 0, N: 1, Primary: true, Err: errors.New("real")})
+	if err := p.Allow(ctx, 0); !errors.Is(err, ErrOpen) {
+		t.Fatalf("breaker did not open: %v", err)
+	}
+
+	// Only primary successes reset.
+	p.Success(0, false, time.Millisecond)
+	if c.breaker(0).State() != Open {
+		t.Fatal("backup success closed the breaker")
+	}
+}
+
+func TestProbeDrivesRecovery(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	c := NewController("test-probe", Config{BreakerFailures: 1, BreakerCooldown: time.Second})
+	c.SetClock(clk.now)
+
+	c.breaker(0).Failure()
+	if c.breaker(0).State() != Open {
+		t.Fatal("breaker not open")
+	}
+
+	// Probe during cooldown is vetoed and must not run fn.
+	ran := false
+	c.Probe(0, func() error { ran = true; return nil })
+	if ran {
+		t.Fatal("probe ran while the breaker was cooling down")
+	}
+
+	// After the cooldown a failing probe re-opens, a good one closes.
+	clk.advance(time.Second)
+	c.Probe(0, func() error { return errors.New("still down") })
+	if c.breaker(0).State() != Open {
+		t.Fatal("failed probe left the breaker non-open")
+	}
+	clk.advance(time.Second)
+	c.Probe(0, func() error { return nil })
+	if c.breaker(0).State() != Closed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestHedgerOutlierGate(t *testing.T) {
+	c := NewController("test-hedge", Config{Hedge: true, HedgeMin: 2 * time.Millisecond, HedgeObservations: 4})
+	var backupAsked []int
+	h := c.newHedger(func(dev int) engine.Device {
+		backupAsked = append(backupAsked, dev)
+		return nil
+	})
+
+	// Too few samples: never hedge.
+	if _, _, ok := h.Plan(0); ok {
+		t.Fatal("hedged with no samples")
+	}
+
+	// Healthy peers at ~1ms, device 0 at 10ms.
+	for i := 0; i < 8; i++ {
+		h.Observe(0, 10*time.Millisecond, nil)
+		h.Observe(1, time.Millisecond, nil)
+		h.Observe(2, time.Millisecond, nil)
+	}
+	_, after, ok := h.Plan(0)
+	if !ok {
+		t.Fatal("outlier device not hedged")
+	}
+	// Delay = peers' p99 (1ms) floored at HedgeMin (2ms).
+	if after != 2*time.Millisecond {
+		t.Errorf("hedge delay = %v, want HedgeMin floor 2ms", after)
+	}
+	if len(backupAsked) != 1 || backupAsked[0] != 0 {
+		t.Errorf("backup source asked for %v, want [0]", backupAsked)
+	}
+
+	// A healthy device among healthy peers never hedges.
+	if _, _, ok := h.Plan(1); ok {
+		t.Fatal("healthy device hedged")
+	}
+
+	// Failures carry no latency sample: a failing-only device stays
+	// below the observation gate.
+	for i := 0; i < 8; i++ {
+		h.Observe(3, 50*time.Millisecond, errors.New("failed"))
+	}
+	if _, _, ok := h.Plan(3); ok {
+		t.Fatal("failure observations armed a hedge")
+	}
+}
+
+func TestControllerRegistryAndReport(t *testing.T) {
+	c := NewController("test-report", Config{BreakerFailures: 2, Partial: true})
+	if For("test-report") != c {
+		t.Fatal("For did not return the registered controller")
+	}
+	// Latest controller wins the backend label.
+	c2 := NewController("test-report", Config{})
+	if For("test-report") != c2 {
+		t.Fatal("registry did not replace on re-register")
+	}
+
+	c3 := NewController("test-report-2", Config{BreakerFailures: 1, BreakerCooldown: time.Hour})
+	c3.breaker(1).Failure()
+	c3.OnPartial(0.75, []int{1})
+	rep := c3.Report()
+	if rep.Backend != "test-report-2" || rep.Partials != 1 || rep.LastCoverage != 0.75 {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(rep.Breakers) != 1 || rep.Breakers[0].Device != 1 || rep.Breakers[0].State != "open" {
+		t.Errorf("breaker report = %+v", rep.Breakers)
+	}
+	if rep.Transitions["open"] != 1 {
+		t.Errorf("transitions = %v", rep.Transitions)
+	}
+
+	all := ReportAll()
+	found := 0
+	for _, r := range all {
+		if r.Backend == "test-report" || r.Backend == "test-report-2" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("ReportAll missing registered backends: %+v", all)
+	}
+}

@@ -75,7 +75,7 @@ func TestCheckDetectsHashMismatch(t *testing.T) {
 		t.Error("report claims OK despite mishashed records")
 	}
 	// With the right hash option, the check passes.
-	good, err := OpenDurable(dir, MainMemory, mkhash.WithHash(0, custom))
+	good, err := OpenDurable(dir, MainMemory, WithFileOptions(mkhash.WithHash(0, custom)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,22 +40,24 @@ type DurableCluster struct {
 
 // engineFor wires the cluster's per-device stores into the shared
 // retrieval executor.
-func (c *DurableCluster) engineFor(model CostModel) (*engine.Executor, error) {
+func (c *DurableCluster) engineFor(model CostModel, st *settings) (*engine.Executor, error) {
 	devices := make([]engine.Device, c.fs.M)
 	for dev := range devices {
 		devices[dev] = durDevice{c: c, dev: dev}
 	}
+	devices = st.wrap(devices)
 	return engine.New(engine.Config{
-		Schema:   c.schema,
-		FS:       c.fs,
-		Devices:  devices,
-		Model:    model,
-		Observer: engine.NewClusterMetrics("durable", c.fs.M),
-		Tracer:   obs.DefaultTracer(),
-		Span:     "storage.retrieve",
-		Audit:    audit.For("durable"),
-		Alloc:    c.alloc,
-		Plans:    plancache.New("durable"),
+		Schema:     c.schema,
+		FS:         c.fs,
+		Devices:    devices,
+		Model:      model,
+		Observer:   engine.NewClusterMetrics("durable", c.fs.M),
+		Tracer:     obs.DefaultTracer(),
+		Span:       "storage.retrieve",
+		Audit:      audit.For("durable"),
+		Alloc:      c.alloc,
+		Plans:      plancache.New("durable"),
+		Resilience: st.resilienceFor("durable", devices),
 	})
 }
 
@@ -102,11 +104,12 @@ func devicePath(dir string, dev int) string {
 // CreateDurable materialises file's buckets as per-device logs under dir
 // (which must exist and be empty of cluster files) and writes the
 // metadata snapshot. The allocator must match the file's directory sizes.
-func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*DurableCluster, error) {
+func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator, model CostModel, opts ...Option) (*DurableCluster, error) {
 	fs := alloc.FileSystem()
 	if err := checkAllocator(file, fs); err != nil {
 		return nil, err
 	}
+	st := newSettings(opts)
 	if _, err := os.Stat(filepath.Join(dir, metaName)); err == nil {
 		return nil, fmt.Errorf("storage: %s already holds a durable cluster", dir)
 	}
@@ -128,7 +131,7 @@ func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator
 		schema: schemaOnly,
 		stores: make([]*pagestore.Store, fs.M),
 	}
-	if c.eng, err = c.engineFor(model); err != nil {
+	if c.eng, err = c.engineFor(model, st); err != nil {
 		return nil, err
 	}
 	for dev := range c.stores {
@@ -165,9 +168,11 @@ func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator
 }
 
 // OpenDurable reopens a durable cluster created by CreateDurable. Files
-// built with custom field hashes must pass the same WithHash options.
-func OpenDurable(dir string, model CostModel, opts ...mkhash.Option) (*DurableCluster, error) {
-	schemaOnly, alloc, err := persist.LoadFile(filepath.Join(dir, metaName), opts...)
+// built with custom field hashes must pass the same WithHash options
+// via WithFileOptions.
+func OpenDurable(dir string, model CostModel, opts ...Option) (*DurableCluster, error) {
+	st := newSettings(opts)
+	schemaOnly, alloc, err := persist.LoadFile(filepath.Join(dir, metaName), st.fileOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +188,7 @@ func OpenDurable(dir string, model CostModel, opts ...mkhash.Option) (*DurableCl
 		schema: schemaOnly,
 		stores: make([]*pagestore.Store, fs.M),
 	}
-	if c.eng, err = c.engineFor(model); err != nil {
+	if c.eng, err = c.engineFor(model, st); err != nil {
 		return nil, err
 	}
 	for dev := range c.stores {

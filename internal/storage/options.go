@@ -1,0 +1,68 @@
+package storage
+
+import (
+	"fxdist/internal/engine"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/resilience"
+	"fxdist/internal/retry"
+)
+
+// Option configures a cluster constructor (NewCluster, NewReplicated,
+// CreateDurable, OpenDurable) beyond its required arguments.
+type Option func(*settings)
+
+type settings struct {
+	retry    *retry.Config
+	injector *resilience.Injector
+	fileOpts []mkhash.Option
+}
+
+func newSettings(opts []Option) *settings {
+	s := &settings{}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// WithRetry runs the cluster's retrievals under the adaptive retry
+// layer: per-device circuit breakers, backoff budgets, same-device
+// hedging, and (when cfg.Partial) graceful degraded results.
+func WithRetry(cfg retry.Config) Option {
+	return func(s *settings) { s.retry = &cfg }
+}
+
+// WithInjector fronts every device with a fault injector's schedule
+// (chaos testing the local backends at the engine Device seam).
+func WithInjector(in *resilience.Injector) Option {
+	return func(s *settings) { s.injector = in }
+}
+
+// WithFileOptions passes schema options (e.g. mkhash.WithHash) through
+// to OpenDurable's metadata load; other constructors ignore them.
+func WithFileOptions(opts ...mkhash.Option) Option {
+	return func(s *settings) { s.fileOpts = append(s.fileOpts, opts...) }
+}
+
+// wrap applies the injector (if any) in front of the device set.
+func (s *settings) wrap(devices []engine.Device) []engine.Device {
+	if s.injector == nil {
+		return devices
+	}
+	return s.injector.Wrap(devices)
+}
+
+// resilienceFor builds the engine's resilience bundle for one backend
+// label. Hedge backups re-dispatch the same device — a second
+// independent scan races the first; local backends hold no impersonable
+// backup copy (the replicated cluster's successor routes buckets by the
+// placement's Server decision, so asking it directly would answer the
+// wrong subset).
+func (s *settings) resilienceFor(backend string, devices []engine.Device) engine.Resilience {
+	if s.retry == nil {
+		return engine.Resilience{}
+	}
+	ctrl := retry.NewController(backend, *s.retry)
+	backup := func(dev int) engine.Device { return devices[dev] }
+	return ctrl.Resilience(nil, backup)
+}

@@ -32,11 +32,12 @@ type ReplicatedCluster struct {
 
 // NewReplicated distributes file's buckets over the allocator's devices
 // with primary and backup copies.
-func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode replica.Mode, model CostModel) (*ReplicatedCluster, error) {
+func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode replica.Mode, model CostModel, opts ...Option) (*ReplicatedCluster, error) {
 	fs := alloc.FileSystem()
 	if err := checkAllocator(file, fs); err != nil {
 		return nil, err
 	}
+	st := newSettings(opts)
 	c := &ReplicatedCluster{
 		file:      file,
 		fs:        fs,
@@ -58,17 +59,19 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 	for dev := range devices {
 		devices[dev] = replDevice{c: c, dev: dev}
 	}
+	devices = st.wrap(devices)
 	eng, err := engine.New(engine.Config{
-		Schema:   file,
-		FS:       fs,
-		Devices:  devices,
-		Model:    model,
-		Observer: engine.NewClusterMetrics("replicated", fs.M),
-		Tracer:   obs.DefaultTracer(),
-		Span:     "storage.retrieve",
-		Audit:    audit.For("replicated"),
-		Alloc:    alloc,
-		Plans:    plancache.New("replicated"),
+		Schema:     file,
+		FS:         fs,
+		Devices:    devices,
+		Model:      model,
+		Observer:   engine.NewClusterMetrics("replicated", fs.M),
+		Tracer:     obs.DefaultTracer(),
+		Span:       "storage.retrieve",
+		Audit:      audit.For("replicated"),
+		Alloc:      alloc,
+		Plans:      plancache.New("replicated"),
+		Resilience: st.resilienceFor("replicated", devices),
 	})
 	if err != nil {
 		return nil, err

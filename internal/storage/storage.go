@@ -75,11 +75,12 @@ func checkAllocator(file *mkhash.File, fs decluster.FileSystem) error {
 
 // NewCluster distributes file's buckets over the allocator's devices. The
 // allocator must be built for the file's current directory sizes.
-func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostModel) (*Cluster, error) {
+func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostModel, opts ...Option) (*Cluster, error) {
 	fs := alloc.FileSystem()
 	if err := checkAllocator(file, fs); err != nil {
 		return nil, err
 	}
+	st := newSettings(opts)
 	c := &Cluster{
 		file:  file,
 		fs:    fs,
@@ -99,17 +100,19 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 	for dev := range devices {
 		devices[dev] = memDevice{c: c, dev: dev}
 	}
+	devices = st.wrap(devices)
 	eng, err := engine.New(engine.Config{
-		Schema:   file,
-		FS:       fs,
-		Devices:  devices,
-		Model:    model,
-		Observer: engine.NewClusterMetrics("memory", fs.M),
-		Tracer:   obs.DefaultTracer(),
-		Span:     "storage.retrieve",
-		Audit:    audit.For("memory"),
-		Alloc:    alloc,
-		Plans:    plancache.New("memory"),
+		Schema:     file,
+		FS:         fs,
+		Devices:    devices,
+		Model:      model,
+		Observer:   engine.NewClusterMetrics("memory", fs.M),
+		Tracer:     obs.DefaultTracer(),
+		Span:       "storage.retrieve",
+		Audit:      audit.For("memory"),
+		Alloc:      alloc,
+		Plans:      plancache.New("memory"),
+		Resilience: st.resilienceFor("memory", devices),
 	})
 	if err != nil {
 		return nil, err

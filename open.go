@@ -8,6 +8,7 @@ import (
 	"fxdist/internal/audit"
 	"fxdist/internal/netdist"
 	"fxdist/internal/plancache"
+	"fxdist/internal/retry"
 	"fxdist/internal/storage"
 )
 
@@ -50,6 +51,39 @@ type openSettings struct {
 	shapeSLOs   map[string]LatencySLO
 	cacheSize   int // 0 = default, < 0 = disabled
 	fileOpts    []FileOption
+
+	// Resilience (see resilience.go for the options).
+	resilSet    bool
+	retryCfg    retry.Config
+	faultSet    bool
+	faultSeed   int64
+	faultScheds map[int]FaultSchedule
+	injector    *FaultInjector
+	probeEvery  time.Duration
+}
+
+// storageOpts lowers the resilience settings onto one local backend
+// kind (the kind names the controller and injector on
+// /debug/resilience).
+func (s *openSettings) storageOpts(kind string) []storage.Option {
+	var opts []storage.Option
+	if s.resilSet {
+		opts = append(opts, storage.WithRetry(s.retryCfg))
+	}
+	if in := s.buildInjector(kind); in != nil {
+		opts = append(opts, storage.WithInjector(in))
+	}
+	return opts
+}
+
+func (s *openSettings) buildInjector(kind string) *FaultInjector {
+	if s.injector != nil {
+		return s.injector
+	}
+	if s.faultSet {
+		return NewFaultInjector(kind, s.faultSeed, s.faultScheds)
+	}
+	return nil
 }
 
 // Option configures Open.
@@ -178,9 +212,18 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		if s.dialTimeout > 0 {
 			dialOpts = append(dialOpts, WithRequestTimeout(s.dialTimeout))
 		}
+		if s.resilSet {
+			dialOpts = append(dialOpts, netdist.WithResilience(s.retryCfg))
+		}
+		if in := s.buildInjector(KindNetdist); in != nil {
+			dialOpts = append(dialOpts, netdist.WithInjector(in))
+		}
 		coord, err := netdist.Dial(cfg.File, cfg.Addrs, dialOpts...)
 		if err != nil {
 			return nil, err
+		}
+		if s.probeEvery > 0 {
+			coord.StartHealthProbes(s.probeEvery)
 		}
 		c.kind, c.coord, c.failover = KindNetdist, coord, s.failover
 
@@ -192,13 +235,14 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 			if cfg.Allocator == nil {
 				return nil, errors.New("fxdist: creating a durable cluster needs Config.Allocator")
 			}
-			dur, err := storage.CreateDurable(cfg.Dir, cfg.File, cfg.Allocator, model)
+			dur, err := storage.CreateDurable(cfg.Dir, cfg.File, cfg.Allocator, model, s.storageOpts(KindDurable)...)
 			if err != nil {
 				return nil, err
 			}
 			c.kind, c.dur = KindDurable, dur
 		} else {
-			dur, err := storage.OpenDurable(cfg.Dir, model, s.fileOpts...)
+			sopts := append(s.storageOpts(KindDurable), storage.WithFileOptions(s.fileOpts...))
+			dur, err := storage.OpenDurable(cfg.Dir, model, sopts...)
 			if err != nil {
 				return nil, err
 			}
@@ -209,7 +253,7 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		if cfg.File == nil || cfg.Allocator == nil {
 			return nil, errors.New("fxdist: the replicated backend needs Config.File and Config.Allocator")
 		}
-		repl, err := storage.NewReplicated(cfg.File, cfg.Allocator, s.replicaMode, model)
+		repl, err := storage.NewReplicated(cfg.File, cfg.Allocator, s.replicaMode, model, s.storageOpts(KindReplicated)...)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +263,7 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		if cfg.File == nil || cfg.Allocator == nil {
 			return nil, errors.New("fxdist: the in-memory backend needs Config.File and Config.Allocator")
 		}
-		mem, err := storage.NewCluster(cfg.File, cfg.Allocator, model)
+		mem, err := storage.NewCluster(cfg.File, cfg.Allocator, model, s.storageOpts(KindMemory)...)
 		if err != nil {
 			return nil, err
 		}
@@ -307,10 +351,9 @@ func (c *Cluster) RetrieveContext(ctx context.Context, pm PartialMatch) (Retriev
 		} else {
 			res, err = c.coord.RetrieveContext(ctx, pm)
 		}
-		if err != nil {
-			return RetrieveResult{}, err
-		}
-		return fromDistributed(res), nil
+		// A degraded retrieval (WithPartialResults) carries the surviving
+		// devices' answer alongside its PartialResult error.
+		return fromDistributed(res), err
 	}
 }
 
