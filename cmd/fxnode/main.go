@@ -119,7 +119,10 @@ func runQuery(args []string) error {
 	timeout := fs.Duration("timeout", 0, "overall retrieval deadline (0 waits indefinitely)")
 	slo := fs.Duration("slo", 0, "latency objective per query shape (0 disables SLO tracking)")
 	sloGoal := fs.Float64("slo-goal", 0.99, "fraction of queries that must meet -slo")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality and /debug/pprof/ on this address")
+	profileDir := fs.String("profile-dir", "", "spool triggered pprof captures into this directory (enables triggered profiling)")
+	profileBurn := fs.Float64("profile-burn", 0, "SLO burn rate that triggers a pprof capture (0 disables the burn trigger)")
+	profileLatency := fs.Duration("profile-latency", 0, "single-query latency that triggers a pprof capture (0 disables the latency trigger)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality, /debug/hotpath, /debug/flight, /debug/profiles and /debug/pprof/ on this address")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -153,6 +156,23 @@ func runQuery(args []string) error {
 	var opts []fxdist.Option
 	if *slo > 0 {
 		opts = append(opts, fxdist.WithLatencySLO(*slo, *sloGoal))
+	}
+	if *profileDir != "" || *profileBurn > 0 || *profileLatency > 0 {
+		fxdist.EnableTriggeredProfiling(fxdist.TriggeredProfilingConfig{
+			Dir:              *profileDir,
+			BurnThreshold:    *profileBurn,
+			LatencyThreshold: *profileLatency,
+		})
+		defer func() {
+			for _, cap := range fxdist.DisableTriggeredProfiling() {
+				if cap.Err != "" {
+					fmt.Printf("profile capture %s/%s (%s): %s\n", cap.Backend, cap.Shape, cap.Reason, cap.Err)
+					continue
+				}
+				fmt.Printf("profile capture %s/%s (%s): %s %s\n",
+					cap.Backend, cap.Shape, cap.Reason, cap.CPUFile, cap.HeapFile)
+			}
+		}()
 	}
 	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: strings.Split(*addrsArg, ",")}, opts...)
 	if err != nil {

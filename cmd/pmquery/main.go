@@ -10,6 +10,7 @@
 //	pmquery -method modulo -model disk
 //	pmquery -queries 64 -batch
 //	pmquery -queries 3 -explain
+//	pmquery -queries 50 -flight
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fxdist"
 )
@@ -32,8 +34,9 @@ func main() {
 	model := flag.String("model", "memory", "device model: memory or disk")
 	seed := flag.Int64("seed", 1988, "workload seed")
 	batch := flag.Bool("batch", false, "submit the whole workload as one RetrieveBatch instead of one query at a time")
-	explain := flag.Bool("explain", false, "print the span tree and per-device optimality verdict for each query")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality and /debug/pprof/ on this address while the workload runs")
+	explain := flag.Bool("explain", false, "print the span tree, stage cost breakdown and per-device optimality verdict for each query")
+	flight := flag.Bool("flight", false, "after the workload, dump the slow-query flight recorder (slowest retained queries per shape)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces, /debug/optimality, /debug/hotpath, /debug/flight and /debug/pprof/ on this address while the workload runs")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -134,6 +137,11 @@ func main() {
 		}
 	}
 	fmt.Printf("\navg response %.6fs, worst %.6fs\n", total/float64(len(pms)), worst)
+
+	if *flight {
+		fmt.Println()
+		fxdist.WriteFlightReport(os.Stdout, fxdist.FlightReport())
+	}
 }
 
 // explainResult prints one query's per-device optimality verdict against
@@ -156,6 +164,7 @@ func explainResult(file *fxdist.File, fs fxdist.FileSystem, pm fxdist.PartialMat
 		}
 		fmt.Printf("    device %-3d buckets=%-5d %s\n", d, b, verdict)
 	}
+	printStages(res, "    ")
 	if res.TraceID == 0 {
 		return
 	}
@@ -167,6 +176,34 @@ func explainResult(file *fxdist.File, fs fxdist.FileSystem, pm fxdist.PartialMat
 		}
 	}
 	fmt.Printf("    trace %d: evicted from trace ring\n", res.TraceID)
+}
+
+// printStages renders the query's cost breakdown: wall time, bytes and
+// heap objects per stage, with each top-level stage's share of the
+// whole-query latency.
+func printStages(res fxdist.RetrieveResult, indent string) {
+	if len(res.Stages) == 0 {
+		return
+	}
+	var total time.Duration
+	for _, s := range res.Stages {
+		switch s.Stage {
+		case fxdist.StagePlan, fxdist.StageFanout, fxdist.StageMerge, fxdist.StageAudit:
+			total += s.Wall
+		}
+	}
+	fmt.Printf("%sstages:\n", indent)
+	for _, s := range res.Stages {
+		frac := ""
+		if total > 0 {
+			switch s.Stage {
+			case fxdist.StagePlan, fxdist.StageFanout, fxdist.StageMerge, fxdist.StageAudit:
+				frac = fmt.Sprintf(" (%4.1f%%)", 100*float64(s.Wall)/float64(total))
+			}
+		}
+		fmt.Printf("%s  %-12s %10v%s  bytes=%-8d objects=%d\n",
+			indent, s.Stage, s.Wall, frac, s.Bytes, s.Objects)
+	}
 }
 
 func printTree(t fxdist.TraceTree, indent string) {

@@ -1,3 +1,4 @@
+//lint:file-ignore SA1019 this file deliberately exercises the deprecated constructors
 package fxdist_test
 
 import (

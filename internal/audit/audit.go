@@ -140,6 +140,7 @@ func (a *Auditor) sloFor(shape string) SLO {
 // the engine executor's audit hook.
 func (a *Auditor) RetrievalDone(q query.Query, rq int, deviceBuckets []int, elapsed time.Duration) {
 	shape := ShapeOf(q)
+	burn := 0.0
 	a.mu.Lock()
 	st := a.state(shape)
 	st.queries++
@@ -193,9 +194,14 @@ func (a *Auditor) RetrievalDone(q query.Query, rq int, deviceBuckets []int, elap
 		if budget <= 0 {
 			budget = 1e-9 // goal of 1.0: any miss burns "infinitely" fast
 		}
-		st.mBurn.Set((float64(st.wbad) / float64(st.wlen)) / budget)
+		burn = (float64(st.wbad) / float64(st.wlen)) / budget
+		st.mBurn.Set(burn)
 	}
 	a.mu.Unlock()
+	// Outside the lock: the triggered-profiling hook may kick off an
+	// async pprof capture when the shape's burn rate or this query's
+	// latency crosses a configured threshold (no-op when off).
+	obs.ConsiderProfile(a.backend, shape, elapsed, burn)
 }
 
 // Backend returns the backend label this auditor reports under.

@@ -1,8 +1,8 @@
 package audit
 
 import (
-	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -14,24 +14,16 @@ func init() {
 }
 
 // Handler serves the optimality report of every registered auditor:
-// JSON by default, a human-readable per-shape table with
-// ?format=text. Mounted as /debug/optimality on every obs.Handler.
+// JSON by default, a human-readable per-shape table with ?format=text.
+// Mounted as /debug/optimality on every obs.Handler.
 func Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		reps := Report()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			writeText(w, reps)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(reps) //nolint:errcheck // client gone
-	})
+	return obs.DebugEndpoint(
+		func() (any, error) { return Report(), nil },
+		func(w io.Writer, doc any) { writeText(w, doc.([]BackendReport)) },
+	)
 }
 
-func writeText(w http.ResponseWriter, reps []BackendReport) {
+func writeText(w io.Writer, reps []BackendReport) {
 	if len(reps) == 0 {
 		fmt.Fprintln(w, "no retrievals audited yet")
 		return

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"fxdist/internal/mkhash"
+	"fxdist/internal/obs"
 	"fxdist/internal/query"
 )
 
@@ -101,6 +102,11 @@ type Result struct {
 	TotalWork time.Duration
 	// LargestResponseSize is max(DeviceBuckets), the paper's metric.
 	LargestResponseSize int
+	// Stages is the retrieval's cost-attribution breakdown (plan,
+	// fanout, merge, audit, plus an aggregated device.scan sample),
+	// populated when the executor has a cost profiler or flight
+	// recorder attached; nil otherwise.
+	Stages []obs.StageSample
 }
 
 // AccumulateCost folds per-device service times and qualified-bucket

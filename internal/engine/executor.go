@@ -73,6 +73,12 @@ type Config struct {
 	// and (with Alloc set) the per-device enumeration. Nil or disabled
 	// runs the uncached path.
 	Plans *plancache.Cache
+	// Profile, if set, receives every retrieval's per-stage cost
+	// breakdown (wall time + alloc deltas), aggregated by query shape.
+	Profile *obs.CostProfiler
+	// Flight, if set, retains the slowest queries per shape with their
+	// full stage breakdown and per-device detail.
+	Flight *obs.FlightRecorder
 }
 
 // Executor is the single retrieval code path shared by every backend:
@@ -91,6 +97,8 @@ type Executor struct {
 	audit  Auditor
 	alloc  decluster.GroupAllocator
 	plans  *plancache.Cache
+	prof   *obs.CostProfiler
+	flight *obs.FlightRecorder
 	pool   *pool
 }
 
@@ -122,6 +130,8 @@ func New(cfg Config) (*Executor, error) {
 		audit:  cfg.Audit,
 		alloc:  cfg.Alloc,
 		plans:  cfg.Plans,
+		prof:   cfg.Profile,
+		flight: cfg.Flight,
 		pool:   newPool(workers),
 	}, nil
 }
@@ -219,29 +229,29 @@ func (e *Executor) compile(q query.Query) (*plancache.Plan, error) {
 	return plancache.Summary(q, e.numQualified(q), len(e.devs)), nil
 }
 
-// planFor returns q's retrieval plan, from the cache when enabled. A
-// cache hit skips validation entirely — sound because engine queries
-// come from Schema.BucketQuery, which only produces in-range values,
-// and the cache key's allocator identity pins the plan to this
-// executor's allocator.
-func (e *Executor) planFor(q query.Query) (*plancache.Plan, error) {
+// planFor returns q's retrieval plan, from the cache when enabled, and
+// whether it was a cache hit. A cache hit skips validation entirely —
+// sound because engine queries come from Schema.BucketQuery, which only
+// produces in-range values, and the cache key's allocator identity pins
+// the plan to this executor's allocator.
+func (e *Executor) planFor(q query.Query) (*plancache.Plan, bool, error) {
 	if e.plans != nil && e.plans.Enabled() {
 		var owner any = e.schema
 		if e.alloc != nil {
 			owner = e.alloc
 		}
 		key := plancache.Key{Owner: plancache.IdentityOf(owner), Shape: q.Shape()}
-		p, _, err := e.plans.Get(key, func() (*plancache.Plan, error) { return e.compile(q) })
-		return p, err
+		p, hit, err := e.plans.Get(key, func() (*plancache.Plan, error) { return e.compile(q) })
+		return p, hit, err
 	}
 	// Uncached path: per-retrieval validation and |R(q)|, exactly the
 	// pre-cache behaviour; the summary plan never reaches devices.
 	if e.fs.M > 0 {
 		if err := q.Validate(e.fs); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 	}
-	return plancache.Summary(q, e.numQualified(q), len(e.devs)), nil
+	return plancache.Summary(q, e.numQualified(q), len(e.devs)), false, nil
 }
 
 // planKey carries the retrieval's compiled plan through the context so
@@ -277,13 +287,73 @@ type call struct {
 	errs    []error
 	pending atomic.Int64
 	done    chan struct{}
+
+	// Cost-attribution state, populated only when the executor has a
+	// profiler or flight recorder (instr true). started is the
+	// retrieval's entry time (plan stage included, unlike t0 which marks
+	// fan-out start); mark/lastStamp walk the alloc counter and clock
+	// from stage boundary to stage boundary.
+	instr     bool
+	started   time.Time
+	shape     string
+	planHit   bool
+	planWall  time.Duration
+	planAlloc obs.AllocStat
+	mark      obs.AllocStat
+	lastStamp time.Time
+
+	fanoutWall  time.Duration
+	fanoutAlloc obs.AllocStat
+	mergeWall   time.Duration
+	mergeAlloc  obs.AllocStat
+	devDur      []time.Duration
+	stages      []obs.StageSample
+}
+
+// stampFanout closes the fanout stage (fan-out start → last device
+// answer); no-op on uninstrumented calls.
+func (c *call) stampFanout() {
+	if !c.instr {
+		return
+	}
+	now := time.Now()
+	c.fanoutWall = now.Sub(c.t0)
+	a := obs.ReadAllocs()
+	c.fanoutAlloc = a.Sub(c.mark)
+	c.mark = a
+	c.lastStamp = now
+}
+
+// stampMerge closes the merge stage (answer consolidation, including
+// failure triage and degraded merges); no-op on uninstrumented calls.
+func (c *call) stampMerge() {
+	if !c.instr {
+		return
+	}
+	now := time.Now()
+	c.mergeWall = now.Sub(c.lastStamp)
+	a := obs.ReadAllocs()
+	c.mergeAlloc = a.Sub(c.mark)
+	c.mark = a
+	c.lastStamp = now
+}
+
+// callInstr carries the plan-stage measurements from the retrieval
+// entry point into launch when cost attribution is on.
+type callInstr struct {
+	started   time.Time
+	planHit   bool
+	planWall  time.Duration
+	planAlloc obs.AllocStat
+	mark      obs.AllocStat
 }
 
 // launch starts the fan-out for one planned query and returns without
 // waiting: every device's scan is queued on the shared pool. The plan's
 // |R(q)| feeds the audit; its tuple groups (when compiled) travel to
-// the devices via the context.
-func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Plan, pm mkhash.PartialMatch) *call {
+// the devices via the context. ci, when non-nil, turns on per-stage
+// cost attribution for this call.
+func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Plan, pm mkhash.PartialMatch, ci *callInstr) *call {
 	m := len(e.devs)
 	c := &call{
 		t0:      time.Now(),
@@ -292,6 +362,16 @@ func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Pl
 		answers: make([]Answer, m),
 		errs:    make([]error, m),
 		done:    make(chan struct{}),
+	}
+	if ci != nil {
+		c.instr = true
+		c.started = ci.started
+		c.shape = q.Shape()
+		c.planHit = ci.planHit
+		c.planWall = ci.planWall
+		c.planAlloc = ci.planAlloc
+		c.mark = ci.mark
+		c.devDur = make([]time.Duration, m)
 	}
 	if e.tracer != nil && e.span != "" {
 		c.span = e.tracer.Start(e.span)
@@ -311,6 +391,12 @@ func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Pl
 				c.errs[dev] = err
 				return
 			}
+			if c.instr {
+				start := time.Now()
+				c.answers[dev], c.errs[dev] = e.scanDevice(ctx, dev, q, pm)
+				c.devDur[dev] = time.Since(start)
+				return
+			}
 			c.answers[dev], c.errs[dev] = e.scanDevice(ctx, dev, q, pm)
 		})
 	}
@@ -327,6 +413,15 @@ func (e *Executor) wait(ctx context.Context, c *call) (Result, error) {
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
+	c.stampFanout()
+	res, err := e.consolidate(ctx, c)
+	c.stampMerge()
+	return res, err
+}
+
+// consolidate turns the call's per-device answers into one Result:
+// failure triage, graceful degradation, or the plain merge.
+func (e *Executor) consolidate(ctx context.Context, c *call) (Result, error) {
 	var failures []error
 	for dev, err := range c.errs {
 		if err != nil {
@@ -401,7 +496,9 @@ func (e *Executor) degrade(c *call) (Result, error) {
 }
 
 // finish closes the call's span, audits the retrieval against the
-// strict-optimality bound, and reports it to the observer.
+// strict-optimality bound, reports it to the observer, and — when cost
+// attribution is on — records the stage breakdown with the profiler and
+// flight recorder.
 func (e *Executor) finish(c *call, res Result, err error) {
 	if c.span != nil {
 		if err != nil {
@@ -410,6 +507,11 @@ func (e *Executor) finish(c *call, res Result, err error) {
 		c.span.End()
 	}
 	elapsed := time.Since(c.t0)
+	if c.instr && c.lastStamp.IsZero() {
+		// Cancelled before the fan-out completed: open the audit stage
+		// here so record still sees consistent marks.
+		c.lastStamp = time.Now()
+	}
 	if e.audit != nil {
 		if err != nil {
 			e.audit.RetrievalDone(c.q, c.rq, nil, elapsed)
@@ -417,15 +519,70 @@ func (e *Executor) finish(c *call, res Result, err error) {
 			e.audit.RetrievalDone(c.q, c.rq, res.DeviceBuckets, elapsed)
 		}
 	}
-	if e.obs == nil {
+	if e.obs != nil {
+		if err != nil {
+			e.obs.RetrieveError()
+			e.obs.RetrieveDone(elapsed, nil)
+		} else {
+			e.obs.RetrieveDone(elapsed, res.DeviceBuckets)
+		}
+	}
+	if c.instr {
+		e.record(c, err)
+	}
+}
+
+// record closes the audit stage, hands the completed stage breakdown to
+// the profiler, and offers the query to the flight recorder.
+func (e *Executor) record(c *call, err error) {
+	now := time.Now()
+	auditWall := now.Sub(c.lastStamp)
+	a := obs.ReadAllocs()
+	auditAlloc := a.Sub(c.mark)
+	total := now.Sub(c.started)
+	var devSum time.Duration
+	for _, d := range c.devDur {
+		devSum += d
+	}
+	c.stages = []obs.StageSample{
+		{Stage: obs.StagePlan, Wall: c.planWall, Bytes: c.planAlloc.Bytes, Objects: c.planAlloc.Objects},
+		{Stage: obs.StageFanout, Wall: c.fanoutWall, Bytes: c.fanoutAlloc.Bytes, Objects: c.fanoutAlloc.Objects},
+		{Stage: obs.StageMerge, Wall: c.mergeWall, Bytes: c.mergeAlloc.Bytes, Objects: c.mergeAlloc.Objects},
+		{Stage: obs.StageAudit, Wall: auditWall, Bytes: auditAlloc.Bytes, Objects: auditAlloc.Objects},
+		{Stage: obs.StageDeviceScan, Wall: devSum},
+	}
+	e.prof.ObserveQuery(c.shape, total, c.stages)
+	if !e.flight.Admits(c.shape, total) {
 		return
+	}
+	m := len(c.answers)
+	bound := 0
+	if m > 0 {
+		bound = (c.rq + m - 1) / m
+	}
+	rec := obs.FlightRecord{
+		Shape:        c.shape,
+		TraceID:      c.span.Trace(),
+		Start:        c.started,
+		Elapsed:      total,
+		PlanCacheHit: c.planHit,
+		RQ:           c.rq,
+		Bound:        bound,
+		Stages:       c.stages,
+		Devices:      make([]obs.FlightDevice, m),
+		Events:       c.span.Snapshot().Events,
 	}
 	if err != nil {
-		e.obs.RetrieveError()
-		e.obs.RetrieveDone(elapsed, nil)
-		return
+		rec.Err = err.Error()
 	}
-	e.obs.RetrieveDone(elapsed, res.DeviceBuckets)
+	for dev := 0; dev < m; dev++ {
+		fd := obs.FlightDevice{Device: dev, Buckets: c.answers[dev].Buckets, Scan: c.devDur[dev]}
+		if c.errs[dev] != nil {
+			fd.Err = c.errs[dev].Error()
+		}
+		rec.Devices[dev] = fd
+	}
+	e.flight.Note(rec)
 }
 
 // seal stamps the call's trace ID onto the result and, on failure, wraps
@@ -433,6 +590,7 @@ func (e *Executor) finish(c *call, res Result, err error) {
 func (c *call) seal(res Result, err error) (Result, error) {
 	tid := c.span.Trace()
 	res.TraceID = tid
+	res.Stages = c.stages
 	if err != nil {
 		if pe, ok := err.(*PartialError); ok {
 			pe.Res.TraceID = tid
@@ -460,18 +618,28 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 	if e.obs != nil {
 		e.obs.RetrieveStarted()
 	}
+	instr := e.prof != nil || e.flight != nil
 	t0 := time.Now()
+	var a0 obs.AllocStat
+	if instr {
+		a0 = obs.ReadAllocs()
+	}
 	q, err := e.lower(pm)
 	if err != nil {
 		e.planFailed(t0)
 		return Result{}, err
 	}
-	plan, err := e.planFor(q)
+	plan, hit, err := e.planFor(q)
 	if err != nil {
 		e.planFailed(t0)
 		return Result{}, err
 	}
-	c := e.launch(ctx, q, plan, pm)
+	var ci *callInstr
+	if instr {
+		a1 := obs.ReadAllocs()
+		ci = &callInstr{started: t0, planHit: hit, planWall: time.Since(t0), planAlloc: a1.Sub(a0), mark: a1}
+	}
+	c := e.launch(ctx, q, plan, pm, ci)
 	res, err := e.wait(ctx, c)
 	e.finish(c, res, err)
 	return c.seal(res, err)
@@ -489,24 +657,34 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 	results := make([]Result, len(pms))
 	errs := make([]error, len(pms))
 	calls := make([]*call, len(pms))
+	instr := e.prof != nil || e.flight != nil
 	for i, pm := range pms {
 		if e.obs != nil {
 			e.obs.RetrieveStarted()
 		}
 		t0 := time.Now()
+		var a0 obs.AllocStat
+		if instr {
+			a0 = obs.ReadAllocs()
+		}
 		q, err := e.lower(pm)
 		if err != nil {
 			errs[i] = err
 			e.planFailed(t0)
 			continue
 		}
-		plan, err := e.planFor(q)
+		plan, hit, err := e.planFor(q)
 		if err != nil {
 			errs[i] = err
 			e.planFailed(t0)
 			continue
 		}
-		calls[i] = e.launch(ctx, q, plan, pm)
+		var ci *callInstr
+		if instr {
+			a1 := obs.ReadAllocs()
+			ci = &callInstr{started: t0, planHit: hit, planWall: time.Since(t0), planAlloc: a1.Sub(a0), mark: a1}
+		}
+		calls[i] = e.launch(ctx, q, plan, pm, ci)
 	}
 	for i, c := range calls {
 		if c == nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -55,6 +56,60 @@ func (e *DeviceError) Error() string {
 
 func (e *DeviceError) Unwrap() error { return e.Err }
 
+// countingWriter counts wire bytes out. Writes are serialised by the
+// connection's writeMu, so callers may read n around an Encode to
+// attribute the delta to one request.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+// timingReader wraps the connection under the read loop's gob decoder,
+// stamping when the first byte of each armed message arrives and
+// counting bytes read. Only the read-loop goroutine touches it. gob
+// buffers reads, so a message may decode without any underlying Read
+// (armed stays true) — the read loop then falls back to the arm time.
+type timingReader struct {
+	r         io.Reader
+	armed     bool
+	armedAt   time.Time
+	firstByte time.Time
+	n         uint64
+}
+
+func (t *timingReader) arm() {
+	t.armed = true
+	t.armedAt = time.Now()
+	t.n = 0
+}
+
+func (t *timingReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		if t.armed {
+			t.firstByte = time.Now()
+			t.armed = false
+		}
+		t.n += uint64(n)
+	}
+	return n, err
+}
+
+// wireDelivery is one demultiplexed response plus the read loop's
+// timing evidence for it.
+type wireDelivery struct {
+	resp      Response
+	firstByte time.Time
+	decode    time.Duration
+	bytes     uint64
+}
+
 // deviceConn is one persistent connection with pipelined request/response
 // framing: many requests may be in flight concurrently, matched to
 // waiters by request ID. A single reader goroutine demultiplexes
@@ -65,28 +120,33 @@ type deviceConn struct {
 
 	writeMu sync.Mutex
 	enc     *gob.Encoder
+	cw      *countingWriter
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan Response
+	pending map[uint64]chan wireDelivery
 	err     error // sticky transport error; set once the reader exits
 }
 
 func newDeviceConn(conn net.Conn, addr string) *deviceConn {
+	cw := &countingWriter{w: conn}
 	dc := &deviceConn{
 		conn:    conn,
 		addr:    addr,
-		enc:     gob.NewEncoder(conn),
-		pending: make(map[uint64]chan Response),
+		enc:     gob.NewEncoder(cw),
+		cw:      cw,
+		pending: make(map[uint64]chan wireDelivery),
 	}
-	go dc.readLoop(gob.NewDecoder(conn))
+	tr := &timingReader{r: conn}
+	go dc.readLoop(gob.NewDecoder(tr), tr)
 	return dc
 }
 
 // readLoop dispatches responses to their waiters until the connection
 // dies, then fails every pending and future request.
-func (dc *deviceConn) readLoop(dec *gob.Decoder) {
+func (dc *deviceConn) readLoop(dec *gob.Decoder, tr *timingReader) {
 	for {
+		tr.arm()
 		var resp Response
 		if err := dec.Decode(&resp); err != nil {
 			dc.mu.Lock()
@@ -100,6 +160,14 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 			dc.mu.Unlock()
 			return
 		}
+		d := wireDelivery{resp: resp, firstByte: tr.firstByte, bytes: tr.n}
+		if tr.armed {
+			// Fully buffered message: no Read happened, the bytes were
+			// already here when we armed.
+			d.firstByte = tr.armedAt
+			d.bytes = 0
+		}
+		d.decode = time.Since(d.firstByte)
 		dc.mu.Lock()
 		ch, ok := dc.pending[resp.ID]
 		if ok {
@@ -107,7 +175,7 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder) {
 		}
 		dc.mu.Unlock()
 		if ok {
-			ch <- resp
+			ch <- d
 		}
 	}
 }
@@ -121,14 +189,28 @@ func (dc *deviceConn) dead() error {
 	return dc.err
 }
 
+// WireStages breaks one round trip into the coordinator-side wire
+// stages: Dispatch (request encode + write; OutBytes on the wire),
+// Wait (write done → first response byte), Decode (first byte → gob
+// decode done; InBytes on the wire).
+type WireStages struct {
+	Dispatch time.Duration
+	OutBytes uint64
+	Wait     time.Duration
+	Decode   time.Duration
+	InBytes  uint64
+}
+
 // roundTrip sends req and waits for its response, returning the wire
-// request id it assigned (0 when the connection was already dead). The
-// per-request timeout composes with the caller's context deadline —
-// whichever expires first wins — and a coordinator-side expiry surfaces
-// as ErrTimeout wrapping context.DeadlineExceeded, so both errors.Is
-// checks hold. Cancelling ctx abandons the wait (the response, if it
-// ever arrives, is discarded by the read loop).
-func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, error) {
+// request id it assigned (0 when the connection was already dead) and
+// the round trip's wire-stage timings. The per-request timeout composes
+// with the caller's context deadline — whichever expires first wins —
+// and a coordinator-side expiry surfaces as ErrTimeout wrapping
+// context.DeadlineExceeded, so both errors.Is checks hold. Cancelling
+// ctx abandons the wait (the response, if it ever arrives, is discarded
+// by the read loop).
+func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, WireStages, error) {
+	var ws WireStages
 	if timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeoutCause(ctx, timeout,
@@ -139,40 +221,50 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 	if dc.err != nil {
 		err := dc.err
 		dc.mu.Unlock()
-		return Response{}, 0, err
+		return Response{}, 0, ws, err
 	}
 	dc.nextID++
 	req.ID = dc.nextID
-	ch := make(chan Response, 1)
+	ch := make(chan wireDelivery, 1)
 	dc.pending[req.ID] = ch
 	dc.mu.Unlock()
 
 	dc.writeMu.Lock()
+	t0 := time.Now()
+	out0 := dc.cw.n
 	err := dc.enc.Encode(&req)
+	ws.OutBytes = dc.cw.n - out0
 	dc.writeMu.Unlock()
+	writeDone := time.Now()
+	ws.Dispatch = writeDone.Sub(t0)
 	if err != nil {
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
-		return Response{}, req.ID, err
+		return Response{}, req.ID, ws, err
 	}
 
 	select {
-	case resp, ok := <-ch:
+	case d, ok := <-ch:
 		if !ok {
 			dc.mu.Lock()
 			err := dc.err
 			dc.mu.Unlock()
-			return Response{}, req.ID, err
+			return Response{}, req.ID, ws, err
 		}
-		return resp, req.ID, nil
+		if w := d.firstByte.Sub(writeDone); w > 0 {
+			ws.Wait = w
+		}
+		ws.Decode = d.decode
+		ws.InBytes = d.bytes
+		return d.resp, req.ID, ws, nil
 	case <-ctx.Done():
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
 		// Cause distinguishes our per-request timeout (ErrTimeout chain)
 		// from the caller's own deadline or cancellation.
-		return Response{}, req.ID, context.Cause(ctx)
+		return Response{}, req.ID, ws, context.Cause(ctx)
 	}
 }
 
@@ -189,6 +281,7 @@ type Coordinator struct {
 	timeout time.Duration
 	eng     *engine.Executor
 	feng    *engine.Executor
+	prof    *obs.CostProfiler
 
 	// connMu guards conns so the health prober can replace a dead
 	// connection while retrievals are in flight.
@@ -232,7 +325,7 @@ func WithInjector(in *resilience.Injector) DialOption {
 // The file provides the schema and hash functions used to lower value
 // queries to bucket coordinates — it can be empty of records.
 func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, error) {
-	c := &Coordinator{file: file, tracer: obs.DefaultTracer()}
+	c := &Coordinator{file: file, tracer: obs.DefaultTracer(), prof: obs.CostProfilerFor("netdist")}
 	for _, opt := range opts {
 		opt(c)
 	}
@@ -261,6 +354,8 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		Span:     "netdist.retrieve",
 		Audit:    audit.For("netdist"),
 		Plans:    plancache.New("netdist"),
+		Profile:  c.prof,
+		Flight:   obs.FlightRecorderFor("netdist"),
 	})
 	if err != nil {
 		c.Close()
@@ -348,7 +443,7 @@ func (c *Coordinator) probeAll() {
 		ping := func() error {
 			ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
 			defer cancel()
-			_, _, err := dc.roundTrip(ctx, Request{Ping: true, AsDevice: -1}, c.timeout)
+			_, _, _, err := dc.roundTrip(ctx, Request{Ping: true, AsDevice: -1}, c.timeout)
 			return err
 		}
 		if c.ctrl != nil {
@@ -394,7 +489,7 @@ func (d *remoteDevice) Scan(ctx context.Context, q query.Query, pm mkhash.Partia
 	if span := engine.SpanFromContext(ctx); span != nil {
 		req.TraceID, req.ParentSpan = span.Trace(), span.SpanID()
 	}
-	resp, err := d.c.ask(ctx, d.server, req)
+	resp, err := d.c.ask(ctx, d.server, req, q.Shape())
 	if err != nil {
 		return engine.Answer{}, err
 	}
@@ -448,8 +543,10 @@ func (c *Coordinator) M() int { return len(c.conns) }
 // ask runs one instrumented round trip against device dev's server,
 // classifying errors into the per-device counters and wrapping failures
 // with the device id, server address and wire request id. The retrieval
-// span travels in ctx (see engine.SpanFromContext).
-func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, error) {
+// span travels in ctx (see engine.SpanFromContext); shape, when
+// non-empty, attributes the round trip's wire stages (dispatch → first
+// byte → decode) to the query shape in the netdist cost profile.
+func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape string) (Response, error) {
 	dc := c.conn(dev)
 	span := engine.SpanFromContext(ctx)
 	dm := &c.dm[dev]
@@ -466,9 +563,16 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request) (Response, 
 	}
 	dm.inflight.Inc()
 	t0 := time.Now()
-	resp, id, err := dc.roundTrip(ctx, req, c.timeout)
+	resp, id, ws, err := dc.roundTrip(ctx, req, c.timeout)
 	dm.latency.ObserveSince(t0)
 	dm.inflight.Dec()
+	if shape != "" && c.prof != nil && err == nil {
+		c.prof.ObserveSamples(shape, []obs.StageSample{
+			{Stage: obs.StageNetDispatch, Wall: ws.Dispatch, Bytes: ws.OutBytes},
+			{Stage: obs.StageNetWait, Wall: ws.Wait},
+			{Stage: obs.StageNetDecode, Wall: ws.Decode, Bytes: ws.InBytes},
+		})
+	}
 	if err != nil {
 		dm.errors.Inc()
 		if errors.Is(err, ErrTimeout) {
@@ -520,6 +624,9 @@ type Result struct {
 	// LargestResponseSize is max(DeviceBuckets) — the paper's response
 	// time determinant.
 	LargestResponseSize int
+	// Stages is the retrieval's cost-attribution breakdown (see
+	// engine.Result.Stages).
+	Stages []obs.StageSample
 }
 
 // fromEngine projects the engine's merged result onto the wire-level
@@ -531,6 +638,7 @@ func fromEngine(r engine.Result) Result {
 		DeviceBuckets:       r.DeviceBuckets,
 		DeviceRecords:       r.DeviceRecords,
 		LargestResponseSize: r.LargestResponseSize,
+		Stages:              r.Stages,
 	}
 }
 

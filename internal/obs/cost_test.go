@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCostProfilerAggregates(t *testing.T) {
+	p := NewCostProfiler("test")
+	for i := 0; i < 4; i++ {
+		p.ObserveQuery("ss**", 100*time.Microsecond, []StageSample{
+			{Stage: StagePlan, Wall: 10 * time.Microsecond, Bytes: 100, Objects: 2},
+			{Stage: StageFanout, Wall: 80 * time.Microsecond, Bytes: 4000, Objects: 40},
+			{Stage: StageMerge, Wall: 5 * time.Microsecond},
+			{Stage: StageAudit, Wall: 5 * time.Microsecond},
+			{Stage: StageDeviceScan, Wall: 300 * time.Microsecond},
+		})
+	}
+	p.ObserveSamples("ss**", []StageSample{{Stage: StageNetWait, Wall: 50 * time.Microsecond, Bytes: 900}})
+
+	rep := p.Report()
+	if rep.Backend != "test" || len(rep.Shapes) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	s := rep.Shapes[0]
+	if s.Shape != "ss**" || s.Queries != 4 || s.MeanT != 100*time.Microsecond {
+		t.Fatalf("shape row = %+v", s)
+	}
+	// plan+fanout+merge+audit = 100µs = total → coverage 1.0 exactly.
+	if s.StageCoverage < 0.999 || s.StageCoverage > 1.001 {
+		t.Errorf("coverage = %g, want 1.0", s.StageCoverage)
+	}
+	// Top stages render first, in execution order; auxiliaries after.
+	var order []string
+	for _, st := range s.Stages {
+		order = append(order, st.Stage)
+	}
+	want := []string{StagePlan, StageFanout, StageMerge, StageAudit, StageDeviceScan, StageNetWait}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("stage order = %v, want %v", order, want)
+	}
+	fanout := s.Stages[1]
+	if fanout.Count != 4 || fanout.MeanWall != 80*time.Microsecond ||
+		fanout.MeanBytes != 4000 || fanout.MeanObjects != 40 {
+		t.Errorf("fanout agg = %+v", fanout)
+	}
+	if fanout.WallFrac < 0.79 || fanout.WallFrac > 0.81 {
+		t.Errorf("fanout wall frac = %g, want 0.8", fanout.WallFrac)
+	}
+	// Auxiliary stages carry no wall fraction and don't inflate coverage.
+	if scan := s.Stages[4]; scan.WallFrac != 0 {
+		t.Errorf("device.scan has wall frac %g", scan.WallFrac)
+	}
+	// ObserveSamples counts samples, not queries.
+	if wait := s.Stages[5]; wait.Count != 1 || wait.MeanBytes != 900 {
+		t.Errorf("net.wait agg = %+v", wait)
+	}
+
+	p.Reset()
+	if rep := p.Report(); len(rep.Shapes) != 0 {
+		t.Fatalf("report after reset = %+v", rep)
+	}
+}
+
+func TestCostProfilerNil(t *testing.T) {
+	var p *CostProfiler
+	p.ObserveQuery("s", time.Second, nil) // must not panic
+	p.ObserveSamples("s", []StageSample{{Stage: StagePlan}})
+	p.Reset()
+	if rep := p.Report(); rep.Backend != "" || len(rep.Shapes) != 0 {
+		t.Fatalf("nil profiler report = %+v", rep)
+	}
+}
+
+func TestFlightRecorderKeepsSlowest(t *testing.T) {
+	f := NewFlightRecorder("test", 3)
+	for _, ms := range []int{5, 1, 9, 3, 7, 2, 8} {
+		f.Note(FlightRecord{Shape: "s*", Elapsed: time.Duration(ms) * time.Millisecond})
+	}
+	rep := f.Report()
+	if len(rep.Shapes) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var got []time.Duration
+	for _, r := range rep.Shapes[0].Records {
+		got = append(got, r.Elapsed)
+		if r.Backend != "test" {
+			t.Errorf("record backend = %q", r.Backend)
+		}
+	}
+	want := []time.Duration{9 * time.Millisecond, 8 * time.Millisecond, 7 * time.Millisecond}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("retained %v, want slowest-first %v", got, want)
+	}
+}
+
+func TestFlightRecorderAdmits(t *testing.T) {
+	f := NewFlightRecorder("test", 2)
+	if !f.Admits("new-shape", time.Nanosecond) {
+		t.Fatal("unseen shape must admit everything")
+	}
+	f.Note(FlightRecord{Shape: "s", Elapsed: 10 * time.Millisecond})
+	if !f.Admits("s", time.Nanosecond) {
+		t.Fatal("ring not full yet: must still admit")
+	}
+	f.Note(FlightRecord{Shape: "s", Elapsed: 20 * time.Millisecond})
+	// Ring full: floor is the fastest retained record (10ms).
+	if f.Admits("s", 5*time.Millisecond) {
+		t.Error("admitted a query below the floor")
+	}
+	if !f.Admits("s", 15*time.Millisecond) {
+		t.Error("rejected a query above the floor")
+	}
+	// A full ring on one shape must not starve another.
+	if !f.Admits("other", time.Nanosecond) {
+		t.Error("full ring on one shape starved a new shape")
+	}
+	// Note below the floor is a no-op even if forced past Admits.
+	f.Note(FlightRecord{Shape: "s", Elapsed: time.Millisecond})
+	if got := f.Report().Shapes[0].Records; len(got) != 2 || got[1].Elapsed != 10*time.Millisecond {
+		t.Errorf("below-floor Note changed the ring: %+v", got)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder("race", 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			shape := fmt.Sprintf("shape-%d", g%2)
+			for i := 0; i < 200; i++ {
+				el := time.Duration(i*(g+1)) * time.Microsecond
+				if f.Admits(shape, el) {
+					f.Note(FlightRecord{Shape: shape, Elapsed: el})
+				}
+				if i%50 == 0 {
+					f.Report()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := f.Report()
+	if len(rep.Shapes) != 2 {
+		t.Fatalf("got %d shapes, want 2", len(rep.Shapes))
+	}
+	for _, s := range rep.Shapes {
+		if len(s.Records) != 4 {
+			t.Errorf("shape %s retained %d records, want 4", s.Shape, len(s.Records))
+		}
+		for i := 1; i < len(s.Records); i++ {
+			if s.Records[i].Elapsed > s.Records[i-1].Elapsed {
+				t.Errorf("shape %s not slowest-first: %v", s.Shape, s.Records)
+			}
+		}
+	}
+}
+
+func TestDebugEndpointFormats(t *testing.T) {
+	h := DebugEndpoint(
+		func() (any, error) { return map[string]int{"n": 1}, nil },
+		func(w io.Writer, doc any) { fmt.Fprintf(w, "n is %d\n", doc.(map[string]int)["n"]) },
+	)
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+
+	rec := get("/debug/x")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json; charset=utf-8" {
+		t.Fatalf("default: code=%d content-type=%q", rec.Code, rec.Header().Get("Content-Type"))
+	}
+	var doc map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil || doc["n"] != 1 {
+		t.Fatalf("default body %q: %v", rec.Body.String(), err)
+	}
+	if rec2 := get("/debug/x?format=json"); rec2.Body.String() != rec.Body.String() {
+		t.Error("?format=json differs from default")
+	}
+
+	rec = get("/debug/x?format=text")
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "text/plain; charset=utf-8" ||
+		rec.Body.String() != "n is 1\n" {
+		t.Fatalf("text: code=%d content-type=%q body=%q", rec.Code, rec.Header().Get("Content-Type"), rec.Body.String())
+	}
+
+	if rec = get("/debug/x?format=xml"); rec.Code != 400 {
+		t.Errorf("unknown format: code=%d, want 400", rec.Code)
+	}
+
+	textless := DebugEndpoint(func() (any, error) { return 1, nil }, nil)
+	rec = httptest.NewRecorder()
+	textless.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/x?format=text", nil))
+	if rec.Code != 400 {
+		t.Errorf("text on textless endpoint: code=%d, want 400", rec.Code)
+	}
+}
+
+func TestDebugEndpointErrorsAreNon200(t *testing.T) {
+	failing := DebugEndpoint(func() (any, error) { return nil, errors.New("boom") }, nil)
+	rec := httptest.NewRecorder()
+	failing.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/x", nil))
+	if rec.Code != 500 || !strings.Contains(rec.Body.String(), "boom") {
+		t.Fatalf("doc error: code=%d body=%q, want 500", rec.Code, rec.Body.String())
+	}
+
+	// A document JSON can't marshal must yield 500, not a truncated 200.
+	unmarshalable := DebugEndpoint(func() (any, error) { return map[string]any{"f": func() {}}, nil }, nil)
+	rec = httptest.NewRecorder()
+	unmarshalable.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/x", nil))
+	if rec.Code != 500 {
+		t.Fatalf("marshal error: code=%d, want 500", rec.Code)
+	}
+}
+
+func TestProfileTriggerCapturesAndRateLimits(t *testing.T) {
+	dir := t.TempDir()
+	tr := NewProfileTrigger(ProfileTriggerConfig{
+		Dir:              dir,
+		CPUDuration:      10 * time.Millisecond,
+		MinInterval:      time.Hour, // only the first capture may run
+		MaxCaptures:      4,
+		LatencyThreshold: 100 * time.Millisecond,
+	})
+
+	tr.Consider("test", "ss**", 50*time.Millisecond, 0) // below threshold
+	tr.Consider("test", "ss**", 200*time.Millisecond, 0)
+	tr.Consider("test", "s***", 300*time.Millisecond, 0) // rate-limited away
+	tr.Wait()
+
+	caps := tr.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("got %d captures, want 1 (rate limited): %+v", len(caps), caps)
+	}
+	c := caps[0]
+	if c.Backend != "test" || c.Shape != "ss**" || !strings.Contains(c.Reason, "latency") {
+		t.Errorf("capture = %+v", c)
+	}
+	if c.Err != "" {
+		t.Fatalf("capture failed: %s", c.Err)
+	}
+	for _, name := range []string{c.CPUFile, c.HeapFile} {
+		if name == "" {
+			t.Fatalf("capture missing a profile file: %+v", c)
+		}
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s: err=%v size=%v", name, err, fi)
+		}
+	}
+}
+
+func TestProfileTriggerBurnThreshold(t *testing.T) {
+	tr := NewProfileTrigger(ProfileTriggerConfig{
+		Dir:           t.TempDir(),
+		CPUDuration:   time.Millisecond,
+		BurnThreshold: 2.0,
+	})
+	tr.Consider("test", "s", time.Millisecond, 1.5) // below
+	tr.Wait()
+	if got := tr.Captures(); len(got) != 0 {
+		t.Fatalf("burn 1.5 < 2.0 captured: %+v", got)
+	}
+	tr.Consider("test", "s", time.Millisecond, 2.5)
+	tr.Wait()
+	caps := tr.Captures()
+	if len(caps) != 1 || !strings.Contains(caps[0].Reason, "burn") {
+		t.Fatalf("burn 2.5 >= 2.0: %+v", caps)
+	}
+}
+
+func TestConsiderProfileGlobal(t *testing.T) {
+	tr := NewProfileTrigger(ProfileTriggerConfig{
+		Dir:              t.TempDir(),
+		CPUDuration:      time.Millisecond,
+		LatencyThreshold: time.Microsecond,
+	})
+	old := SetProfileTrigger(tr)
+	defer SetProfileTrigger(old)
+
+	ConsiderProfile("test", "s", time.Second, 0)
+	tr.Wait()
+	if len(tr.Captures()) != 1 {
+		t.Fatalf("global trigger did not capture: %+v", tr.Captures())
+	}
+
+	SetProfileTrigger(nil)
+	ConsiderProfile("test", "s", time.Second, 0) // must not panic with no trigger
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// DebugEndpoint is the shared shape of every /debug/* document
+// endpoint: doc builds the snapshot, text renders it human-readably.
+// All endpoints accept ?format=json (default) or ?format=text, send a
+// consistent Content-Type with charset, and — because the document is
+// marshalled to a buffer before any byte reaches the client — return
+// 500 instead of a truncated 200 when building or marshalling fails.
+func DebugEndpoint(doc func() (any, error), text func(io.Writer, any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		format := r.URL.Query().Get("format")
+		switch format {
+		case "", "json", "text":
+		default:
+			http.Error(w, fmt.Sprintf("unknown format %q (want json or text)", format), http.StatusBadRequest)
+			return
+		}
+		if format == "text" && text == nil {
+			http.Error(w, "text format not supported on this endpoint", http.StatusBadRequest)
+			return
+		}
+		d, err := doc()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var buf bytes.Buffer
+		if format == "text" {
+			text(&buf, d)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		} else {
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(d); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		}
+		w.Write(buf.Bytes()) //nolint:errcheck // client gone
+	})
+}

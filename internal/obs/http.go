@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -47,8 +48,13 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 			r.WritePrometheus(w) //nolint:errcheck // client gone
 		})
 		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+			var buf bytes.Buffer
+			if err := r.WriteJSON(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
 			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			r.WriteJSON(w) //nolint:errcheck // client gone
+			w.Write(buf.Bytes()) //nolint:errcheck // client gone
 		})
 	}
 	if t != nil {
@@ -59,14 +65,21 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 					n = v
 				}
 			}
-			w.Header().Set("Content-Type", "application/json; charset=utf-8")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
+			var doc any
 			if req.URL.Query().Get("tree") == "1" {
-				enc.Encode(t.Trees(n)) //nolint:errcheck // client gone
+				doc = t.Trees(n)
+			} else {
+				doc = t.Recent(n)
+			}
+			var buf bytes.Buffer
+			enc := json.NewEncoder(&buf)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(doc); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
-			enc.Encode(t.Recent(n)) //nolint:errcheck // client gone
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(buf.Bytes()) //nolint:errcheck // client gone
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -99,6 +99,41 @@ func TestHistogramQuantileEdgeCases(t *testing.T) {
 	if got := h.Quantile(0.99); got != 2 {
 		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 2", got)
 	}
+
+	// A single observation: every quantile lands in its bucket.
+	single := newHistogram([]float64{1, 2, 4})
+	single.Observe(1.5)
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got <= 1 || got > 2 {
+			t.Errorf("single-observation quantile(%g) = %g, want in (1, 2]", q, got)
+		}
+	}
+
+	// All observations equal: quantiles stay within that one bucket and
+	// are monotone in q.
+	equal := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		equal.Observe(3)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+		got := equal.Quantile(q)
+		if got <= 2 || got > 4 {
+			t.Errorf("all-equal quantile(%g) = %g, want in (2, 4]", q, got)
+		}
+		if got < prev {
+			t.Errorf("quantile not monotone: q=%g gave %g < %g", q, got, prev)
+		}
+		prev = got
+	}
+	if got := equal.Quantile(1); got != 4 {
+		t.Errorf("all-equal quantile(1) = %g, want bucket upper bound 4", got)
+	}
+
+	// Out-of-range q clamps rather than panicking or extrapolating.
+	if lo, hi := equal.Quantile(-1), equal.Quantile(2); lo != equal.Quantile(0) || hi != 4 {
+		t.Errorf("clamped quantiles = %g, %g", lo, hi)
+	}
 }
 
 func TestExpBuckets(t *testing.T) {

@@ -189,6 +189,14 @@ func escapeLabelValue(v string) string {
 	return v
 }
 
+// escapeHelp escapes HELP text per the exposition format: backslashes
+// and newlines only (quotes are legal in help strings).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
 // promLabels renders {k="v",...}; extra (e.g. le) is appended last.
 func promLabels(labels []Label, extra ...Label) string {
 	all := append(append([]Label(nil), labels...), extra...)
@@ -207,7 +215,7 @@ func promLabels(labels []Label, extra ...Label) string {
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.sortedFamilies() {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}

@@ -134,6 +134,35 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+func TestHelpEscaping(t *testing.T) {
+	// HELP text with a raw newline would split the comment line and
+	// corrupt the exposition; backslashes must double. Label values on
+	// the same metric must keep their own (stricter) escaping.
+	r := NewRegistry()
+	r.Counter("hostile_total", "line one\nline two \\ done", L("who", "a\nb")).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# HELP hostile_total line one\nline two \\ done`+"\n") {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `hostile_total{who="a\nb"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+	// Every line must still parse as exposition format: comments or
+	// name{labels} value.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Errorf("unparseable exposition line %q", line)
+		}
+	}
+}
+
 func TestSnapshot(t *testing.T) {
 	r := buildTestRegistry()
 	points := r.Snapshot()

@@ -247,6 +247,16 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// Snapshot returns a point-in-time copy of the span (zero value on a
+// nil span) — used by the flight recorder to retain a slow query's
+// event log after the span itself is evicted from the ring.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	return s.snapshot()
+}
+
 func (s *Span) snapshot() SpanSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()

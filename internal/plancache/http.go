@@ -1,8 +1,8 @@
 package plancache
 
 import (
-	"encoding/json"
-	"net/http"
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -49,11 +49,26 @@ func Report() []Snapshot {
 }
 
 func init() {
-	obs.RegisterDebugHandler("/debug/plancache", http.HandlerFunc(
-		func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(Report()) //nolint:errcheck
-		}))
+	obs.RegisterDebugHandler("/debug/plancache", obs.DebugEndpoint(
+		func() (any, error) { return Report(), nil },
+		func(w io.Writer, doc any) { writeText(w, doc.([]Snapshot)) },
+	))
+}
+
+func writeText(w io.Writer, snaps []Snapshot) {
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "no plan caches registered")
+		return
+	}
+	for _, s := range snaps {
+		state := "enabled"
+		if !s.Enabled {
+			state = "disabled"
+		}
+		fmt.Fprintf(w, "cache %s (%s) entries=%d/%d bytes=%d hits=%d misses=%d evictions=%d hit-rate=%.3f\n",
+			s.Backend, state, s.Entries, s.Capacity, s.Bytes, s.Hits, s.Misses, s.Evictions, s.HitRate)
+		for _, p := range s.Plans {
+			fmt.Fprintf(w, "  %+v\n", p)
+		}
+	}
 }

@@ -1,7 +1,8 @@
 package resilience
 
 import (
-	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 
 	"fxdist/internal/obs"
@@ -20,12 +21,34 @@ type Snapshot struct {
 	Injectors []Report       `json:"injectors"`
 }
 
-// Handler serves the resilience snapshot as JSON.
+// Handler serves the resilience snapshot: JSON by default, a
+// human-readable summary with ?format=text.
 func Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode(Snapshot{Retry: retry.ReportAll(), Injectors: ReportAll()})
-	})
+	return obs.DebugEndpoint(
+		func() (any, error) {
+			return Snapshot{Retry: retry.ReportAll(), Injectors: ReportAll()}, nil
+		},
+		func(w io.Writer, doc any) { writeText(w, doc.(Snapshot)) },
+	)
+}
+
+func writeText(w io.Writer, s Snapshot) {
+	if len(s.Retry) == 0 && len(s.Injectors) == 0 {
+		fmt.Fprintln(w, "no retry controllers or fault injectors registered")
+		return
+	}
+	for _, r := range s.Retry {
+		fmt.Fprintf(w, "retry %s max-attempts=%d retries=%d rejected=%d hedges=%d hedge-wins=%d partials=%d\n",
+			r.Backend, r.MaxAttempts, r.Retries, r.Rejected, r.Hedges, r.HedgeWins, r.Partials)
+		for _, b := range r.Breakers {
+			fmt.Fprintf(w, "  breaker %+v\n", b)
+		}
+	}
+	for _, in := range s.Injectors {
+		fmt.Fprintf(w, "injector %s seed=%d\n", in.Name, in.Seed)
+		for _, d := range in.Devices {
+			fmt.Fprintf(w, "  device %d ops=%d injected=%d delayed=%d schedule=%+v\n",
+				d.Device, d.Ops, d.Injected, d.Delayed, d.Schedule)
+		}
+	}
 }

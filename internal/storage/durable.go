@@ -57,6 +57,8 @@ func (c *DurableCluster) engineFor(model CostModel, st *settings) (*engine.Execu
 		Audit:      audit.For("durable"),
 		Alloc:      c.alloc,
 		Plans:      plancache.New("durable"),
+		Profile:    obs.CostProfilerFor("durable"),
+		Flight:     obs.FlightRecorderFor("durable"),
 		Resilience: st.resilienceFor("durable", devices),
 	})
 }

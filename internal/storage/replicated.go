@@ -71,6 +71,8 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		Audit:      audit.For("replicated"),
 		Alloc:      alloc,
 		Plans:      plancache.New("replicated"),
+		Profile:    obs.CostProfilerFor("replicated"),
+		Flight:     obs.FlightRecorderFor("replicated"),
 		Resilience: st.resilienceFor("replicated", devices),
 	})
 	if err != nil {

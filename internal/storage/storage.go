@@ -112,6 +112,8 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		Audit:      audit.For("memory"),
 		Alloc:      alloc,
 		Plans:      plancache.New("memory"),
+		Profile:    obs.CostProfilerFor("memory"),
+		Flight:     obs.FlightRecorderFor("memory"),
 		Resilience: st.resilienceFor("memory", devices),
 	})
 	if err != nil {

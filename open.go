@@ -392,6 +392,7 @@ func fromDistributed(r DistributedResult) RetrieveResult {
 		DeviceBuckets:       r.DeviceBuckets,
 		DeviceRecords:       r.DeviceRecords,
 		LargestResponseSize: r.LargestResponseSize,
+		Stages:              r.Stages,
 	}
 }
 
