@@ -1,14 +1,14 @@
 // Command benchdiff is the perf-regression gate: it compares two
 // benchmark snapshots written by scripts/bench.sh and exits non-zero
 // when the current one regresses past the gates (ns/op beyond the
-// noise allowance, allocs/op creep, or a benchmark missing from the
-// current snapshot).
+// noise allowance, B/op growth, allocs/op creep, or a benchmark
+// missing from the current snapshot).
 //
 // Usage:
 //
 //	scripts/bench.sh /tmp/cur.json
 //	benchdiff BENCH_2026-08-05.4.json /tmp/cur.json
-//	benchdiff -ns-frac 0.5 -allocs-frac 0.1 base.json cur.json
+//	benchdiff -ns-frac 0.5 -bytes-frac 0.3 -allocs-frac 0.1 base.json cur.json
 package main
 
 import (
@@ -22,10 +22,11 @@ import (
 func main() {
 	def := benchdiff.DefaultThresholds()
 	nsFrac := flag.Float64("ns-frac", def.NsFrac, "allowed fractional ns/op growth before failing")
+	bytesFrac := flag.Float64("bytes-frac", def.BytesFrac, "allowed fractional B/op growth before failing")
 	allocsFrac := flag.Float64("allocs-frac", def.AllocsFrac, "allowed fractional allocs/op growth before failing")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-frac F] [-allocs-frac F] base.json current.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-ns-frac F] [-bytes-frac F] [-allocs-frac F] base.json current.json")
 		os.Exit(2)
 	}
 	base, err := benchdiff.Load(flag.Arg(0))
@@ -36,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	th := benchdiff.Thresholds{NsFrac: *nsFrac, AllocsFrac: *allocsFrac}
+	th := benchdiff.Thresholds{NsFrac: *nsFrac, BytesFrac: *bytesFrac, AllocsFrac: *allocsFrac}
 	deltas, regressed := benchdiff.Diff(base, cur, th)
 	benchdiff.WriteText(os.Stdout, base, cur, deltas, th)
 	if regressed {

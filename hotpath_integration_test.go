@@ -157,6 +157,17 @@ func TestHotpathStageSums(t *testing.T) {
 		if objects == 0 {
 			t.Errorf("%s/*s reports zero allocations across all stages", backend)
 		}
+		// Recycle attribution must be live too: with pooling on (the
+		// default) part of each stage's demand is served from slabs,
+		// and the breakdown must say so or the profiler overstates how
+		// allocation-free the hot path is.
+		var recycled float64
+		for _, st := range shape.Stages {
+			recycled += st.MeanRecycledBytes
+		}
+		if recycled == 0 {
+			t.Errorf("%s/*s reports zero pool-recycled bytes across all stages", backend)
+		}
 		// The coordinator additionally attributes the wire.
 		if backend == "netdist" {
 			for _, want := range []string{fxdist.StageNetDispatch, fxdist.StageNetWait, fxdist.StageNetDecode} {

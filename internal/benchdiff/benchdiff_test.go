@@ -67,6 +67,36 @@ func TestDiffZeroAllocBaseline(t *testing.T) {
 	}
 }
 
+func TestDiffCatchesBytesRegression(t *testing.T) {
+	base := snap(Bench{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 10000, AllocsPerOp: 100})
+	cur := snap(Bench{Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: 13500, AllocsPerOp: 100}) // +35% > 25% gate
+	deltas, regressed := Diff(base, cur, DefaultThresholds())
+	if !regressed || !deltas[0].BytesRegr {
+		t.Fatalf("+35%% B/op not flagged: %+v", deltas[0])
+	}
+	if deltas[0].NsRegressed || deltas[0].AllocsRegr {
+		t.Fatalf("ns/allocs wrongly flagged: %+v", deltas[0])
+	}
+}
+
+func TestDiffBytesSlackAndMissingBaseline(t *testing.T) {
+	// A tiny benchmark growing by one pool size class stays inside the
+	// absolute slack even though the fractional growth is huge; a
+	// baseline without B/op (pre-benchmem snapshot) is not gated at all.
+	base := snap(
+		Bench{Name: "BenchmarkTiny", NsPerOp: 50, BytesPerOp: 16, AllocsPerOp: 1},
+		Bench{Name: "BenchmarkNoBytes", NsPerOp: 50, AllocsPerOp: 1},
+	)
+	cur := snap(
+		Bench{Name: "BenchmarkTiny", NsPerOp: 50, BytesPerOp: 80, AllocsPerOp: 1}, // +64B: inside slack
+		Bench{Name: "BenchmarkNoBytes", NsPerOp: 50, BytesPerOp: 1 << 20, AllocsPerOp: 1},
+	)
+	deltas, regressed := Diff(base, cur, DefaultThresholds())
+	if regressed {
+		t.Fatalf("slack/unbaselined B/op growth flagged: %+v", deltas)
+	}
+}
+
 func TestDiffMissingBenchmarkRegresses(t *testing.T) {
 	base := snap(
 		Bench{Name: "BenchmarkA", NsPerOp: 1000, AllocsPerOp: 100},

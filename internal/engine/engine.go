@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"fxdist/internal/mkhash"
@@ -63,12 +64,22 @@ type Answer struct {
 	Buckets int
 	// Records is the number of records the device scanned.
 	Records int
-	// Hits are the matching records.
+	// Hits are the matching records. Devices draw the slice from
+	// HitsPool (via SlicePool.AppendOne); the executor's merge consumes
+	// it and returns the slab to the pool, so a device must not retain
+	// Hits after returning the Answer.
 	Hits []mkhash.Record
 	// Idle marks a device that did not participate at all (e.g. a failed
 	// replica whose buckets are served elsewhere); idle devices are not
 	// charged the per-query dispatch cost.
 	Idle bool
+	// Release, when non-nil, frees device-held arena memory backing the
+	// records in Hits (netdist decode arenas, durable scan builders).
+	// Ownership passes to the executor with the Answer: the merge folds
+	// it into the Result's lease, so the memory stays valid until the
+	// caller calls Result.Release (or forever, if it never does — an
+	// unreleased arena is garbage-collected, not corrupted).
+	Release func()
 }
 
 // Device is one parallel device in an engine-driven cluster: it scans the
@@ -107,7 +118,53 @@ type Result struct {
 	// populated when the executor has a cost profiler or flight
 	// recorder attached; nil otherwise.
 	Stages []obs.StageSample
+
+	// lease releases the pooled memory backing Records when the result
+	// was built in arena mode (Config.ArenaResults); nil for copy-out
+	// results. Copies of the Result share the lease, and Release is
+	// idempotent across them.
+	lease *Lease
 }
+
+// Lease is a shared, idempotent release handle for arena-backed results:
+// every copy of a Result holds the same *Lease, and the first Release
+// wins. A nil *Lease is a released (or never-leased) result.
+type Lease struct {
+	once sync.Once
+	f    func()
+}
+
+// NewLease wraps f; nil f yields a nil lease.
+func NewLease(f func()) *Lease {
+	if f == nil {
+		return nil
+	}
+	return &Lease{f: f}
+}
+
+// Release runs the lease's release function exactly once across all
+// copies. Safe on nil.
+func (l *Lease) Release() {
+	if l != nil {
+		l.once.Do(l.f)
+	}
+}
+
+// Release returns the result's records to their pooled arenas. Only
+// arena-mode results (Config.ArenaResults / WithArenaResults) hold a
+// lease; for copy-out results this is a no-op. After Release the
+// result's Records — and every slice or string derived from them — are
+// invalid. Idempotent, including across copies of the Result.
+func (r *Result) Release() { r.lease.Release() }
+
+// Lease returns the result's release handle (nil for copy-out results),
+// letting wrappers project the result onto another type without losing
+// the lease.
+func (r Result) Lease() *Lease { return r.lease }
+
+// SetLease attaches a release handle to the result — the inverse of
+// Lease, for wrappers rebuilding a Result from a projected form.
+func (r *Result) SetLease(l *Lease) { r.lease = l }
 
 // AccumulateCost folds per-device service times and qualified-bucket
 // counts into the §5.2.1 summary: response time is the slowest device,

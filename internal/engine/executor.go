@@ -79,6 +79,16 @@ type Config struct {
 	// Flight, if set, retains the slowest queries per shape with their
 	// full stage breakdown and per-device detail.
 	Flight *obs.FlightRecorder
+	// NoPool disables the hot-path buffer pools for this executor: all
+	// fan-out scratch, hit frames and merged record slices come fresh
+	// from the allocator, exactly the pre-pooling behaviour. The escape
+	// hatch behind WithoutMemPool.
+	NoPool bool
+	// ArenaResults leases Result.Records (and any device-held decode
+	// arenas) from the pools instead of copying out: zero-copy results
+	// the caller must hand back with Result.Release. Ignored when NoPool
+	// is set.
+	ArenaResults bool
 }
 
 // Executor is the single retrieval code path shared by every backend:
@@ -99,6 +109,8 @@ type Executor struct {
 	plans  *plancache.Cache
 	prof   *obs.CostProfiler
 	flight *obs.FlightRecorder
+	noPool bool
+	arena  bool
 	pool   *pool
 }
 
@@ -132,6 +144,8 @@ func New(cfg Config) (*Executor, error) {
 		plans:  cfg.Plans,
 		prof:   cfg.Profile,
 		flight: cfg.Flight,
+		noPool: cfg.NoPool,
+		arena:  cfg.ArenaResults,
 		pool:   newPool(workers),
 	}, nil
 }
@@ -359,8 +373,8 @@ func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Pl
 		t0:      time.Now(),
 		q:       q,
 		rq:      plan.RQ,
-		answers: make([]Answer, m),
-		errs:    make([]error, m),
+		answers: e.answersP().Get(m),
+		errs:    e.errsP().Get(m),
 		done:    make(chan struct{}),
 	}
 	if ci != nil {
@@ -371,7 +385,7 @@ func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Pl
 		c.planWall = ci.planWall
 		c.planAlloc = ci.planAlloc
 		c.mark = ci.mark
-		c.devDur = make([]time.Duration, m)
+		c.devDur = e.dursP().Get(m)
 	}
 	if e.tracer != nil && e.span != "" {
 		c.span = e.tracer.Start(e.span)
@@ -432,13 +446,38 @@ func (e *Executor) consolidate(ctx context.Context, c *call) (Result, error) {
 		if e.res.Partial && len(failures) < len(c.errs) && ctx.Err() == nil {
 			return e.degrade(c)
 		}
+		e.discardAnswers(c.answers)
 		return Result{}, errors.Join(failures...)
 	}
 	return e.merge(c.answers, nil), nil
 }
 
+// discardAnswers recycles the hit frames and arena leases of answers
+// that will never be merged (a retrieval failed outright after some
+// devices had already answered). Only called once every device task has
+// finished — never on an abandoned call.
+func (e *Executor) discardAnswers(answers []Answer) {
+	for i := range answers {
+		a := &answers[i]
+		if a.Release != nil {
+			a.Release()
+			a.Release = nil
+		}
+		e.hitsP().Put(a.Hits)
+		a.Hits = nil
+	}
+}
+
 // merge folds per-device answers into a Result under the cost model;
 // failed[dev], when non-nil, marks devices whose answers are skipped.
+//
+// Records consolidate in one pass into a single exactly-sized slice —
+// sized by summing the per-device hit counts first, so the old
+// append-and-regrow copying (the cost profiler's biggest byte line) is
+// gone. In arena mode the slice is a pooled slab and the result carries
+// a lease; otherwise it is a fresh caller-owned allocation. Either way
+// the per-device hit frames are drained back to the pool, and any
+// device-held arena releases fold into the lease.
 func (e *Executor) merge(answers []Answer, failed map[int]error) Result {
 	m := len(answers)
 	res := Result{
@@ -446,14 +485,50 @@ func (e *Executor) merge(answers []Answer, failed map[int]error) Result {
 		DeviceRecords: make([]int, m),
 		DeviceTime:    make([]time.Duration, m),
 	}
-	for dev, a := range answers {
+	total := 0
+	for dev := range answers {
+		a := &answers[dev]
 		if a.Idle || failed[dev] != nil {
 			continue
 		}
 		res.DeviceBuckets[dev] = a.Buckets
 		res.DeviceRecords[dev] = a.Records
 		res.DeviceTime[dev] = e.model.DeviceTime(a.Buckets, a.Records)
+		total += len(a.Hits)
+	}
+	arena := e.arenaOn()
+	if arena {
+		res.Records = recsPool.Get(total)[:0]
+	} else if total > 0 {
+		res.Records = make([]mkhash.Record, 0, total)
+	}
+	var rels []func()
+	for dev := range answers {
+		a := &answers[dev]
+		if a.Idle || failed[dev] != nil {
+			// A failed device's answer is zero by convention; discard
+			// defensively in case an adapter returned one anyway.
+			e.discardAnswers(answers[dev : dev+1])
+			continue
+		}
 		res.Records = append(res.Records, a.Hits...)
+		e.hitsP().Put(a.Hits)
+		a.Hits = nil
+		if a.Release != nil {
+			rels = append(rels, a.Release)
+			a.Release = nil
+		}
+	}
+	if arena || len(rels) > 0 {
+		recs := res.Records
+		res.lease = NewLease(func() {
+			if arena {
+				recsPool.Put(recs)
+			}
+			for _, f := range rels {
+				f()
+			}
+		})
 	}
 	res.Response, res.TotalWork, res.LargestResponseSize = AccumulateCost(res.DeviceTime, res.DeviceBuckets)
 	return res
@@ -532,6 +607,16 @@ func (e *Executor) finish(c *call, res Result, err error) {
 	}
 }
 
+// stageSample folds one stage's wall time and alloc delta — heap and
+// pool-recycled traffic both — into a profiler sample.
+func stageSample(stage string, wall time.Duration, a obs.AllocStat) obs.StageSample {
+	return obs.StageSample{
+		Stage: stage, Wall: wall,
+		Bytes: a.Bytes, Objects: a.Objects,
+		RecycledBytes: a.RecycledBytes, RecycledSlabs: a.RecycledSlabs,
+	}
+}
+
 // record closes the audit stage, hands the completed stage breakdown to
 // the profiler, and offers the query to the flight recorder.
 func (e *Executor) record(c *call, err error) {
@@ -545,10 +630,10 @@ func (e *Executor) record(c *call, err error) {
 		devSum += d
 	}
 	c.stages = []obs.StageSample{
-		{Stage: obs.StagePlan, Wall: c.planWall, Bytes: c.planAlloc.Bytes, Objects: c.planAlloc.Objects},
-		{Stage: obs.StageFanout, Wall: c.fanoutWall, Bytes: c.fanoutAlloc.Bytes, Objects: c.fanoutAlloc.Objects},
-		{Stage: obs.StageMerge, Wall: c.mergeWall, Bytes: c.mergeAlloc.Bytes, Objects: c.mergeAlloc.Objects},
-		{Stage: obs.StageAudit, Wall: auditWall, Bytes: auditAlloc.Bytes, Objects: auditAlloc.Objects},
+		stageSample(obs.StagePlan, c.planWall, c.planAlloc),
+		stageSample(obs.StageFanout, c.fanoutWall, c.fanoutAlloc),
+		stageSample(obs.StageMerge, c.mergeWall, c.mergeAlloc),
+		stageSample(obs.StageAudit, auditWall, auditAlloc),
 		{Stage: obs.StageDeviceScan, Wall: devSum},
 	}
 	e.prof.ObserveQuery(c.shape, total, c.stages)
@@ -602,6 +687,25 @@ func (c *call) seal(res Result, err error) (Result, error) {
 	return res, err
 }
 
+// recycle returns the call's fan-out scratch to the pools — but only
+// when every device task has finished. An abandoned call (the waiter
+// gave up on context cancellation) may still have straggler tasks
+// writing into answers/errs/devDur; its scratch is left to the garbage
+// collector, which is safe, just unrecycled.
+func (e *Executor) recycle(c *call) {
+	select {
+	case <-c.done:
+	default:
+		return
+	}
+	e.answersP().Put(c.answers)
+	c.answers = nil
+	e.errsP().Put(c.errs)
+	c.errs = nil
+	e.dursP().Put(c.devDur)
+	c.devDur = nil
+}
+
 // planFailed reports a retrieval that died before fan-out.
 func (e *Executor) planFailed(t0 time.Time) {
 	if e.obs == nil {
@@ -642,7 +746,9 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 	c := e.launch(ctx, q, plan, pm, ci)
 	res, err := e.wait(ctx, c)
 	e.finish(c, res, err)
-	return c.seal(res, err)
+	res, err = c.seal(res, err)
+	e.recycle(c)
+	return res, err
 }
 
 // RetrieveBatch answers a batch of queries over the shared worker pool:
@@ -655,8 +761,11 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 // "query %d" error to the joined error.
 func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch) ([]Result, error) {
 	results := make([]Result, len(pms))
-	errs := make([]error, len(pms))
-	calls := make([]*call, len(pms))
+	// Batch-internal scratch recycles across calls: the per-query error
+	// and call-handle slices come from the pools, and each finished
+	// query's fan-out scratch goes back before the next one completes.
+	errs := e.errsP().Get(len(pms))
+	calls := e.callsP().Get(len(pms))
 	instr := e.prof != nil || e.flight != nil
 	for i, pm := range pms {
 		if e.obs != nil {
@@ -693,6 +802,7 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 		res, err := e.wait(ctx, c)
 		e.finish(c, res, err)
 		results[i], errs[i] = c.seal(res, err)
+		e.recycle(c)
 	}
 	var joined []error
 	for i, err := range errs {
@@ -700,6 +810,8 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 			joined = append(joined, fmt.Errorf("query %d: %w", i, err))
 		}
 	}
+	e.errsP().Put(errs)
+	e.callsP().Put(calls)
 	if len(joined) > 0 {
 		return results, errors.Join(joined...)
 	}

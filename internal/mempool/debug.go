@@ -1,0 +1,39 @@
+package mempool
+
+import (
+	"fmt"
+	"io"
+
+	"fxdist/internal/obs"
+)
+
+// /debug/mempool serves every registered pool's counters, and the
+// package feeds its recycle totals to obs so the cost profiler's
+// per-stage alloc deltas can be read next to how much demand the pools
+// absorbed (see /debug/hotpath).
+
+type mempoolDoc struct {
+	RecycledBytes uint64       `json:"recycled_bytes"`
+	RecycledSlabs uint64       `json:"recycled_slabs"`
+	Pools         []PoolReport `json:"pools"`
+}
+
+func init() {
+	obs.SetRecycleCounter(RecycledTotals)
+	obs.RegisterDebugHandler("/debug/mempool", obs.DebugEndpoint(
+		func() (any, error) {
+			b, o := RecycledTotals()
+			return mempoolDoc{RecycledBytes: b, RecycledSlabs: o, Pools: Report()}, nil
+		},
+		func(w io.Writer, doc any) {
+			d := doc.(mempoolDoc)
+			fmt.Fprintf(w, "recycled: %d bytes in %d slabs\n", d.RecycledBytes, d.RecycledSlabs)
+			fmt.Fprintf(w, "%-16s %10s %10s %10s %10s %8s %16s\n",
+				"pool", "gets", "misses", "oversize", "puts", "drops", "recycled bytes")
+			for _, p := range d.Pools {
+				fmt.Fprintf(w, "%-16s %10d %10d %10d %10d %8d %16d\n",
+					p.Name, p.Gets, p.Misses, p.Oversize, p.Puts, p.Drops, p.RecycledBytes)
+			}
+		},
+	))
+}

@@ -1,0 +1,195 @@
+package mempool
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 24, numClasses - 1}, {1<<24 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetPutRecycles(t *testing.T) {
+	p := NewBytesPool("test.bytes")
+	b := p.Get(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("Get(100): len=%d cap=%d, want 100/128", len(b), cap(b))
+	}
+	p.Put(b)
+	// sync.Pool deliberately drops a fraction of Puts under the race
+	// detector, so retry until a recycled slab is observed.
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		b2 := p.Get(120)
+		if cap(b2) != 128 {
+			t.Fatalf("Get(120): cap=%d, want 128", cap(b2))
+		}
+		recycled = p.Stats().Gets > 0
+		p.Put(b2)
+	}
+	st := p.Stats()
+	if !recycled {
+		t.Fatalf("stats = %+v, no Get ever recycled", st)
+	}
+	if st.Misses < 1 || st.Gets != 1 || st.Puts < 2 {
+		t.Fatalf("stats = %+v, want ≥1 miss, 1 get, ≥2 puts", st)
+	}
+	if st.RecycledBytes != 128 {
+		t.Fatalf("recycled bytes = %d, want 128", st.RecycledBytes)
+	}
+}
+
+func TestPutForeignCapDropped(t *testing.T) {
+	p := NewBytesPool("test.foreign")
+	p.Put(make([]byte, 100)) // cap 100: not a class size
+	if st := p.Stats(); st.Drops != 1 || st.Puts != 0 {
+		t.Fatalf("stats = %+v, want 1 drop, 0 puts", st)
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	p := NewBytesPool("test.oversize")
+	b := p.Get(1<<24 + 1)
+	if len(b) != 1<<24+1 {
+		t.Fatalf("oversize len = %d", len(b))
+	}
+	if st := p.Stats(); st.Oversize != 1 {
+		t.Fatalf("stats = %+v, want 1 oversize", st)
+	}
+}
+
+func TestNilPoolPassThrough(t *testing.T) {
+	var p *SlicePool[string]
+	s := p.Get(10)
+	if len(s) != 10 {
+		t.Fatalf("nil pool Get(10) len = %d", len(s))
+	}
+	p.Put(s) // must not panic
+}
+
+func TestPointerPoolClearsOnPut(t *testing.T) {
+	p := NewSlicePool[string]("test.strings")
+	s := p.Get(64)
+	for i := range s {
+		s[i] = "stale"
+	}
+	p.Put(s)
+	s2 := p.Get(64)
+	for i, v := range s2 {
+		if v != "" {
+			t.Fatalf("slot %d not cleared: %q", i, v)
+		}
+	}
+}
+
+func TestAppendOneGrowsThroughPool(t *testing.T) {
+	p := NewSlicePool[int]("test.appendone")
+	var s []int
+	for i := 0; i < 1000; i++ {
+		s = p.AppendOne(s, i)
+	}
+	if len(s) != 1000 || cap(s) != 1024 {
+		t.Fatalf("len=%d cap=%d, want 1000/1024", len(s), cap(s))
+	}
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("s[%d] = %d after growth", i, v)
+		}
+	}
+	st := p.Stats()
+	if st.Puts == 0 {
+		t.Fatalf("growth never returned outgrown slabs: %+v", st)
+	}
+	// Nil pool degrades to plain append.
+	var np *SlicePool[int]
+	if s2 := np.AppendOne(nil, 7); len(s2) != 1 || s2[0] != 7 {
+		t.Fatalf("nil-pool AppendOne = %v", s2)
+	}
+}
+
+func TestRecordBuilderOwned(t *testing.T) {
+	b := NewRecordBuilder(false)
+	var recs [][]string
+	for i := 0; i < 1000; i++ {
+		r := b.Fields(3)
+		for j := range r {
+			r[j] = b.Bytes([]byte(fmt.Sprintf("val-%d-%d", i, j)))
+		}
+		recs = append(recs, r)
+	}
+	b.Release() // no-op in owned mode; records stay valid
+	for i, r := range recs {
+		for j := range r {
+			want := fmt.Sprintf("val-%d-%d", i, j)
+			if r[j] != want {
+				t.Fatalf("rec %d field %d = %q, want %q", i, j, r[j], want)
+			}
+		}
+	}
+}
+
+func TestRecordBuilderPooledReleaseReturnsChunks(t *testing.T) {
+	b := NewRecordBuilder(true)
+	before := arenaBytes.Stats()
+	r := b.Fields(2)
+	r[0] = b.Bytes([]byte("alpha"))
+	r[1] = b.Bytes([]byte("beta"))
+	if r[0] != "alpha" || r[1] != "beta" {
+		t.Fatalf("record = %v", r)
+	}
+	b.Release()
+	after := arenaBytes.Stats()
+	if after.Puts <= before.Puts {
+		t.Fatalf("Release returned no byte chunks: before %+v after %+v", before, after)
+	}
+	// A second builder reuses the chunk. sync.Pool deliberately drops
+	// a fraction of Puts under the race detector, so retry until a
+	// recycled chunk is observed.
+	recycled := false
+	for i := 0; i < 50 && !recycled; i++ {
+		b2 := NewRecordBuilder(true)
+		_ = b2.Bytes([]byte("gamma"))
+		recycled = arenaBytes.Stats().Gets > before.Gets
+		b2.Release()
+	}
+	if !recycled {
+		t.Fatalf("no builder recycled a chunk: %+v", arenaBytes.Stats())
+	}
+}
+
+func TestBuilderFieldsCapRestricted(t *testing.T) {
+	b := NewRecordBuilder(false)
+	r1 := b.Fields(2)
+	r2 := b.Fields(2)
+	r1 = append(r1, "overflow") // must not clobber r2
+	_ = r1
+	if r2[0] != "" || r2[1] != "" {
+		t.Fatalf("append on r1 clobbered r2: %v", r2)
+	}
+}
+
+func TestReportIncludesRegisteredPools(t *testing.T) {
+	name := "test.report"
+	p := NewBytesPool(name)
+	p.Put(p.Get(64))
+	found := false
+	for _, r := range Report() {
+		if r.Name == name {
+			found = true
+			if r.Puts != 1 {
+				t.Fatalf("report row = %+v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("pool %q missing from Report()", name)
+	}
+}

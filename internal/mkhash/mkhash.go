@@ -158,10 +158,19 @@ func (f *File) hashValue(i int, value string) int {
 
 // BucketOf returns the bucket coordinates the record hashes to.
 func (f *File) BucketOf(r Record) ([]int, error) {
+	return f.BucketInto(r, nil)
+}
+
+// BucketInto is BucketOf reusing b's backing array when it has the
+// capacity — the allocation-free form for bulk routing loops.
+func (f *File) BucketInto(r Record, b []int) ([]int, error) {
 	if len(r) != len(f.depths) {
 		return nil, fmt.Errorf("mkhash: record has %d fields, schema has %d", len(r), len(f.depths))
 	}
-	b := make([]int, len(r))
+	if cap(b) < len(r) {
+		b = make([]int, len(r))
+	}
+	b = b[:len(r)]
 	for i, v := range r {
 		b[i] = f.hashValue(i, v)
 	}

@@ -1,0 +1,465 @@
+package netdist
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"fxdist/internal/engine"
+	"fxdist/internal/mempool"
+	"fxdist/internal/mkhash"
+)
+
+// Binary wire protocol. A connection that opens with the 4-byte magic
+// speaks length-prefixed binary frames; anything else is the legacy gob
+// stream, so old coordinators and old servers interoperate with new
+// ones in both directions (see handshake / Server.handle).
+//
+// Frame layout, both directions, after the handshake:
+//
+//	[4] magic "FXB" + version 1   (handshake only, once per connection)
+//	[4] frame length N, little-endian uint32
+//	[N] payload
+//
+// Payloads use uvarints for counts/ids and zigzag varints for signed
+// ints; strings are uvarint length + raw bytes. Request payload:
+//
+//	flags(1: bit0=Ping) id traceID parentSpan zigzag(asDevice)
+//	uvarint(len(Spec)) zigzag(Spec...)
+//	uvarint(numFields) then per field: 1 byte specified, if set
+//	uvarint(len)+bytes of the value
+//
+// Response payload:
+//
+//	id string(Err) zigzag(Buckets) zigzag(Scanned)
+//	zigzag(RetryAfterMillis)
+//	uvarint(numRecords) then per record: uvarint(numFields) and per
+//	field uvarint(len)+bytes
+//
+// Encoders size the payload exactly, fill one pooled frame, and write
+// it with a single Write; decoders read the whole frame into a pooled
+// slab and slice records out of it, copying field bytes into a
+// RecordBuilder arena so the frame recycles immediately.
+
+var wireMagic = [4]byte{'F', 'X', 'B', 1}
+
+// maxFrame bounds one message; a length prefix beyond it is treated as
+// stream corruption, not an allocation request.
+const maxFrame = 64 << 20
+
+const frameLenSize = 4
+
+// uvarintLen returns the encoded size of v without encoding it.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// zigzag maps signed ints onto uvarints (small magnitudes stay small).
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func stringSize(s string) int { return uvarintLen(uint64(len(s))) + len(s) }
+
+// frameReader pulls uvarints, zigzags and byte views out of one decoded
+// frame. Views alias the frame slab and must be copied before the frame
+// is recycled.
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+var errFrameCorrupt = fmt.Errorf("netdist: corrupt binary frame")
+
+func (f *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(f.buf[f.off:])
+	if n <= 0 {
+		return 0, errFrameCorrupt
+	}
+	f.off += n
+	return v, nil
+}
+
+func (f *frameReader) zigzag() (int64, error) {
+	u, err := f.uvarint()
+	return unzigzag(u), err
+}
+
+func (f *frameReader) bytes() ([]byte, error) {
+	n, err := f.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(f.buf)-f.off) {
+		return nil, errFrameCorrupt
+	}
+	b := f.buf[f.off : f.off+int(n)]
+	f.off += int(n)
+	return b, nil
+}
+
+func (f *frameReader) byte() (byte, error) {
+	if f.off >= len(f.buf) {
+		return 0, errFrameCorrupt
+	}
+	b := f.buf[f.off]
+	f.off++
+	return b, nil
+}
+
+// requestSize returns the exact payload size appendRequest will emit.
+func requestSize(req *Request) int {
+	n := 1 + uvarintLen(req.ID) + uvarintLen(req.TraceID) + uvarintLen(req.ParentSpan) +
+		uvarintLen(zigzag(int64(req.AsDevice))) + uvarintLen(uint64(len(req.Spec)))
+	for _, v := range req.Spec {
+		n += uvarintLen(zigzag(int64(v)))
+	}
+	n += uvarintLen(uint64(len(req.Specified)))
+	for i, sp := range req.Specified {
+		n++
+		if sp {
+			n += stringSize(req.Values[i])
+		}
+	}
+	return n
+}
+
+func appendRequest(b []byte, req *Request) []byte {
+	var flags byte
+	if req.Ping {
+		flags |= 1
+	}
+	b = append(b, flags)
+	b = appendUvarint(b, req.ID)
+	b = appendUvarint(b, req.TraceID)
+	b = appendUvarint(b, req.ParentSpan)
+	b = appendUvarint(b, zigzag(int64(req.AsDevice)))
+	b = appendUvarint(b, uint64(len(req.Spec)))
+	for _, v := range req.Spec {
+		b = appendUvarint(b, zigzag(int64(v)))
+	}
+	b = appendUvarint(b, uint64(len(req.Specified)))
+	for i, sp := range req.Specified {
+		if sp {
+			b = append(b, 1)
+			b = appendString(b, req.Values[i])
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// decodeRequest parses one request payload. Values are copied out of
+// the frame (requests are small; the server holds them past the frame).
+func decodeRequest(buf []byte, req *Request) error {
+	f := frameReader{buf: buf}
+	flags, err := f.byte()
+	if err != nil {
+		return err
+	}
+	req.Ping = flags&1 != 0
+	if req.ID, err = f.uvarint(); err != nil {
+		return err
+	}
+	if req.TraceID, err = f.uvarint(); err != nil {
+		return err
+	}
+	if req.ParentSpan, err = f.uvarint(); err != nil {
+		return err
+	}
+	as, err := f.zigzag()
+	if err != nil {
+		return err
+	}
+	req.AsDevice = int(as)
+	ns, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if ns > uint64(len(buf)) {
+		return errFrameCorrupt
+	}
+	req.Spec = make([]int, ns)
+	for i := range req.Spec {
+		v, err := f.zigzag()
+		if err != nil {
+			return err
+		}
+		req.Spec[i] = int(v)
+	}
+	nf, err := f.uvarint()
+	if err != nil {
+		return err
+	}
+	if nf > uint64(len(buf)) {
+		return errFrameCorrupt
+	}
+	req.Specified = make([]bool, nf)
+	req.Values = make([]string, nf)
+	for i := range req.Specified {
+		sp, err := f.byte()
+		if err != nil {
+			return err
+		}
+		if sp > 1 {
+			return errFrameCorrupt
+		}
+		if sp == 1 {
+			req.Specified[i] = true
+			v, err := f.bytes()
+			if err != nil {
+				return err
+			}
+			req.Values[i] = string(v)
+		}
+	}
+	return nil
+}
+
+// responseSize returns the exact payload size appendResponse will emit.
+func responseSize(resp *Response) int {
+	n := uvarintLen(resp.ID) + stringSize(resp.Err) +
+		uvarintLen(zigzag(int64(resp.Buckets))) + uvarintLen(zigzag(int64(resp.Scanned))) +
+		uvarintLen(zigzag(resp.RetryAfterMillis)) + uvarintLen(uint64(len(resp.Records)))
+	for _, r := range resp.Records {
+		n += uvarintLen(uint64(len(r)))
+		for _, field := range r {
+			n += stringSize(field)
+		}
+	}
+	return n
+}
+
+func appendResponse(b []byte, resp *Response) []byte {
+	b = appendUvarint(b, resp.ID)
+	b = appendString(b, resp.Err)
+	b = appendUvarint(b, zigzag(int64(resp.Buckets)))
+	b = appendUvarint(b, zigzag(int64(resp.Scanned)))
+	b = appendUvarint(b, zigzag(resp.RetryAfterMillis))
+	b = appendUvarint(b, uint64(len(resp.Records)))
+	for _, r := range resp.Records {
+		b = appendUvarint(b, uint64(len(r)))
+		for _, field := range r {
+			b = appendString(b, field)
+		}
+	}
+	return b
+}
+
+// decodeResponse parses one response payload. Record field bytes are
+// copied into a RecordBuilder arena (pooled when arena is true, plain
+// GC'd chunks otherwise) and the record-header slice comes from the
+// engine's hits pool, so the merged result can recycle it. release is
+// non-nil only for pooled arenas; the caller owns folding it into the
+// result's lease.
+func decodeResponse(buf []byte, resp *Response, hits *mempool.SlicePool[mkhash.Record], arena bool) (release func(), err error) {
+	f := frameReader{buf: buf}
+	if resp.ID, err = f.uvarint(); err != nil {
+		return nil, err
+	}
+	e, err := f.bytes()
+	if err != nil {
+		return nil, err
+	}
+	resp.Err = string(e)
+	bk, err := f.zigzag()
+	if err != nil {
+		return nil, err
+	}
+	resp.Buckets = int(bk)
+	sc, err := f.zigzag()
+	if err != nil {
+		return nil, err
+	}
+	resp.Scanned = int(sc)
+	if resp.RetryAfterMillis, err = f.zigzag(); err != nil {
+		return nil, err
+	}
+	nr, err := f.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A record costs at least 1 byte on the wire; a count beyond the
+	// remaining payload is corruption, not a huge allocation.
+	if nr > uint64(len(buf)-f.off) {
+		return nil, errFrameCorrupt
+	}
+	if nr == 0 {
+		resp.Records = nil
+		return nil, nil
+	}
+	b := mempool.NewRecordBuilder(arena)
+	recs := hits.Get(int(nr))[:0]
+	fail := func(err error) (func(), error) {
+		hits.Put(recs)
+		b.Release()
+		return nil, err
+	}
+	for i := uint64(0); i < nr; i++ {
+		nf, err := f.uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		if nf > uint64(len(buf)-f.off) {
+			return fail(errFrameCorrupt)
+		}
+		fields := b.Fields(int(nf))
+		for j := range fields {
+			v, err := f.bytes()
+			if err != nil {
+				return fail(err)
+			}
+			fields[j] = b.Bytes(v)
+		}
+		recs = append(recs, mkhash.Record(fields))
+	}
+	resp.Records = recs
+	if arena {
+		return b.Release, nil
+	}
+	return nil, nil
+}
+
+// writeFrame sizes the payload with size, fills one pooled buffer via
+// fill (length prefix + payload), writes it with a single Write, and
+// recycles the buffer. frames may be nil (WithoutMemPool).
+func writeFrame(w io.Writer, frames *mempool.SlicePool[byte], size int, fill func([]byte) []byte) error {
+	if size > maxFrame {
+		return fmt.Errorf("netdist: frame of %d bytes exceeds limit %d", size, maxFrame)
+	}
+	buf := frames.Get(frameLenSize + size)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(size))
+	buf = fill(buf)
+	_, err := w.Write(buf)
+	frames.Put(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed payload into a pooled slab; the
+// caller must Put it back via the returned done func once decoded.
+func readFrame(r io.Reader, frames *mempool.SlicePool[byte]) (payload []byte, done func(), err error) {
+	var hdr [frameLenSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, nil, fmt.Errorf("netdist: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := frames.Get(int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		frames.Put(buf)
+		return nil, nil, err
+	}
+	return buf, func() { frames.Put(buf) }, nil
+}
+
+// wireCodec is the coordinator-side protocol seam: writeRequest runs
+// under the connection's write mutex against the counting writer,
+// readResponse runs on the read-loop goroutine against the timing
+// reader. release, when non-nil, returns the response's record arena
+// to its pool (binary codec in arena mode only).
+type wireCodec interface {
+	writeRequest(req *Request) error
+	readResponse(resp *Response) (release func(), err error)
+}
+
+// gobCodec is the legacy protocol, kept both as the fallback for old
+// peers and as the reference encoding for differential tests.
+type gobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (g *gobCodec) writeRequest(req *Request) error { return g.enc.Encode(req) }
+func (g *gobCodec) readResponse(resp *Response) (func(), error) {
+	return nil, g.dec.Decode(resp)
+}
+
+// binCodec speaks the length-prefixed binary protocol. Writer state and
+// reader state are disjoint (writeMu vs read loop), matching gob's
+// Encoder/Decoder split.
+type binCodec struct {
+	w      io.Writer
+	r      io.Reader
+	frames *mempool.SlicePool[byte]
+	hits   *mempool.SlicePool[mkhash.Record]
+	arena  bool
+}
+
+func (b *binCodec) writeRequest(req *Request) error {
+	return writeFrame(b.w, b.frames, requestSize(req), func(buf []byte) []byte {
+		return appendRequest(buf, req)
+	})
+}
+
+func (b *binCodec) readResponse(resp *Response) (func(), error) {
+	payload, done, err := readFrame(b.r, b.frames)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	return decodeResponse(payload, resp, b.hits, b.arena)
+}
+
+// serverCodec is the device-server side of the same seam.
+type serverCodec interface {
+	readRequest(req *Request) error
+	writeResponse(resp *Response) error
+}
+
+type gobServerCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func (g *gobServerCodec) readRequest(req *Request) error { return g.dec.Decode(req) }
+func (g *gobServerCodec) writeResponse(resp *Response) error {
+	return g.enc.Encode(resp)
+}
+
+type binServerCodec struct {
+	w      io.Writer
+	r      io.Reader
+	frames *mempool.SlicePool[byte]
+}
+
+func (b *binServerCodec) readRequest(req *Request) error {
+	payload, done, err := readFrame(b.r, b.frames)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return decodeRequest(payload, req)
+}
+
+func (b *binServerCodec) writeResponse(resp *Response) error {
+	return writeFrame(b.w, b.frames, responseSize(resp), func(buf []byte) []byte {
+		return appendResponse(buf, resp)
+	})
+}
+
+// clientHits returns the hit-frame pool binary decodes draw record
+// slices from; nil (pass-through) when pooling is off so WithoutMemPool
+// reaches the wire layer too.
+func clientHits(noPool bool) *mempool.SlicePool[mkhash.Record] {
+	return engine.HitsPool(!noPool)
+}
+
+func clientFrames(noPool bool) *mempool.SlicePool[byte] {
+	if noPool {
+		return nil
+	}
+	return mempool.Frames
+}

@@ -1,0 +1,276 @@
+package netdist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+func str(s string) *string { return &s }
+
+func sampleRequests() []Request {
+	return []Request{
+		{AsDevice: -1},
+		{Ping: true, ID: 7, AsDevice: -1},
+		NewRequest([]int{3, query.Unspecified, 0}, mkhash.PartialMatch{str("alpha"), nil, str("")}),
+		{
+			ID: 1<<63 + 5, TraceID: 42, ParentSpan: 99, AsDevice: 3,
+			Spec:      []int{0, 1, query.Unspecified, 7},
+			Specified: []bool{true, false, true, true},
+			Values:    []string{"héllo", "", "x\x00y", "long-" + string(make([]byte, 300))},
+		},
+	}
+}
+
+func TestRequestBinaryRoundTrip(t *testing.T) {
+	for i, req := range sampleRequests() {
+		payload := appendRequest(nil, &req)
+		if len(payload) != requestSize(&req) {
+			t.Fatalf("case %d: encoded %d bytes, requestSize says %d", i, len(payload), requestSize(&req))
+		}
+		var got Request
+		if err := decodeRequest(payload, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// The codec does not distinguish nil from empty slices; normalize.
+		if req.Spec == nil {
+			req.Spec = []int{}
+		}
+		if req.Specified == nil {
+			req.Specified, req.Values = []bool{}, []string{}
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("case %d: round trip mismatch:\nsent %+v\ngot  %+v", i, req, got)
+		}
+	}
+}
+
+func sampleResponses() []Response {
+	return []Response{
+		{ID: 1},
+		{ID: 2, Err: "netdist: server overloaded", RetryAfterMillis: 250},
+		{ID: 3, Buckets: 4, Scanned: 1000, Records: []mkhash.Record{
+			{"a", "b", "c"},
+			{"", "", ""},
+			{"x\x00", "héllo", string(make([]byte, 500))},
+		}},
+		{ID: 4, Records: []mkhash.Record{{}}},
+	}
+}
+
+func TestResponseBinaryRoundTrip(t *testing.T) {
+	for _, arena := range []bool{false, true} {
+		for _, pooled := range []bool{false, true} {
+			for i, resp := range sampleResponses() {
+				payload := appendResponse(nil, &resp)
+				if len(payload) != responseSize(&resp) {
+					t.Fatalf("case %d: encoded %d bytes, responseSize says %d", i, len(payload), responseSize(&resp))
+				}
+				var got Response
+				release, err := decodeResponse(payload, &got, clientHits(!pooled), arena && pooled)
+				if err != nil {
+					t.Fatalf("case %d (arena=%v pooled=%v): decode: %v", i, arena, pooled, err)
+				}
+				if len(resp.Records) == 0 {
+					if got.Records != nil || release != nil {
+						t.Fatalf("case %d: empty response decoded with records/release", i)
+					}
+					got.Records = resp.Records
+				} else if arena && pooled && release == nil {
+					t.Fatalf("case %d: arena decode returned no release", i)
+				}
+				if !respEqual(resp, got) {
+					t.Fatalf("case %d (arena=%v pooled=%v): round trip mismatch:\nsent %+v\ngot  %+v",
+						i, arena, pooled, resp, got)
+				}
+				if release != nil {
+					release()
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeRejectsTruncatedAndCorruptFrames(t *testing.T) {
+	resp := sampleResponses()[2]
+	payload := appendResponse(nil, &resp)
+	// Every proper prefix must fail cleanly: the record count is
+	// declared up front, so a cut-off frame can never half-decode.
+	for i := 0; i < len(payload); i++ {
+		var got Response
+		if _, err := decodeResponse(payload[:i], &got, nil, false); err == nil {
+			t.Fatalf("truncated response frame of %d/%d bytes decoded", i, len(payload))
+		}
+	}
+	req := sampleRequests()[3]
+	reqPayload := appendRequest(nil, &req)
+	for i := 0; i < len(reqPayload); i++ {
+		var got Request
+		if err := decodeRequest(reqPayload[:i], &got); err == nil {
+			t.Fatalf("truncated request frame of %d/%d bytes decoded", i, len(reqPayload))
+		}
+	}
+	// A record count far beyond the payload is corruption, not an
+	// allocation request: swap the empty response's trailing zero count
+	// for a huge one.
+	base := appendResponse(nil, &Response{ID: 9})
+	huge := binary.AppendUvarint(base[:len(base)-1], 1<<40)
+	var got Response
+	if _, err := decodeResponse(huge, &got, nil, false); err == nil {
+		t.Fatal("giant record count decoded")
+	}
+}
+
+func TestFrameRoundTripAndLimits(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	err := writeFrame(&buf, nil, len(payload), func(b []byte) []byte { return append(b, payload...) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done, err := readFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("frame round trip: got %q", got)
+	}
+	done()
+	if err := writeFrame(&buf, nil, maxFrame+1, nil); err == nil {
+		t.Fatal("oversized frame written")
+	}
+	var hdr [frameLenSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], maxFrame+1)
+	if _, _, err := readFrame(bytes.NewReader(hdr[:]), nil); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// TestGobClientAgainstBinaryServer drives a Deploy'd (binary-capable)
+// server with a raw legacy gob stream: the server must peek, see no
+// magic, and fall back without eating the first gob message.
+func TestGobClientAgainstBinaryServer(t *testing.T) {
+	file := buildFile(t, 500)
+	fs, err := file.FileSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop, err := Deploy(file, decluster.MustFX(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+	req := NewRequest([]int{query.Unspecified, query.Unspecified, query.Unspecified}, make(mkhash.PartialMatch, 3))
+	req.ID = 11
+	if err := enc.Encode(&req); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := dec.Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 11 || resp.Err != "" {
+		t.Fatalf("gob fallback response: %+v", resp)
+	}
+	if resp.Scanned == 0 || len(resp.Records) == 0 {
+		t.Fatalf("gob fallback scanned nothing: %+v", resp)
+	}
+}
+
+// TestDialFallsBackToGobOnlyServer dials a legacy server that never
+// acks the magic: the client must give up on the handshake window,
+// redial, and speak gob.
+func TestDialFallsBackToGobOnlyServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				enc, dec := gob.NewEncoder(conn), gob.NewDecoder(conn)
+				for {
+					var req Request
+					// The magic bytes parse as a gob length prefix, so this
+					// blocks until the client closes — exactly how an old
+					// server behaves.
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					if err := enc.Encode(&Response{ID: req.ID, Buckets: 1}); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	c := &Coordinator{timeout: 200 * time.Millisecond}
+	dc, err := c.dialDevice(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.conn.Close()
+	if dc.binary {
+		t.Fatal("gob-only server negotiated binary")
+	}
+	resp, _, _, release, err := dc.roundTrip(context.Background(), Request{Ping: true, AsDevice: -1}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if release != nil {
+		release()
+	}
+	if resp.Buckets != 1 {
+		t.Fatalf("gob fallback round trip: %+v", resp)
+	}
+}
+
+// TestDialNegotiatesBinary checks the happy path: new client against
+// new server settles on the binary protocol and retrieval agrees with
+// a direct file search.
+func TestDialNegotiatesBinary(t *testing.T) {
+	file := buildFile(t, 800)
+	coord, cleanup := deploy(t, file, 4)
+	defer cleanup()
+	for i, dc := range coord.conns {
+		if !dc.binary {
+			t.Fatalf("conn %d did not negotiate binary", i)
+		}
+	}
+	pm, err := file.Spec(map[string]string{"supplier": "sup3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := file.Search(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := recordKeys(res.Records), recordKeys(want); !reflect.DeepEqual(got, exp) {
+		t.Fatalf("binary retrieve disagrees with file.Search: got %d records, want %d", len(got), len(exp))
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"fxdist/internal/audit"
 	"fxdist/internal/engine"
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
@@ -70,11 +71,12 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// timingReader wraps the connection under the read loop's gob decoder,
+// timingReader wraps the connection under the read loop's decoder,
 // stamping when the first byte of each armed message arrives and
-// counting bytes read. Only the read-loop goroutine touches it. gob
-// buffers reads, so a message may decode without any underlying Read
-// (armed stays true) — the read loop then falls back to the arm time.
+// counting bytes read. Only the read-loop goroutine touches it. Both
+// codecs buffer reads, so a message may decode without any underlying
+// Read (armed stays true) — the read loop then falls back to the arm
+// time.
 type timingReader struct {
 	r         io.Reader
 	armed     bool
@@ -102,25 +104,33 @@ func (t *timingReader) Read(p []byte) (int, error) {
 }
 
 // wireDelivery is one demultiplexed response plus the read loop's
-// timing evidence for it.
+// timing evidence for it. release, when non-nil, returns the response's
+// record arena to its pool (binary codec in arena mode).
 type wireDelivery struct {
 	resp      Response
 	firstByte time.Time
 	decode    time.Duration
 	bytes     uint64
+	release   func()
 }
 
 // deviceConn is one persistent connection with pipelined request/response
 // framing: many requests may be in flight concurrently, matched to
 // waiters by request ID. A single reader goroutine demultiplexes
-// responses; writers serialise on a mutex.
+// responses; writers serialise on a mutex. The codec (binary or gob
+// fallback) is fixed at dial time by the handshake.
 type deviceConn struct {
-	conn net.Conn
-	addr string
+	conn   net.Conn
+	addr   string
+	binary bool
 
 	writeMu sync.Mutex
-	enc     *gob.Encoder
+	codec   wireCodec
 	cw      *countingWriter
+
+	// hits is the pool record slices were drawn from, for recycling
+	// orphaned responses (nil pass-through when pooling is off).
+	hits *mempool.SlicePool[mkhash.Record]
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -128,27 +138,43 @@ type deviceConn struct {
 	err     error // sticky transport error; set once the reader exits
 }
 
-func newDeviceConn(conn net.Conn, addr string) *deviceConn {
+func newDeviceConn(conn net.Conn, addr string, binary, noPool, arena bool) *deviceConn {
 	cw := &countingWriter{w: conn}
+	tr := &timingReader{r: conn}
 	dc := &deviceConn{
 		conn:    conn,
 		addr:    addr,
-		enc:     gob.NewEncoder(cw),
+		binary:  binary,
 		cw:      cw,
+		hits:    clientHits(noPool),
 		pending: make(map[uint64]chan wireDelivery),
 	}
-	tr := &timingReader{r: conn}
-	go dc.readLoop(gob.NewDecoder(tr), tr)
+	if binary {
+		dc.codec = &binCodec{w: cw, r: tr, frames: clientFrames(noPool), hits: dc.hits, arena: arena && !noPool}
+	} else {
+		dc.codec = &gobCodec{enc: gob.NewEncoder(cw), dec: gob.NewDecoder(tr)}
+	}
+	go dc.readLoop(tr)
 	return dc
+}
+
+// discard recycles a delivery nobody will consume: the record arena (if
+// leased) and the record-header slab both go back to their pools.
+func (dc *deviceConn) discard(d wireDelivery) {
+	if d.release != nil {
+		d.release()
+	}
+	dc.hits.Put(d.resp.Records)
 }
 
 // readLoop dispatches responses to their waiters until the connection
 // dies, then fails every pending and future request.
-func (dc *deviceConn) readLoop(dec *gob.Decoder, tr *timingReader) {
+func (dc *deviceConn) readLoop(tr *timingReader) {
 	for {
 		tr.arm()
 		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		release, err := dc.codec.readResponse(&resp)
+		if err != nil {
 			dc.mu.Lock()
 			if dc.err == nil {
 				dc.err = fmt.Errorf("connection lost: %w", err)
@@ -160,7 +186,7 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder, tr *timingReader) {
 			dc.mu.Unlock()
 			return
 		}
-		d := wireDelivery{resp: resp, firstByte: tr.firstByte, bytes: tr.n}
+		d := wireDelivery{resp: resp, firstByte: tr.firstByte, bytes: tr.n, release: release}
 		if tr.armed {
 			// Fully buffered message: no Read happened, the bytes were
 			// already here when we armed.
@@ -176,6 +202,10 @@ func (dc *deviceConn) readLoop(dec *gob.Decoder, tr *timingReader) {
 		dc.mu.Unlock()
 		if ok {
 			ch <- d
+		} else {
+			// The waiter gave up (cancel or timeout): recycle instead of
+			// leaking the slabs to the garbage collector.
+			dc.discard(d)
 		}
 	}
 }
@@ -202,14 +232,16 @@ type WireStages struct {
 }
 
 // roundTrip sends req and waits for its response, returning the wire
-// request id it assigned (0 when the connection was already dead) and
-// the round trip's wire-stage timings. The per-request timeout composes
-// with the caller's context deadline — whichever expires first wins —
-// and a coordinator-side expiry surfaces as ErrTimeout wrapping
-// context.DeadlineExceeded, so both errors.Is checks hold. Cancelling
-// ctx abandons the wait (the response, if it ever arrives, is discarded
-// by the read loop).
-func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, WireStages, error) {
+// request id it assigned (0 when the connection was already dead), the
+// round trip's wire-stage timings, and — in arena mode — the release
+// func that returns the response's record arena to its pool (nil
+// otherwise; the caller folds it into the result's lease). The
+// per-request timeout composes with the caller's context deadline —
+// whichever expires first wins — and a coordinator-side expiry surfaces
+// as ErrTimeout wrapping context.DeadlineExceeded, so both errors.Is
+// checks hold. Cancelling ctx abandons the wait (the response, if it
+// ever arrives, is recycled by the read loop).
+func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.Duration) (Response, uint64, WireStages, func(), error) {
 	var ws WireStages
 	if timeout > 0 {
 		var cancel context.CancelFunc
@@ -221,7 +253,7 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 	if dc.err != nil {
 		err := dc.err
 		dc.mu.Unlock()
-		return Response{}, 0, ws, err
+		return Response{}, 0, ws, nil, err
 	}
 	dc.nextID++
 	req.ID = dc.nextID
@@ -232,7 +264,7 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 	dc.writeMu.Lock()
 	t0 := time.Now()
 	out0 := dc.cw.n
-	err := dc.enc.Encode(&req)
+	err := dc.codec.writeRequest(&req)
 	ws.OutBytes = dc.cw.n - out0
 	dc.writeMu.Unlock()
 	writeDone := time.Now()
@@ -241,7 +273,7 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
-		return Response{}, req.ID, ws, err
+		return Response{}, req.ID, ws, nil, err
 	}
 
 	select {
@@ -250,21 +282,30 @@ func (dc *deviceConn) roundTrip(ctx context.Context, req Request, timeout time.D
 			dc.mu.Lock()
 			err := dc.err
 			dc.mu.Unlock()
-			return Response{}, req.ID, ws, err
+			return Response{}, req.ID, ws, nil, err
 		}
 		if w := d.firstByte.Sub(writeDone); w > 0 {
 			ws.Wait = w
 		}
 		ws.Decode = d.decode
 		ws.InBytes = d.bytes
-		return d.resp, req.ID, ws, nil
+		return d.resp, req.ID, ws, d.release, nil
 	case <-ctx.Done():
 		dc.mu.Lock()
 		delete(dc.pending, req.ID)
 		dc.mu.Unlock()
+		// The delivery may have been buffered just before we gave up;
+		// drain it so its slabs recycle rather than leak to the GC.
+		select {
+		case d, ok := <-ch:
+			if ok {
+				dc.discard(d)
+			}
+		default:
+		}
 		// Cause distinguishes our per-request timeout (ErrTimeout chain)
 		// from the caller's own deadline or cancellation.
-		return Response{}, req.ID, ws, context.Cause(ctx)
+		return Response{}, req.ID, ws, nil, context.Cause(ctx)
 	}
 }
 
@@ -279,6 +320,8 @@ type Coordinator struct {
 	dm      []coordDevMetrics
 	tracer  *obs.Tracer
 	timeout time.Duration
+	noPool  bool
+	arena   bool
 	eng     *engine.Executor
 	feng    *engine.Executor
 	prof    *obs.CostProfiler
@@ -321,6 +364,23 @@ func WithInjector(in *resilience.Injector) DialOption {
 	return func(c *Coordinator) { c.injector = in }
 }
 
+// WithoutMemPool disables the coordinator's buffer pools: wire frames,
+// decoded record arenas, and fan-out scratch all fall back to plain
+// allocation. The A/B switch for the differential tests and for ruling
+// pooling out when chasing a corruption bug.
+func WithoutMemPool() DialOption {
+	return func(c *Coordinator) { c.noPool = true }
+}
+
+// WithArenaResults makes retrievals lease their records from pooled
+// arenas: Result.Records and the strings they point at stay valid only
+// until Result.Release returns them for reuse. Callers that don't
+// Release simply fall back to the garbage collector. Ignored under
+// WithoutMemPool.
+func WithArenaResults() DialOption {
+	return func(c *Coordinator) { c.arena = true }
+}
+
 // Dial connects to one server per device; addrs[i] must serve device i.
 // The file provides the schema and hash functions used to lower value
 // queries to bucket coordinates — it can be empty of records.
@@ -330,12 +390,12 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		opt(c)
 	}
 	for i, addr := range addrs {
-		conn, err := net.Dial("tcp", addr)
+		dc, err := c.dialDevice(addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("netdist: dial %s: %w", addr, err)
 		}
-		c.conns = append(c.conns, newDeviceConn(conn, addr))
+		c.conns = append(c.conns, dc)
 		c.dm = append(c.dm, newCoordDevMetrics(i))
 	}
 	devices := make([]engine.Device, len(c.conns))
@@ -347,15 +407,17 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 	// shape, computed once — keeping the audit's strict bound stable
 	// across the workload instead of re-deriving it per retrieval.
 	eng, err := engine.New(engine.Config{
-		Schema:   file,
-		Devices:  devices,
-		Observer: coordObserver{},
-		Tracer:   c.tracer,
-		Span:     "netdist.retrieve",
-		Audit:    audit.For("netdist"),
-		Plans:    plancache.New("netdist"),
-		Profile:  c.prof,
-		Flight:   obs.FlightRecorderFor("netdist"),
+		Schema:       file,
+		Devices:      devices,
+		Observer:     coordObserver{},
+		Tracer:       c.tracer,
+		Span:         "netdist.retrieve",
+		Audit:        audit.For("netdist"),
+		Plans:        plancache.New("netdist"),
+		Profile:      c.prof,
+		Flight:       obs.FlightRecorderFor("netdist"),
+		NoPool:       c.noPool,
+		ArenaResults: c.arena,
 	})
 	if err != nil {
 		c.Close()
@@ -376,6 +438,44 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		c.feng = eng.DeriveResilience("netdist.retrieve-failover", c.ctrl.Resilience(c.failover, backup))
 	}
 	return c, nil
+}
+
+// dialDevice connects to one device server and negotiates the wire
+// protocol: the binary magic goes out first, and a server that acks it
+// speaks binary frames. No ack within the handshake window means an old
+// gob-only server (which reads the magic as a corrupt stream and hangs
+// or drops the connection) — redial and speak gob.
+func (c *Coordinator) dialDevice(addr string) (*deviceConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	window := 2 * time.Second
+	if c.timeout > 0 && c.timeout < window {
+		window = c.timeout
+	}
+	if negotiateClient(conn, window) {
+		return newDeviceConn(conn, addr, true, c.noPool, c.arena), nil
+	}
+	conn.Close()
+	conn, err = net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newDeviceConn(conn, addr, false, c.noPool, c.arena), nil
+}
+
+// negotiateClient offers the binary protocol and reports whether the
+// server acked it before the deadline.
+func negotiateClient(conn net.Conn, window time.Duration) bool {
+	if _, err := conn.Write(wireMagic[:]); err != nil {
+		return false
+	}
+	conn.SetReadDeadline(time.Now().Add(window)) //nolint:errcheck // best effort
+	var ack [len(wireMagic)]byte
+	_, err := io.ReadFull(conn, ack[:])
+	conn.SetReadDeadline(time.Time{}) //nolint:errcheck // best effort
+	return err == nil && ack == wireMagic
 }
 
 // Controller returns the coordinator's retry controller, nil without
@@ -425,7 +525,7 @@ func (c *Coordinator) probeAll() {
 	for dev := 0; dev < m; dev++ {
 		dc := c.conn(dev)
 		if dc.dead() != nil {
-			conn, err := net.Dial("tcp", dc.addr)
+			fresh, err := c.dialDevice(dc.addr)
 			if err != nil {
 				// Still down; charge the breaker so it keeps cooling.
 				if c.ctrl != nil {
@@ -433,7 +533,6 @@ func (c *Coordinator) probeAll() {
 				}
 				continue
 			}
-			fresh := newDeviceConn(conn, dc.addr)
 			c.connMu.Lock()
 			c.conns[dev] = fresh
 			c.connMu.Unlock()
@@ -443,7 +542,7 @@ func (c *Coordinator) probeAll() {
 		ping := func() error {
 			ctx, cancel := context.WithTimeout(context.Background(), c.probeTimeout())
 			defer cancel()
-			_, _, _, err := dc.roundTrip(ctx, Request{Ping: true, AsDevice: -1}, c.timeout)
+			_, _, _, _, err := dc.roundTrip(ctx, Request{Ping: true, AsDevice: -1}, c.timeout)
 			return err
 		}
 		if c.ctrl != nil {
@@ -489,11 +588,11 @@ func (d *remoteDevice) Scan(ctx context.Context, q query.Query, pm mkhash.Partia
 	if span := engine.SpanFromContext(ctx); span != nil {
 		req.TraceID, req.ParentSpan = span.Trace(), span.SpanID()
 	}
-	resp, err := d.c.ask(ctx, d.server, req, q.Shape())
+	resp, release, err := d.c.ask(ctx, d.server, req, q.Shape())
 	if err != nil {
 		return engine.Answer{}, err
 	}
-	return engine.Answer{Buckets: resp.Buckets, Records: resp.Scanned, Hits: resp.Records}, nil
+	return engine.Answer{Buckets: resp.Buckets, Records: resp.Scanned, Hits: resp.Records, Release: release}, nil
 }
 
 // failover is the engine retry policy for replicated deployments: a
@@ -545,8 +644,10 @@ func (c *Coordinator) M() int { return len(c.conns) }
 // with the device id, server address and wire request id. The retrieval
 // span travels in ctx (see engine.SpanFromContext); shape, when
 // non-empty, attributes the round trip's wire stages (dispatch → first
-// byte → decode) to the query shape in the netdist cost profile.
-func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape string) (Response, error) {
+// byte → decode) to the query shape in the netdist cost profile. The
+// returned release func (nil outside arena mode) owns the response's
+// record arena; the caller folds it into the result's lease.
+func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape string) (Response, func(), error) {
 	dc := c.conn(dev)
 	span := engine.SpanFromContext(ctx)
 	dm := &c.dm[dev]
@@ -558,12 +659,12 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape strin
 			dm.errors.Inc()
 			derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, TraceID: span.Trace(), Err: ierr}
 			span.Event(derr.Error())
-			return Response{}, derr
+			return Response{}, nil, derr
 		}
 	}
 	dm.inflight.Inc()
 	t0 := time.Now()
-	resp, id, ws, err := dc.roundTrip(ctx, req, c.timeout)
+	resp, id, ws, release, err := dc.roundTrip(ctx, req, c.timeout)
 	dm.latency.ObserveSince(t0)
 	dm.inflight.Dec()
 	if shape != "" && c.prof != nil && err == nil {
@@ -580,9 +681,15 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape strin
 		}
 		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Err: err}
 		span.Event(derr.Error())
-		return Response{}, derr
+		return Response{}, nil, derr
 	}
 	if resp.Err != "" {
+		// Rejections carry no records, but recycle defensively before
+		// dropping the response.
+		if release != nil {
+			release()
+		}
+		dc.hits.Put(resp.Records)
 		dm.errors.Inc()
 		cause := error(errors.New(resp.Err))
 		if resp.RetryAfterMillis > 0 {
@@ -593,12 +700,12 @@ func (c *Coordinator) ask(ctx context.Context, dev int, req Request, shape strin
 		}
 		derr := &DeviceError{Device: req.targetDevice(dev), Addr: dc.addr, RequestID: id, TraceID: span.Trace(), Remote: true, Err: cause}
 		span.Event(derr.Error())
-		return Response{}, derr
+		return Response{}, nil, derr
 	}
 	span.SetRequestID(id)
 	span.Event(fmt.Sprintf("device %d (%s) req %d: %d buckets, %d records in %v",
 		req.targetDevice(dev), dc.addr, id, resp.Buckets, resp.Scanned, time.Since(t0)))
-	return resp, nil
+	return resp, release, nil
 }
 
 // targetDevice reports which device's partition req addresses when sent
@@ -627,7 +734,21 @@ type Result struct {
 	// Stages is the retrieval's cost-attribution breakdown (see
 	// engine.Result.Stages).
 	Stages []obs.StageSample
+
+	// lease owns the pooled slabs behind Records under WithArenaResults;
+	// see Release.
+	lease *engine.Lease
 }
+
+// Release returns the result's pooled record slabs for reuse (under
+// WithArenaResults; a no-op otherwise). After Release the Records and
+// their field strings are invalid. Idempotent; never calling it leaves
+// the slabs to the garbage collector.
+func (r *Result) Release() { r.lease.Release() }
+
+// Lease exposes the result's arena lease so facades re-wrapping the
+// result can carry ownership along.
+func (r Result) Lease() *engine.Lease { return r.lease }
 
 // fromEngine projects the engine's merged result onto the wire-level
 // Result (the coordinator attaches no cost model, so time fields drop).
@@ -639,6 +760,7 @@ func fromEngine(r engine.Result) Result {
 		DeviceRecords:       r.DeviceRecords,
 		LargestResponseSize: r.LargestResponseSize,
 		Stages:              r.Stages,
+		lease:               r.Lease(),
 	}
 }
 

@@ -61,7 +61,7 @@ func (s *Server) answerAs(req Request) Response {
 		for _, r := range s.backup[s.fs.Linear(coords)] {
 			resp.Scanned++
 			if valueMatch(req, r) {
-				resp.Records = append(resp.Records, r)
+				resp.Records = serverHits.AppendOne(resp.Records, r)
 			}
 		}
 	})

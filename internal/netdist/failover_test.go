@@ -146,7 +146,7 @@ func TestPlainServerRejectsAsDevice(t *testing.T) {
 	q, _ := coord.file.BucketQuery(pm)
 	req := NewRequest(q.Spec, pm)
 	req.AsDevice = 0 // ask server 1 to impersonate device 0
-	resp, _, _, err := coord.conns[1].roundTrip(context.Background(), req, 0)
+	resp, _, _, _, err := coord.conns[1].roundTrip(context.Background(), req, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

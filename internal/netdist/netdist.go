@@ -5,13 +5,18 @@
 // results. Every device answers with the per-device inverse mapping of
 // package query — it enumerates only its own qualified buckets.
 //
-// The wire protocol is gob-encoded request/response pairs over persistent
-// TCP connections. Allocator configuration travels as a decluster.Spec so
-// a device server can be started on a different process or machine from
-// the data loader.
+// The wire protocol is versioned, length-prefixed binary frames
+// (codec.go) negotiated on connect: a coordinator opens with a 4-byte
+// magic, a server that recognises it acks and both sides speak binary;
+// otherwise the stream is the legacy gob encoding, so old and new peers
+// interoperate in both directions. Allocator configuration travels as a
+// decluster.Spec so a device server can be started on a different
+// process or machine from the data loader.
 package netdist
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -20,14 +25,16 @@ import (
 	"time"
 
 	"fxdist/internal/decluster"
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/query"
 )
 
 // Request is one coordinator-to-device message. The value filters travel
-// as parallel Specified/Values slices because gob cannot encode nil
-// pointer elements.
+// as parallel Specified/Values slices so both codecs stay simple: the
+// binary protocol writes one presence byte per field, and the gob
+// fallback keeps the same struct shape old peers already decode.
 type Request struct {
 	// ID matches the response to its request; requests pipeline over one
 	// connection. Assigned by the coordinator.
@@ -213,6 +220,33 @@ func (s *Server) Close() {
 	}
 }
 
+// negotiateServer decides the connection's protocol from its first
+// bytes: a new coordinator leads with wireMagic (acked, then binary
+// frames both ways), an old one leads with a gob message (no ack, gob
+// both ways). Peeking instead of reading keeps the gob bytes in the
+// stream for the fallback decoder.
+func negotiateServer(conn net.Conn) (serverCodec, error) {
+	br := bufio.NewReader(conn)
+	peek, err := br.Peek(len(wireMagic))
+	if err != nil {
+		return nil, err
+	}
+	if bytes.Equal(peek, wireMagic[:]) {
+		if _, err := br.Discard(len(wireMagic)); err != nil {
+			return nil, err
+		}
+		if _, err := conn.Write(wireMagic[:]); err != nil {
+			return nil, err
+		}
+		return &binServerCodec{w: conn, r: br, frames: mempool.Frames}, nil
+	}
+	return &gobServerCodec{enc: gob.NewEncoder(conn), dec: gob.NewDecoder(br)}, nil
+}
+
+// serverHits recycles the per-response record slices the answer paths
+// assemble; each slab goes back once its response is on the wire.
+var serverHits = mempool.NewSlicePool[mkhash.Record]("netdist.server.hits")
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -220,17 +254,19 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	codec, err := negotiateServer(conn)
+	if err != nil {
+		return // connection closed before the first message
+	}
 	for {
 		var req Request
-		if err := dec.Decode(&req); err != nil {
+		if err := codec.readRequest(&req); err != nil {
 			return // connection closed or corrupt stream
 		}
 		if req.Ping {
 			// Health probes answer before shedding and without a scan: a
 			// drowning server is still alive, and the prober must see that.
-			if err := enc.Encode(&Response{ID: req.ID}); err != nil {
+			if err := codec.writeResponse(&Response{ID: req.ID}); err != nil {
 				return
 			}
 			continue
@@ -239,7 +275,7 @@ func (s *Server) handle(conn net.Conn) {
 			s.inflightN.Add(-1)
 			s.sm.shed.Inc()
 			resp := Response{ID: req.ID, Err: "netdist: server overloaded", RetryAfterMillis: s.shedAfterMs.Load()}
-			if err := enc.Encode(&resp); err != nil {
+			if err := codec.writeResponse(&resp); err != nil {
 				return
 			}
 			continue
@@ -266,7 +302,9 @@ func (s *Server) handle(conn net.Conn) {
 		span.End()
 		s.sm.inflight.Dec()
 		s.inflightN.Add(-1)
-		if err := enc.Encode(&resp); err != nil {
+		err := codec.writeResponse(&resp)
+		serverHits.Put(resp.Records)
+		if err != nil {
 			return
 		}
 	}
@@ -287,7 +325,7 @@ func (s *Server) answer(req Request) Response {
 		for _, r := range s.buckets[s.fs.Linear(coords)] {
 			resp.Scanned++
 			if valueMatch(req, r) {
-				resp.Records = append(resp.Records, r)
+				resp.Records = serverHits.AppendOne(resp.Records, r)
 			}
 		}
 	})

@@ -216,7 +216,7 @@ func TestServerRejectsMalformedRequests(t *testing.T) {
 	defer coord.Close()
 
 	// Out-of-domain hashed value.
-	resp, _, _, err := coord.conns[0].roundTrip(context.Background(), NewRequest(
+	resp, _, _, _, err := coord.conns[0].roundTrip(context.Background(), NewRequest(
 		[]int{99, query.Unspecified, query.Unspecified}, make(mkhash.PartialMatch, 3)), 0)
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +225,7 @@ func TestServerRejectsMalformedRequests(t *testing.T) {
 		t.Error("out-of-domain query accepted")
 	}
 	// Wrong value-filter arity.
-	resp, _, _, err = coord.conns[0].roundTrip(context.Background(), NewRequest(
+	resp, _, _, _, err = coord.conns[0].roundTrip(context.Background(), NewRequest(
 		[]int{0, query.Unspecified, query.Unspecified}, make(mkhash.PartialMatch, 1)), 0)
 	if err != nil {
 		t.Fatal(err)

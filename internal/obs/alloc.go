@@ -3,6 +3,7 @@ package obs
 import (
 	"runtime/metrics"
 	"sync"
+	"sync/atomic"
 )
 
 // Allocation sampling for the cost profiler. Stage boundaries read the
@@ -13,12 +14,24 @@ import (
 // queries smear into each other's deltas, which is acceptable for an
 // aggregate profile (the per-shape means converge on the true split).
 
-// AllocStat is a point-in-time reading of cumulative heap allocation.
+// AllocStat is a point-in-time reading of cumulative heap allocation,
+// plus — when a buffer-pool layer has registered its counters via
+// SetRecycleCounter — the cumulative demand those pools served without
+// touching the heap. The pair keeps the profiler honest once pooling
+// lands: a stage whose alloc delta collapses but whose recycled delta
+// grows moved its traffic into the pools; a stage where both collapse
+// genuinely stopped asking for memory.
 type AllocStat struct {
 	// Bytes is the cumulative count of heap bytes allocated.
 	Bytes uint64
 	// Objects is the cumulative count of heap objects allocated.
 	Objects uint64
+	// RecycledBytes is the cumulative count of bytes served from
+	// recycled pool slabs instead of the heap (zero when no pool layer
+	// is registered).
+	RecycledBytes uint64
+	// RecycledSlabs is the cumulative count of slabs served from pools.
+	RecycledSlabs uint64
 }
 
 // Sub returns the allocation delta from earlier to s, clamped at zero
@@ -32,7 +45,24 @@ func (s AllocStat) Sub(earlier AllocStat) AllocStat {
 	if s.Objects > earlier.Objects {
 		d.Objects = s.Objects - earlier.Objects
 	}
+	if s.RecycledBytes > earlier.RecycledBytes {
+		d.RecycledBytes = s.RecycledBytes - earlier.RecycledBytes
+	}
+	if s.RecycledSlabs > earlier.RecycledSlabs {
+		d.RecycledSlabs = s.RecycledSlabs - earlier.RecycledSlabs
+	}
 	return d
+}
+
+// recycleCounter, when set, reports cumulative (bytes, slabs) served
+// from buffer pools. The mempool package registers itself here from an
+// init function; obs cannot import it directly without a cycle.
+var recycleCounter atomic.Pointer[func() (uint64, uint64)]
+
+// SetRecycleCounter registers the pool layer's cumulative recycle
+// counters so ReadAllocs can sample them alongside the heap counters.
+func SetRecycleCounter(f func() (bytes, slabs uint64)) {
+	recycleCounter.Store(&f)
 }
 
 var allocSamplePool = sync.Pool{
@@ -56,5 +86,8 @@ func ReadAllocs() AllocStat {
 		st.Objects = (*sp)[1].Value.Uint64()
 	}
 	allocSamplePool.Put(sp)
+	if f := recycleCounter.Load(); f != nil {
+		st.RecycledBytes, st.RecycledSlabs = (*f)()
+	}
 	return st
 }

@@ -63,13 +63,17 @@ func isTopStage(name string) bool {
 }
 
 // StageSample is one stage measurement from one query. For engine
-// stages Bytes/Objects are heap-allocation deltas; for the net.* wire
-// stages Bytes counts wire bytes and Objects is zero.
+// stages Bytes/Objects are heap-allocation deltas and
+// RecycledBytes/RecycledSlabs the demand the buffer pools absorbed
+// over the same interval; for the net.* wire stages Bytes counts wire
+// bytes and the rest are zero.
 type StageSample struct {
-	Stage   string        `json:"stage"`
-	Wall    time.Duration `json:"wall_ns"`
-	Bytes   uint64        `json:"bytes,omitempty"`
-	Objects uint64        `json:"objects,omitempty"`
+	Stage         string        `json:"stage"`
+	Wall          time.Duration `json:"wall_ns"`
+	Bytes         uint64        `json:"bytes,omitempty"`
+	Objects       uint64        `json:"objects,omitempty"`
+	RecycledBytes uint64        `json:"recycled_bytes,omitempty"`
+	RecycledSlabs uint64        `json:"recycled_slabs,omitempty"`
 }
 
 // stageAcc accumulates one stage across queries of one shape.
@@ -79,6 +83,8 @@ type stageAcc struct {
 	maxWallNS int64
 	bytes     uint64
 	objects   uint64
+	recBytes  uint64
+	recSlabs  uint64
 }
 
 // shapeCosts accumulates every stage of one query shape.
@@ -125,6 +131,8 @@ func (sc *shapeCosts) add(samples []StageSample) {
 		}
 		acc.bytes += s.Bytes
 		acc.objects += s.Objects
+		acc.recBytes += s.RecycledBytes
+		acc.recSlabs += s.RecycledSlabs
 	}
 }
 
@@ -174,10 +182,15 @@ type StageCost struct {
 	// MeanWall and MaxWall are per-sample wall times.
 	MeanWall time.Duration `json:"mean_wall_ns"`
 	MaxWall  time.Duration `json:"max_wall_ns"`
-	// MeanBytes/MeanObjects are per-sample alloc deltas (wire bytes for
-	// net.* stages).
-	MeanBytes   float64 `json:"mean_bytes"`
-	MeanObjects float64 `json:"mean_objects"`
+	// MeanBytes/MeanObjects are per-sample heap-alloc deltas (wire
+	// bytes for net.* stages); MeanRecycledBytes/MeanRecycledSlabs are
+	// the per-sample demand served from buffer pools instead — the two
+	// together attribute a stage's true memory traffic once pooling is
+	// on.
+	MeanBytes         float64 `json:"mean_bytes"`
+	MeanObjects       float64 `json:"mean_objects"`
+	MeanRecycledBytes float64 `json:"mean_recycled_bytes,omitempty"`
+	MeanRecycledSlabs float64 `json:"mean_recycled_slabs,omitempty"`
 	// WallFrac is this stage's share of the shape's total query time
 	// (top-level stages only; auxiliary stages overlap fanout).
 	WallFrac float64 `json:"wall_frac"`
@@ -219,11 +232,13 @@ func (p *CostProfiler) Report() BackendCost {
 		var topNS int64
 		for name, acc := range sc.stages {
 			st := StageCost{
-				Stage:       name,
-				Count:       acc.count,
-				MaxWall:     time.Duration(acc.maxWallNS),
-				MeanBytes:   float64(acc.bytes) / float64(acc.count),
-				MeanObjects: float64(acc.objects) / float64(acc.count),
+				Stage:             name,
+				Count:             acc.count,
+				MaxWall:           time.Duration(acc.maxWallNS),
+				MeanBytes:         float64(acc.bytes) / float64(acc.count),
+				MeanObjects:       float64(acc.objects) / float64(acc.count),
+				MeanRecycledBytes: float64(acc.recBytes) / float64(acc.count),
+				MeanRecycledSlabs: float64(acc.recSlabs) / float64(acc.count),
 			}
 			st.MeanWall = time.Duration(acc.wallNS / int64(acc.count))
 			if isTopStage(name) {
@@ -329,15 +344,16 @@ func WriteCostReport(w io.Writer, report []BackendCost) {
 		for _, s := range b.Shapes {
 			fmt.Fprintf(w, "  shape %-8s queries=%d mean=%v coverage=%.2f\n",
 				s.Shape, s.Queries, s.MeanT, s.StageCoverage)
-			fmt.Fprintf(w, "    %-14s %8s %12s %12s %14s %12s %8s\n",
-				"stage", "count", "mean", "max", "bytes/op", "objs/op", "wall%")
+			fmt.Fprintf(w, "    %-14s %8s %12s %12s %14s %12s %14s %12s %8s\n",
+				"stage", "count", "mean", "max", "bytes/op", "objs/op", "recycled/op", "slabs/op", "wall%")
 			for _, st := range s.Stages {
 				frac := "-"
 				if isTopStage(st.Stage) {
 					frac = fmt.Sprintf("%.1f%%", st.WallFrac*100)
 				}
-				fmt.Fprintf(w, "    %-14s %8d %12v %12v %14.1f %12.1f %8s\n",
-					st.Stage, st.Count, st.MeanWall, st.MaxWall, st.MeanBytes, st.MeanObjects, frac)
+				fmt.Fprintf(w, "    %-14s %8d %12v %12v %14.1f %12.1f %14.1f %12.1f %8s\n",
+					st.Stage, st.Count, st.MeanWall, st.MaxWall, st.MeanBytes, st.MeanObjects,
+					st.MeanRecycledBytes, st.MeanRecycledSlabs, frac)
 			}
 		}
 	}

@@ -15,8 +15,8 @@ import (
 // non-minimal encodings, which decode fine but re-encode minimally.)
 func FuzzDecodeRecord(f *testing.F) {
 	f.Add([]byte{})
-	f.Add(encodeRecord(mkhash.Record{"a", "b"}))
-	f.Add(encodeRecord(mkhash.Record{""}))
+	f.Add(appendRecord(nil, mkhash.Record{"a", "b"}))
+	f.Add(appendRecord(nil, mkhash.Record{""}))
 	f.Add([]byte{0x80, 0x00}) // non-minimal varint for 0
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 	f.Fuzz(func(t *testing.T, payload []byte) {
@@ -24,7 +24,7 @@ func FuzzDecodeRecord(f *testing.F) {
 		if err != nil {
 			return
 		}
-		canonical := encodeRecord(rec)
+		canonical := appendRecord(nil, rec)
 		again, err := decodeRecord(canonical)
 		if err != nil {
 			t.Fatalf("canonical re-encoding failed to decode: %v", err)
@@ -37,7 +37,7 @@ func FuzzDecodeRecord(f *testing.F) {
 				t.Fatalf("round trip changed field %d", i)
 			}
 		}
-		if !bytes.Equal(encodeRecord(again), canonical) {
+		if !bytes.Equal(appendRecord(nil, again), canonical) {
 			t.Fatal("canonical encoding not a fixed point")
 		}
 	})

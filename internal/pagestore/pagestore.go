@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math/bits"
 	"os"
 	"time"
 
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 )
@@ -54,7 +56,15 @@ type Store struct {
 	size int64
 	// records counts stored records.
 	records int
+	// frames recycles the encode/read buffers (the shared wire/page
+	// slab pool by default; SetFramePool(nil) turns recycling off).
+	frames *mempool.SlicePool[byte]
 }
+
+// SetFramePool replaces the store's frame buffer pool; nil disables
+// pooling (every frame allocates). On-disk bytes are identical either
+// way — the pool only changes where the scratch comes from.
+func (s *Store) SetFramePool(p *mempool.SlicePool[byte]) { s.frames = p }
 
 // Open opens or creates the store at path, rebuilding the bucket index by
 // scanning the log. A torn final frame (crash during append) is detected
@@ -64,7 +74,7 @@ func Open(path string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{f: f, path: path, index: make(map[uint32][]int64)}
+	s := &Store{f: f, path: path, index: make(map[uint32][]int64), frames: mempool.Frames}
 	if err := s.recover(); err != nil {
 		f.Close()
 		return nil, err
@@ -83,9 +93,9 @@ func (s *Store) recover() error {
 	}
 	fileSize := info.Size()
 	var off int64
-	header := make([]byte, frameHeaderSize)
+	var header [frameHeaderSize]byte
 	for off+frameHeaderSize <= fileSize {
-		if _, err := s.f.ReadAt(header, off); err != nil {
+		if _, err := s.f.ReadAt(header[:], off); err != nil {
 			return err
 		}
 		crc := binary.LittleEndian.Uint32(header[0:4])
@@ -94,15 +104,20 @@ func (s *Store) recover() error {
 		if plen > maxPayload || off+frameHeaderSize+int64(plen) > fileSize {
 			break // torn or corrupt tail
 		}
-		payload := make([]byte, plen)
+		payload := s.frames.Get(int(plen))
 		if _, err := s.f.ReadAt(payload, off+frameHeaderSize); err != nil {
+			s.frames.Put(payload)
 			return err
 		}
-		if crc32.ChecksumIEEE(append(header[4:12:12], payload...)) != crc {
-			break // corrupt frame: end of valid prefix
-		}
-		if plen == 0 {
-			break // frames always carry a kind byte
+		// Incremental CRC over header then payload — same digest as the
+		// writer's single pass, no concatenation scratch.
+		sum := crc32.ChecksumIEEE(header[4:12])
+		sum = crc32.Update(sum, crc32.IEEETable, payload)
+		if sum != crc || plen == 0 {
+			// Corrupt frame, or one without its kind byte: end of the
+			// valid prefix.
+			s.frames.Put(payload)
+			break
 		}
 		switch payload[0] {
 		case kindPut:
@@ -111,14 +126,19 @@ func (s *Store) recover() error {
 		case kindTombstone:
 			rec, err := decodeRecord(payload[1:])
 			if err != nil {
+				s.frames.Put(payload)
 				return fmt.Errorf("pagestore: corrupt tombstone at offset %d: %w", off, err)
 			}
 			if err := s.dropFromIndex(bucket, rec); err != nil {
+				s.frames.Put(payload)
 				return err
 			}
 		default:
-			return fmt.Errorf("pagestore: unknown frame kind %d at offset %d", payload[0], off)
+			kind := payload[0]
+			s.frames.Put(payload)
+			return fmt.Errorf("pagestore: unknown frame kind %d at offset %d", kind, off)
 		}
+		s.frames.Put(payload)
 		off += frameHeaderSize + int64(plen)
 	}
 	if off < fileSize {
@@ -141,25 +161,28 @@ func (s *Store) Len() int { return s.records }
 // Buckets returns the number of non-empty buckets.
 func (s *Store) Buckets() int { return len(s.index) }
 
-// appendFrame writes one frame and returns its offset.
+// appendFrame writes one frame and returns its offset. The frame is
+// encoded directly into one exactly-sized pooled buffer (header, kind,
+// record body) and recycled after the write; the bytes on disk are
+// identical to what the two-copy encoder historically produced.
 func (s *Store) appendFrame(kind byte, bucket uint32, rec mkhash.Record) (int64, error) {
-	body := encodeRecord(rec)
-	payload := make([]byte, 0, 1+len(body))
-	payload = append(payload, kind)
-	payload = append(payload, body...)
-	if len(payload) > maxPayload {
-		return 0, fmt.Errorf("pagestore: record of %d bytes exceeds limit", len(payload))
+	plen := 1 + recordSize(rec)
+	if plen > maxPayload {
+		return 0, fmt.Errorf("pagestore: record of %d bytes exceeds limit", plen)
 	}
-	frame := make([]byte, frameHeaderSize+len(payload))
+	frame := s.frames.Get(frameHeaderSize + plen)[:frameHeaderSize]
 	binary.LittleEndian.PutUint32(frame[4:8], bucket)
-	binary.LittleEndian.PutUint32(frame[8:12], uint32(len(payload)))
-	copy(frame[frameHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(frame[8:12], uint32(plen))
+	frame = append(frame, kind)
+	frame = appendRecord(frame, rec)
 	binary.LittleEndian.PutUint32(frame[0:4], crc32.ChecksumIEEE(frame[4:]))
 	off := s.size
-	if _, err := s.f.WriteAt(frame, off); err != nil {
+	_, err := s.f.WriteAt(frame, off)
+	s.frames.Put(frame)
+	if err != nil {
 		return 0, err
 	}
-	s.size += int64(len(frame))
+	s.size += int64(frameHeaderSize + plen)
 	return off, nil
 }
 
@@ -311,23 +334,59 @@ func (s *Store) EachBucket(fn func(bucket uint32) error) error {
 }
 
 func (s *Store) readFrame(off int64) (mkhash.Record, int64, error) {
-	header := make([]byte, frameHeaderSize)
-	if _, err := s.f.ReadAt(header, off); err != nil {
-		return nil, 0, err
-	}
-	plen := binary.LittleEndian.Uint32(header[8:12])
-	if plen == 0 {
-		return nil, 0, fmt.Errorf("pagestore: empty frame at offset %d", off)
-	}
-	payload := make([]byte, plen)
-	if _, err := s.f.ReadAt(payload, off+frameHeaderSize); err != nil {
-		return nil, 0, err
-	}
-	rec, err := decodeRecord(payload[1:]) // skip the kind byte
+	payload, err := s.readPayload(off)
 	if err != nil {
 		return nil, 0, err
 	}
-	return rec, off + frameHeaderSize + int64(plen), nil
+	rec, err := decodeRecord(payload[1:]) // skip the kind byte
+	end := off + frameHeaderSize + int64(len(payload))
+	s.frames.Put(payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, end, nil
+}
+
+// readPayload reads one frame's payload into a pooled slab the caller
+// must Put back once decoded.
+func (s *Store) readPayload(off int64) ([]byte, error) {
+	var header [frameHeaderSize]byte
+	if _, err := s.f.ReadAt(header[:], off); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(header[8:12])
+	if plen == 0 {
+		return nil, fmt.Errorf("pagestore: empty frame at offset %d", off)
+	}
+	payload := s.frames.Get(int(plen))
+	if _, err := s.f.ReadAt(payload, off+frameHeaderSize); err != nil {
+		s.frames.Put(payload)
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ScanInto is Scan with the decoded records materialised through b's
+// arena: field-header slices and field bytes come from the builder's
+// chunks instead of two allocations per record, and in pooled mode the
+// whole scan's memory recycles on the builder's Release. Records are
+// only valid as long as b's arena is (see mempool.RecordBuilder).
+func (s *Store) ScanInto(bucket uint32, b *mempool.RecordBuilder, fn func(rec mkhash.Record) error) error {
+	for _, off := range s.index[bucket] {
+		payload, err := s.readPayload(off)
+		if err != nil {
+			return err
+		}
+		rec, err := decodeRecordInto(payload[1:], b)
+		s.frames.Put(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sync flushes appended frames to stable storage.
@@ -347,21 +406,27 @@ func (s *Store) Close() error {
 	return s.f.Close()
 }
 
-// encodeRecord serialises a record as a field count followed by
+// uvarintLen returns the encoded size of v without encoding it.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// recordSize returns the exact encoded size of rec's body (field count
+// followed by length-prefixed field values).
+func recordSize(rec mkhash.Record) int {
+	n := uvarintLen(uint64(len(rec)))
+	for _, v := range rec {
+		n += uvarintLen(uint64(len(v))) + len(v)
+	}
+	return n
+}
+
+// appendRecord serialises a record as a field count followed by
 // length-prefixed field values.
-func encodeRecord(rec mkhash.Record) []byte {
-	n := binary.MaxVarintLen64
+func appendRecord(buf []byte, rec mkhash.Record) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rec)))
 	for _, v := range rec {
-		n += binary.MaxVarintLen64 + len(v)
-	}
-	buf := make([]byte, 0, n)
-	var tmp [binary.MaxVarintLen64]byte
-	put := func(v uint64) {
-		buf = append(buf, tmp[:binary.PutUvarint(tmp[:], v)]...)
-	}
-	put(uint64(len(rec)))
-	for _, v := range rec {
-		put(uint64(len(v)))
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, v...)
 	}
 	return buf
@@ -397,4 +462,39 @@ func decodeRecord(payload []byte) (mkhash.Record, error) {
 		return nil, fmt.Errorf("pagestore: %d trailing bytes in record frame", len(rd))
 	}
 	return rec, nil
+}
+
+// decodeRecordInto is decodeRecord drawing the field-header slice and
+// field bytes from b's arena instead of fresh allocations. payload may
+// be recycled as soon as the call returns — every byte is copied out.
+func decodeRecordInto(payload []byte, b *mempool.RecordBuilder) (mkhash.Record, error) {
+	rd := payload
+	take := func() (uint64, error) {
+		v, n := binary.Uvarint(rd)
+		if n <= 0 {
+			return 0, io.ErrUnexpectedEOF
+		}
+		rd = rd[n:]
+		return v, nil
+	}
+	count, err := take()
+	if err != nil {
+		return nil, fmt.Errorf("pagestore: corrupt record header")
+	}
+	if count > 1<<20 {
+		return nil, fmt.Errorf("pagestore: implausible field count %d", count)
+	}
+	fields := b.Fields(int(count))
+	for i := range fields {
+		l, err := take()
+		if err != nil || uint64(len(rd)) < l {
+			return nil, fmt.Errorf("pagestore: corrupt field length")
+		}
+		fields[i] = b.Bytes(rd[:l])
+		rd = rd[l:]
+	}
+	if len(rd) != 0 {
+		return nil, fmt.Errorf("pagestore: %d trailing bytes in record frame", len(rd))
+	}
+	return mkhash.Record(fields), nil
 }

@@ -11,6 +11,7 @@ import (
 	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/pagestore"
@@ -36,6 +37,25 @@ type DurableCluster struct {
 	schema *mkhash.File // schema-only file used to hash queries
 	stores []*pagestore.Store
 	eng    *engine.Executor
+	hits   *mempool.SlicePool[mkhash.Record] // nil under WithoutMemPool
+	noPool bool
+	arena  bool // lease decode arenas to results (WithArenaResults)
+}
+
+// openStores opens one pagestore log per device, disabling its frame
+// pool under WithoutMemPool.
+func (c *DurableCluster) openStores() error {
+	for dev := range c.stores {
+		s, err := pagestore.Open(devicePath(c.dir, dev))
+		if err != nil {
+			return err
+		}
+		if c.noPool {
+			s.SetFramePool(nil)
+		}
+		c.stores[dev] = s
+	}
+	return nil
 }
 
 // engineFor wires the cluster's per-device stores into the shared
@@ -46,7 +66,7 @@ func (c *DurableCluster) engineFor(model CostModel, st *settings) (*engine.Execu
 		devices[dev] = durDevice{c: c, dev: dev}
 	}
 	devices = st.wrap(devices)
-	return engine.New(engine.Config{
+	return engine.New(st.engineConfig(engine.Config{
 		Schema:     c.schema,
 		FS:         c.fs,
 		Devices:    devices,
@@ -60,7 +80,7 @@ func (c *DurableCluster) engineFor(model CostModel, st *settings) (*engine.Execu
 		Profile:    obs.CostProfilerFor("durable"),
 		Flight:     obs.FlightRecorderFor("durable"),
 		Resilience: st.resilienceFor("durable", devices),
-	})
+	}))
 }
 
 // durDevice adapts one device's pagestore log to the engine's Device
@@ -74,6 +94,11 @@ type durDevice struct {
 func (d durDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
 	var ans engine.Answer
 	c := d.c
+	// One builder per scan: decoded records share its chunked arena
+	// instead of allocating two objects each. In arena mode the chunks
+	// are pooled and the lease travels on the answer; otherwise they are
+	// plain heap the results own outright.
+	b := mempool.NewRecordBuilder(c.arena)
 	var err error
 	eachOnDevice(ctx, c.im, q, d.dev, func(coords []int) {
 		if err != nil {
@@ -83,16 +108,21 @@ func (d durDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMat
 			return
 		}
 		ans.Buckets++
-		err = c.stores[d.dev].Scan(uint32(c.fs.Linear(coords)), func(r mkhash.Record) error {
+		err = c.stores[d.dev].ScanInto(uint32(c.fs.Linear(coords)), b, func(r mkhash.Record) error {
 			ans.Records++
 			if engine.Matches(pm, r) {
-				ans.Hits = append(ans.Hits, r)
+				ans.Hits = c.hits.AppendOne(ans.Hits, r)
 			}
 			return nil
 		})
 	})
 	if err != nil {
+		c.hits.Put(ans.Hits)
+		b.Release()
 		return engine.Answer{}, err
+	}
+	if c.arena {
+		ans.Release = b.Release
 	}
 	return ans, nil
 }
@@ -132,17 +162,16 @@ func CreateDurable(dir string, file *mkhash.File, alloc decluster.GroupAllocator
 		im:     query.NewInverseMapper(alloc),
 		schema: schemaOnly,
 		stores: make([]*pagestore.Store, fs.M),
+		hits:   engine.HitsPool(!st.noPool),
+		noPool: st.noPool,
+		arena:  st.arena && !st.noPool,
 	}
 	if c.eng, err = c.engineFor(model, st); err != nil {
 		return nil, err
 	}
-	for dev := range c.stores {
-		s, err := pagestore.Open(devicePath(dir, dev))
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.stores[dev] = s
+	if err := c.openStores(); err != nil {
+		c.Close()
+		return nil, err
 	}
 	var insertErr error
 	file.EachBucket(func(coords []int, records []mkhash.Record) {
@@ -189,17 +218,16 @@ func OpenDurable(dir string, model CostModel, opts ...Option) (*DurableCluster, 
 		im:     query.NewInverseMapper(alloc),
 		schema: schemaOnly,
 		stores: make([]*pagestore.Store, fs.M),
+		hits:   engine.HitsPool(!st.noPool),
+		noPool: st.noPool,
+		arena:  st.arena && !st.noPool,
 	}
 	if c.eng, err = c.engineFor(model, st); err != nil {
 		return nil, err
 	}
-	for dev := range c.stores {
-		s, err := pagestore.Open(devicePath(dir, dev))
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.stores[dev] = s
+	if err := c.openStores(); err != nil {
+		c.Close()
+		return nil, err
 	}
 	return c, nil
 }
@@ -285,8 +313,10 @@ func (c *DurableCluster) BulkInsert(records []mkhash.Record) error {
 		rec    mkhash.Record
 	}
 	parts := make([][]routed, c.fs.M)
+	var coords []int // routing scratch, reused across the whole batch
 	for _, r := range records {
-		coords, err := c.schema.BucketOf(r)
+		var err error
+		coords, err = c.schema.BucketInto(r, coords)
 		if err != nil {
 			return err
 		}

@@ -15,6 +15,8 @@ type settings struct {
 	retry    *retry.Config
 	injector *resilience.Injector
 	fileOpts []mkhash.Option
+	noPool   bool
+	arena    bool
 }
 
 func newSettings(opts []Option) *settings {
@@ -42,6 +44,30 @@ func WithInjector(in *resilience.Injector) Option {
 // to OpenDurable's metadata load; other constructors ignore them.
 func WithFileOptions(opts ...mkhash.Option) Option {
 	return func(s *settings) { s.fileOpts = append(s.fileOpts, opts...) }
+}
+
+// WithoutMemPool disables the cluster's buffer pools: hit frames,
+// fan-out scratch, page frames, and decode arenas all fall back to
+// plain allocation. The A/B switch for the differential tests and for
+// ruling pooling out when chasing a corruption bug.
+func WithoutMemPool() Option {
+	return func(s *settings) { s.noPool = true }
+}
+
+// WithArenaResults makes retrievals lease their result slabs from the
+// pools: Result.Records (and, on the durable backend, the field strings
+// they point at) stay valid only until Result.Release returns them for
+// reuse. Callers that never Release simply fall back to the garbage
+// collector. Ignored under WithoutMemPool.
+func WithArenaResults() Option {
+	return func(s *settings) { s.arena = true }
+}
+
+// engineConfig stamps the pooling choices onto an engine config.
+func (s *settings) engineConfig(cfg engine.Config) engine.Config {
+	cfg.NoPool = s.noPool
+	cfg.ArenaResults = s.arena
+	return cfg
 }
 
 // wrap applies the injector (if any) in front of the device set.

@@ -6,6 +6,7 @@ import (
 	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
@@ -28,6 +29,7 @@ type ReplicatedCluster struct {
 	// copies (primaries of d-1).
 	devs []*device
 	eng  *engine.Executor
+	hits *mempool.SlicePool[mkhash.Record] // nil under WithoutMemPool
 }
 
 // NewReplicated distributes file's buckets over the allocator's devices
@@ -44,6 +46,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		placement: replica.New(alloc, mode),
 		im:        query.NewInverseMapper(alloc),
 		devs:      make([]*device, fs.M),
+		hits:      engine.HitsPool(!st.noPool),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -60,7 +63,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		devices[dev] = replDevice{c: c, dev: dev}
 	}
 	devices = st.wrap(devices)
-	eng, err := engine.New(engine.Config{
+	eng, err := engine.New(st.engineConfig(engine.Config{
 		Schema:     file,
 		FS:         fs,
 		Devices:    devices,
@@ -74,7 +77,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		Profile:    obs.CostProfilerFor("replicated"),
 		Flight:     obs.FlightRecorderFor("replicated"),
 		Resilience: st.resilienceFor("replicated", devices),
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +118,7 @@ func (d replDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMa
 		for _, r := range store.buckets[c.fs.Linear(coords)] {
 			ans.Records++
 			if engine.Matches(pm, r) {
-				ans.Hits = append(ans.Hits, r)
+				ans.Hits = c.hits.AppendOne(ans.Hits, r)
 			}
 		}
 	}
@@ -123,6 +126,7 @@ func (d replDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMa
 	prev := (d.dev - 1 + c.fs.M) % c.fs.M
 	eachOnDevice(ctx, c.im, q, prev, serve)
 	if err != nil {
+		c.hits.Put(ans.Hits)
 		return engine.Answer{}, err
 	}
 	return ans, nil

@@ -23,6 +23,7 @@ import (
 	"fxdist/internal/audit"
 	"fxdist/internal/decluster"
 	"fxdist/internal/engine"
+	"fxdist/internal/mempool"
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
@@ -56,6 +57,7 @@ type Cluster struct {
 	model CostModel // used by Project; retrieval prices via eng
 	devs  []*device
 	eng   *engine.Executor
+	hits  *mempool.SlicePool[mkhash.Record] // nil under WithoutMemPool
 }
 
 // checkAllocator verifies the allocator was built for the file's current
@@ -88,6 +90,7 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		im:    query.NewInverseMapper(alloc),
 		model: model,
 		devs:  make([]*device, fs.M),
+		hits:  engine.HitsPool(!st.noPool),
 	}
 	for i := range c.devs {
 		c.devs[i] = &device{buckets: make(map[int][]mkhash.Record)}
@@ -101,7 +104,7 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		devices[dev] = memDevice{c: c, dev: dev}
 	}
 	devices = st.wrap(devices)
-	eng, err := engine.New(engine.Config{
+	eng, err := engine.New(st.engineConfig(engine.Config{
 		Schema:     file,
 		FS:         fs,
 		Devices:    devices,
@@ -115,7 +118,7 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		Profile:    obs.CostProfilerFor("memory"),
 		Flight:     obs.FlightRecorderFor("memory"),
 		Resilience: st.resilienceFor("memory", devices),
-	})
+	}))
 	if err != nil {
 		return nil, err
 	}
@@ -145,11 +148,12 @@ func (d memDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMat
 		for _, r := range store.buckets[d.c.fs.Linear(coords)] {
 			ans.Records++
 			if engine.Matches(pm, r) {
-				ans.Hits = append(ans.Hits, r)
+				ans.Hits = d.c.hits.AppendOne(ans.Hits, r)
 			}
 		}
 	})
 	if err != nil {
+		d.c.hits.Put(ans.Hits)
 		return engine.Answer{}, err
 	}
 	return ans, nil

@@ -1,0 +1,269 @@
+package fxdist_test
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"fxdist"
+)
+
+// poolDiffSetup builds a loaded file plus a query mix that exercises
+// multi-device fan-out with value filters (hash false positives
+// included).
+func poolDiffSetup(t *testing.T) (*fxdist.File, []fxdist.PartialMatch) {
+	t.Helper()
+	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+		{Name: "a", Cardinality: 120},
+		{Name: "b", Cardinality: 40},
+		{Name: "c", Cardinality: 8},
+	}}
+	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{3, 3, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fxdist.GenerateRecords(spec, 5000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := file.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pms, err := fxdist.GeneratePartialMatches(spec, 24, 0.5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, pms
+}
+
+// copyKeys materializes a result's records as owned strings — safe to
+// keep after an arena result is released.
+func copyKeys(recs []fxdist.Record) []string {
+	keys := make([]string, len(recs))
+	for i, r := range recs {
+		keys[i] = strings.Join(r, "\x00")
+	}
+	return keys
+}
+
+func sortedCopy(keys []string) []string {
+	out := append([]string(nil), keys...)
+	sort.Strings(out)
+	return out
+}
+
+// TestPoolingDifferentialAcrossBackends runs the same query mix through
+// every backend in all three ownership modes — copy-out pooling
+// (default), WithoutMemPool, and WithArenaResults — and demands
+// byte-identical answers: identical record order across modes within a
+// backend (pooling must not reorder a backend's merge), identical
+// record multisets across backends. This is the gate that pooled slab
+// reuse never leaks one query's records into another's answer.
+func TestPoolingDifferentialAcrossBackends(t *testing.T) {
+	file, pms := poolDiffSetup(t)
+	fs, err := file.FileSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type opener func(t *testing.T, opts ...fxdist.Option) (*fxdist.Cluster, func())
+	backends := map[string]opener{
+		"memory": func(t *testing.T, opts ...fxdist.Option) (*fxdist.Cluster, func()) {
+			c, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx}, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, func() {}
+		},
+		"durable": func(t *testing.T, opts ...fxdist.Option) (*fxdist.Cluster, func()) {
+			c, err := fxdist.Open(fxdist.Config{Dir: t.TempDir(), File: file, Allocator: fx}, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, func() { c.Close() }
+		},
+		"replicated": func(t *testing.T, opts ...fxdist.Option) (*fxdist.Cluster, func()) {
+			c, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx},
+				append([]fxdist.Option{fxdist.WithReplication(fxdist.ChainedFailover)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, func() {}
+		},
+		"netdist": func(t *testing.T, opts ...fxdist.Option) (*fxdist.Cluster, func()) {
+			addrs, stop, err := fxdist.DeployLocal(file, fx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs}, opts...)
+			if err != nil {
+				stop()
+				t.Fatal(err)
+			}
+			return c, func() { c.Close(); stop() }
+		},
+	}
+	modes := []struct {
+		name string
+		opts []fxdist.Option
+	}{
+		{"pooled", nil},
+		{"nopool", []fxdist.Option{fxdist.WithoutMemPool()}},
+		{"arena", []fxdist.Option{fxdist.WithArenaResults()}},
+	}
+
+	// want[qi] is the reference answer from a direct single-device file
+	// search, sorted.
+	want := make([][]string, len(pms))
+	for qi, pm := range pms {
+		recs, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qi] = sortedCopy(copyKeys(recs))
+	}
+
+	for name, open := range backends {
+		t.Run(name, func(t *testing.T) {
+			// exact[qi] is the backend's record order under the first
+			// mode; later modes must reproduce it exactly.
+			var exact [][]string
+			for _, mode := range modes {
+				c, cleanup := open(t, mode.opts...)
+				got := make([][]string, len(pms))
+				for qi, pm := range pms {
+					res, err := c.Retrieve(pm)
+					if err != nil {
+						t.Fatalf("%s/%s query %d: %v", name, mode.name, qi, err)
+					}
+					got[qi] = copyKeys(res.Records)
+					res.Release()
+					res.Release() // idempotent, also on copy-out results
+				}
+				cleanup()
+				for qi := range pms {
+					if s := sortedCopy(got[qi]); !equalStrings(s, want[qi]) {
+						t.Fatalf("%s/%s query %d: %d records, file.Search has %d (answers differ)",
+							name, mode.name, qi, len(s), len(want[qi]))
+					}
+				}
+				if exact == nil {
+					exact = got
+					continue
+				}
+				for qi := range pms {
+					if !equalStrings(got[qi], exact[qi]) {
+						t.Fatalf("%s/%s query %d: record order differs from %s mode",
+							name, mode.name, qi, modes[0].name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestArenaRetrieveReleaseHammer pounds an arena-mode cluster with
+// concurrent Retrieve → read → Release loops (plus double releases) —
+// the race-detector gate that slab recycling is properly fenced: a
+// recycled hit frame or record arena must never be visible to another
+// in-flight retrieval.
+func TestArenaRetrieveReleaseHammer(t *testing.T) {
+	file, pms := poolDiffSetup(t)
+	fs, err := file.FileSystem(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stop, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	want := make(map[int]int, len(pms))
+	for qi, pm := range pms {
+		recs, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qi] = len(recs)
+	}
+
+	clusters := map[string]*fxdist.Cluster{}
+	mem, err := fxdist.Open(fxdist.Config{File: file, Allocator: fx}, fxdist.WithArenaResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters["memory"] = mem
+	net, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs}, fxdist.WithArenaResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	clusters["netdist"] = net
+
+	const workers, iters = 8, 40
+	for name, c := range clusters {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						qi := (w*iters + i) % len(pms)
+						res, err := c.Retrieve(pms[qi])
+						if err != nil {
+							errs <- err
+							return
+						}
+						// Touch every field byte while the lease is held,
+						// then verify the count against the reference.
+						total := 0
+						for _, r := range res.Records {
+							for _, f := range r {
+								total += len(f)
+							}
+						}
+						n := len(res.Records)
+						res.Release()
+						go res.Release() // idempotent across goroutines too
+						if n != want[qi] {
+							t.Errorf("query %d returned %d records, want %d (total field bytes %d)",
+								qi, n, want[qi], total)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}

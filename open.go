@@ -51,6 +51,8 @@ type openSettings struct {
 	shapeSLOs   map[string]LatencySLO
 	cacheSize   int // 0 = default, < 0 = disabled
 	fileOpts    []FileOption
+	noPool      bool
+	arena       bool
 
 	// Resilience (see resilience.go for the options).
 	resilSet    bool
@@ -72,6 +74,12 @@ func (s *openSettings) storageOpts(kind string) []storage.Option {
 	}
 	if in := s.buildInjector(kind); in != nil {
 		opts = append(opts, storage.WithInjector(in))
+	}
+	if s.noPool {
+		opts = append(opts, storage.WithoutMemPool())
+	}
+	if s.arena {
+		opts = append(opts, storage.WithArenaResults())
 	}
 	return opts
 }
@@ -159,6 +167,27 @@ func WithFileOptions(opts ...FileOption) Option {
 	return func(s *openSettings) { s.fileOpts = append(s.fileOpts, opts...) }
 }
 
+// WithoutMemPool disables the cluster's buffer pools on every backend
+// kind: hit frames, fan-out scratch, page frames, wire frames, and
+// decode arenas all fall back to plain allocation. Results are
+// byte-identical either way — this is the A/B switch for differential
+// testing and for ruling pooling out when chasing a corruption bug.
+func WithoutMemPool() Option {
+	return func(s *openSettings) { s.noPool = true }
+}
+
+// WithArenaResults opts into zero-copy result ownership: retrievals
+// lease their record slabs from the pools, and the caller returns them
+// with RetrieveResult.Release once done reading. After Release the
+// Records (and, on the durable and distributed backends, the field
+// strings they point at) are invalid. Callers that never Release simply
+// fall back to the garbage collector — correct, just slower. Ignored
+// under WithoutMemPool. Without this option results are plain
+// caller-owned allocations and Release is a no-op.
+func WithArenaResults() Option {
+	return func(s *openSettings) { s.arena = true }
+}
+
 // Cluster is the unified handle over every backend kind — in-memory,
 // replicated, durable, distributed — built by Open. All kinds retrieve
 // through the same engine executor and plan cache, so the handle offers
@@ -217,6 +246,12 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		}
 		if in := s.buildInjector(KindNetdist); in != nil {
 			dialOpts = append(dialOpts, netdist.WithInjector(in))
+		}
+		if s.noPool {
+			dialOpts = append(dialOpts, netdist.WithoutMemPool())
+		}
+		if s.arena {
+			dialOpts = append(dialOpts, netdist.WithArenaResults())
 		}
 		coord, err := netdist.Dial(cfg.File, cfg.Addrs, dialOpts...)
 		if err != nil {
@@ -384,9 +419,10 @@ func (c *Cluster) RetrieveBatch(ctx context.Context, pms []PartialMatch) ([]Retr
 }
 
 // fromDistributed lifts a coordinator result onto the unified result
-// type (no cost model on the wire, so the time fields stay zero).
+// type (no cost model on the wire, so the time fields stay zero). The
+// arena lease rides along so Release keeps working through the facade.
 func fromDistributed(r DistributedResult) RetrieveResult {
-	return RetrieveResult{
+	res := RetrieveResult{
 		TraceID:             r.TraceID,
 		Records:             r.Records,
 		DeviceBuckets:       r.DeviceBuckets,
@@ -394,6 +430,8 @@ func fromDistributed(r DistributedResult) RetrieveResult {
 		LargestResponseSize: r.LargestResponseSize,
 		Stages:              r.Stages,
 	}
+	res.SetLease(r.Lease())
+	return res
 }
 
 // Close releases the backend's resources: device logs for durable
