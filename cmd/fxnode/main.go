@@ -27,7 +27,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"fxdist"
 	"fxdist/internal/cliutil"
@@ -75,7 +77,7 @@ func runServe(args []string) error {
 			return err
 		}
 		defer stop()
-		fmt.Printf("fxnode: observability on http://%s/metrics\n", addr)
+		fmt.Printf("fxnode: observability on http://%s/metrics — endpoint index at http://%s/debug/\n", addr, addr)
 	}
 	file, alloc, err := fxdist.LoadSnapshotFile(*snapshot)
 	if err != nil {
@@ -109,6 +111,18 @@ func runServe(args []string) error {
 	}
 	fmt.Printf("fxnode: serving device %d (%d buckets) of %s on %s\n",
 		*device, buckets, alloc.Name(), l.Addr())
+	// Serve blocks until the listener closes. A SIGINT/SIGTERM closes the
+	// server so Serve returns cleanly and the deferred metrics shutdown
+	// actually runs (instead of the process dying mid-request with the
+	// observability listener still bound).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	go func() {
+		<-sigc
+		fmt.Println("fxnode: shutting down")
+		srv.Close()
+	}()
 	return srv.Serve(l)
 }
 
@@ -117,6 +131,7 @@ func runQuery(args []string) error {
 	snapshot := fs.String("snapshot", "", "snapshot file (schema source)")
 	addrsArg := fs.String("addrs", "", "comma-separated device addresses, in device order")
 	timeout := fs.Duration("timeout", 0, "overall retrieval deadline (0 waits indefinitely)")
+	statsPull := fs.Duration("stats-pull", 0, "pull every device server's metrics snapshot at this interval into the /debug/cluster fleet view (0 pulls once)")
 	slo := fs.Duration("slo", 0, "latency objective per query shape (0 disables SLO tracking)")
 	sloGoal := fs.Float64("slo-goal", 0.99, "fraction of queries that must meet -slo")
 	profileDir := fs.String("profile-dir", "", "spool triggered pprof captures into this directory (enables triggered profiling)")
@@ -139,7 +154,7 @@ func runQuery(args []string) error {
 			return err
 		}
 		defer stop()
-		fmt.Printf("fxnode: observability on http://%s/metrics\n", addr)
+		fmt.Printf("fxnode: observability on http://%s/metrics — endpoint index at http://%s/debug/\n", addr, addr)
 	}
 	file, _, err := fxdist.LoadSnapshotFile(*snapshot)
 	if err != nil {
@@ -174,12 +189,24 @@ func runQuery(args []string) error {
 			}
 		}()
 	}
+	if *statsPull > 0 {
+		opts = append(opts, fxdist.WithStatsPull(*statsPull))
+	}
 	coord, err := fxdist.Open(fxdist.Config{File: file, Addrs: strings.Split(*addrsArg, ",")}, opts...)
 	if err != nil {
 		return err
 	}
 	defer coord.Close()
-	ctx := context.Background()
+	// A signal cancels the retrieval instead of killing the process, so
+	// the deferred metrics and coordinator shutdowns run.
+	sigCtx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	ctx := sigCtx
+	if *statsPull == 0 {
+		// One synchronous pull populates /debug/cluster for this process's
+		// lifetime even without a refresh loop.
+		coord.Coordinator().PullStats(ctx) //nolint:errcheck // failures land in the federator
+	}
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -206,6 +233,13 @@ func runQuery(args []string) error {
 		fmt.Println(" ", strings.Join(r, ", "))
 	}
 	printAudit()
+	if *statsPull > 0 {
+		// The refresh loop makes this process the fleet view: keep it
+		// (and its /debug/cluster endpoint) alive for fxtop until a
+		// signal, rather than exiting after one query.
+		fmt.Printf("fxnode: pulling device stats every %v; Ctrl-C to exit\n", *statsPull)
+		<-sigCtx.Done()
+	}
 	return nil
 }
 

@@ -26,6 +26,21 @@ import (
 )
 
 func main() {
+	// All work happens in run so its defers (metrics listener shutdown,
+	// profile spooling) execute before the process exits — os.Exit here
+	// would skip them if it lived past the defer registrations.
+	if err := run(); err != nil {
+		var terr *fxdist.TracedError
+		if errors.As(err, &terr) {
+			fmt.Fprintf(os.Stderr, "pmquery: %v [join trace %d against /debug/traces]\n", err, terr.TraceID)
+		} else {
+			fmt.Fprintln(os.Stderr, "pmquery:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	records := flag.Int("records", 20000, "number of synthetic records")
 	devices := flag.Int("devices", 16, "number of parallel devices (power of two)")
 	method := flag.String("method", "fx", "declustering method: fx, basicfx, modulo, gdm")
@@ -42,10 +57,10 @@ func main() {
 	if *metricsAddr != "" {
 		addr, stopMetrics, err := fxdist.ServeMetrics(*metricsAddr)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer stopMetrics()
-		fmt.Printf("pmquery: observability on http://%s/metrics\n\n", addr)
+		fmt.Printf("pmquery: observability on http://%s/metrics — endpoint index at http://%s/debug/\n\n", addr, addr)
 	}
 
 	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
@@ -58,21 +73,21 @@ func main() {
 
 	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, depths))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	recs, err := fxdist.GenerateRecords(spec, *records, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for _, r := range recs {
 		if err := file.Insert(r); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
 	fs, err := file.FileSystem(*devices)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var alloc fxdist.GroupAllocator
 	switch strings.ToLower(*method) {
@@ -85,10 +100,10 @@ func main() {
 	case "gdm":
 		alloc, err = fxdist.NewGDM(fs, []int{2, 3, 5, 7})
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		return fmt.Errorf("unknown method %q", *method)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	cm := fxdist.MainMemory
@@ -98,7 +113,7 @@ func main() {
 
 	cluster, err := fxdist.Open(fxdist.Config{File: file, Allocator: alloc}, fxdist.WithCostModel(cm))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("file: %d records, directory %v, %d devices, method %s, model %s\n\n",
@@ -106,20 +121,20 @@ func main() {
 
 	pms, err := fxdist.GeneratePartialMatches(spec, *queries, *p, *seed+1)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	ctx := context.Background()
 	var results []fxdist.RetrieveResult
 	if *batch {
 		results, err = cluster.RetrieveBatch(ctx, pms)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		results = make([]fxdist.RetrieveResult, len(pms))
 		for i, pm := range pms {
 			if results[i], err = cluster.RetrieveContext(ctx, pm); err != nil {
-				fatal(fmt.Errorf("query %d: %w", i, err))
+				return fmt.Errorf("query %d: %w", i, err)
 			}
 		}
 	}
@@ -142,6 +157,7 @@ func main() {
 		fmt.Println()
 		fxdist.WriteFlightReport(os.Stdout, fxdist.FlightReport())
 	}
+	return nil
 }
 
 // explainResult prints one query's per-device optimality verdict against
@@ -223,14 +239,4 @@ func renderQuery(spec fxdist.RecordSpec, pm fxdist.PartialMatch) string {
 		}
 	}
 	return strings.Join(parts, " ")
-}
-
-func fatal(err error) {
-	var terr *fxdist.TracedError
-	if errors.As(err, &terr) {
-		fmt.Fprintf(os.Stderr, "pmquery: %v [join trace %d against /debug/traces]\n", err, terr.TraceID)
-	} else {
-		fmt.Fprintln(os.Stderr, "pmquery:", err)
-	}
-	os.Exit(1)
 }

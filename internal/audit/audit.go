@@ -134,6 +134,15 @@ func (a *Auditor) sloFor(shape string) SLO {
 	return a.slo
 }
 
+// ShapeSLO returns the latency objective in force for one shape (the
+// backend default unless overridden; zero when none is configured).
+// The telemetry plane uses it as the wide-event "slow" threshold.
+func (a *Auditor) ShapeSLO(shape string) SLO {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sloFor(shape)
+}
+
 // RetrievalDone audits one finished retrieval: rq is |R(q)| and
 // deviceBuckets the per-device qualified-bucket counts (nil for a
 // failed retrieval, which still counts against the shape's SLO). It is

@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	obs.RegisterDebugHandler("/debug/optimality", Handler())
+	obs.RegisterDebugHandler("/debug/optimality", "strict-bound audit per (backend,shape): violations, deviation, SLO burn", Handler())
 }
 
 // Handler serves the optimality report of every registered auditor:

@@ -236,6 +236,14 @@ type Auditor interface {
 	RetrievalDone(q query.Query, rq int, deviceBuckets []int, elapsed time.Duration)
 }
 
+// ExemplarObserver is an optional Observer extension. When the
+// telemetry plane retains a query's trace tree (tail sampling), the
+// executor calls RetrieveExemplar so the observer can attach an
+// exemplar linking its latency histogram bucket to the kept trace ID.
+type ExemplarObserver interface {
+	RetrieveExemplar(elapsed time.Duration, traceID uint64)
+}
+
 // Attempt describes one failed device scan for Policy.Failure. N counts
 // attempts on this logical device slot within one retrieval, starting at
 // 1. Primary reports whether the failure came from the slot's original

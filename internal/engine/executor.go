@@ -14,6 +14,7 @@ import (
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
 	"fxdist/internal/query"
+	"fxdist/internal/telemetry"
 )
 
 // Observer receives the executor's per-retrieval instrumentation events.
@@ -79,6 +80,13 @@ type Config struct {
 	// Flight, if set, retains the slowest queries per shape with their
 	// full stage breakdown and per-device detail.
 	Flight *obs.FlightRecorder
+	// Events, if set, receives one wide event per retrieval (shape,
+	// plan-cache hit, stage costs, per-device buckets vs bound, trace
+	// ID, error manifest). The log's keep decision also drives
+	// tail-based trace retention and histogram exemplars: always-keep
+	// queries (error / SLO-slow / bound-violating) retain their full
+	// trace tree, the rest are uniform-sampled.
+	Events *telemetry.EventLog
 	// NoPool disables the hot-path buffer pools for this executor: all
 	// fan-out scratch, hit frames and merged record slices come fresh
 	// from the allocator, exactly the pre-pooling behaviour. The escape
@@ -109,6 +117,7 @@ type Executor struct {
 	plans  *plancache.Cache
 	prof   *obs.CostProfiler
 	flight *obs.FlightRecorder
+	events *telemetry.EventLog
 	noPool bool
 	arena  bool
 	pool   *pool
@@ -144,6 +153,7 @@ func New(cfg Config) (*Executor, error) {
 		plans:  cfg.Plans,
 		prof:   cfg.Profile,
 		flight: cfg.Flight,
+		events: cfg.Events,
 		noPool: cfg.NoPool,
 		arena:  cfg.ArenaResults,
 		pool:   newPool(workers),
@@ -605,6 +615,96 @@ func (e *Executor) finish(c *call, res Result, err error) {
 	if c.instr {
 		e.record(c, err)
 	}
+	if e.events != nil {
+		e.emit(c, res, err)
+	}
+}
+
+// emit offers the retrieval's wide event to the query log and mirrors
+// the keep decision into tail-based trace retention: an always-keep
+// event (error / SLO-slow / bound-violating) retains the query's full
+// trace tree; everything else goes through the uniform sampler. When
+// the trace is retained, the latency histogram gets an exemplar
+// pointing at it (via the optional ExemplarObserver), closing the loop
+// bucket → trace ID → kept tree.
+func (e *Executor) emit(c *call, res Result, err error) {
+	m := len(c.answers)
+	bound := 0
+	if m > 0 {
+		bound = (c.rq + m - 1) / m
+	}
+	elapsed := time.Since(c.t0)
+	start := c.t0
+	if c.instr {
+		elapsed = time.Since(c.started)
+		start = c.started
+	}
+	ev := telemetry.Event{
+		Time:         start,
+		Shape:        c.q.Shape(),
+		TraceID:      c.span.Trace(),
+		Elapsed:      elapsed,
+		PlanCacheHit: c.planHit,
+		RQ:           c.rq,
+		Bound:        bound,
+		Stages:       c.stages,
+		Devices:      make([]telemetry.DeviceSample, m),
+	}
+	for dev := 0; dev < m; dev++ {
+		ds := telemetry.DeviceSample{Device: dev, Buckets: c.answers[dev].Buckets}
+		if c.devDur != nil {
+			ds.Scan = c.devDur[dev]
+		}
+		if c.errs[dev] != nil {
+			ds.Err = c.errs[dev].Error()
+		}
+		ev.Devices[dev] = ds
+		if ds.Buckets > ev.MaxDeviceBuckets {
+			ev.MaxDeviceBuckets = ds.Buckets
+		}
+	}
+	// The audited bucket counts are the merged result's (a degraded
+	// merge zeroes failed devices); the violation check uses those.
+	for _, b := range res.DeviceBuckets {
+		if bound > 0 && b > bound {
+			ev.BoundViolation = true
+		}
+	}
+	if err != nil {
+		ev.Err = err.Error()
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			ev.Partial = true
+			ev.Coverage = pe.Coverage
+			for dev := range pe.Failed {
+				ev.FailedDevices = append(ev.FailedDevices, dev)
+			}
+			sort.Ints(ev.FailedDevices)
+		}
+	}
+	dec := e.events.Offer(ev)
+	tid := c.span.Trace()
+	if tid == 0 || e.tracer == nil {
+		return
+	}
+	retained := false
+	if dec.Always {
+		reason := obs.KeepError
+		for _, r := range dec.Reasons {
+			if r == obs.KeepError || r == obs.KeepSlow || r == obs.KeepBound {
+				reason = r
+				break
+			}
+		}
+		retained = e.tracer.Retain(tid, reason)
+	} else {
+		retained = e.tracer.MaybeSample(tid)
+	}
+	if retained {
+		if eo, ok := e.obs.(ExemplarObserver); ok {
+			eo.RetrieveExemplar(elapsed, tid)
+		}
+	}
 }
 
 // stageSample folds one stage's wall time and alloc delta — heap and
@@ -722,7 +822,7 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 	if e.obs != nil {
 		e.obs.RetrieveStarted()
 	}
-	instr := e.prof != nil || e.flight != nil
+	instr := e.prof != nil || e.flight != nil || e.events != nil
 	t0 := time.Now()
 	var a0 obs.AllocStat
 	if instr {
@@ -766,7 +866,7 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 	// query's fan-out scratch goes back before the next one completes.
 	errs := e.errsP().Get(len(pms))
 	calls := e.callsP().Get(len(pms))
-	instr := e.prof != nil || e.flight != nil
+	instr := e.prof != nil || e.flight != nil || e.events != nil
 	for i, pm := range pms {
 		if e.obs != nil {
 			e.obs.RetrieveStarted()

@@ -52,6 +52,12 @@ func NewClusterMetrics(cluster string, m int) *ClusterMetrics {
 // RetrieveStarted implements Observer.
 func (cm *ClusterMetrics) RetrieveStarted() { cm.retrieves.Inc() }
 
+// RetrieveExemplar implements ExemplarObserver: a tail-sampled query
+// links its latency bucket to the retained trace.
+func (cm *ClusterMetrics) RetrieveExemplar(elapsed time.Duration, traceID uint64) {
+	cm.latency.SetExemplar(elapsed.Seconds(), traceID)
+}
+
 // RetrieveError implements Observer.
 func (cm *ClusterMetrics) RetrieveError() { cm.errors.Inc() }
 

@@ -20,7 +20,25 @@ type mempoolDoc struct {
 
 func init() {
 	obs.SetRecycleCounter(RecycledTotals)
-	obs.RegisterDebugHandler("/debug/mempool", obs.DebugEndpoint(
+	// Callback gauges so the pool's absorption shows up in /metrics and
+	// federates across nodes (fxtop's "recycle rate" = slabs/gets).
+	r := obs.Default()
+	r.GaugeFunc("fxdist_mempool_recycled_bytes",
+		"Bytes served from pooled slabs instead of fresh allocations, process lifetime.",
+		func() float64 { b, _ := RecycledTotals(); return float64(b) })
+	r.GaugeFunc("fxdist_mempool_recycled_slabs",
+		"Slabs served from pools instead of fresh allocations, process lifetime.",
+		func() float64 { _, s := RecycledTotals(); return float64(s) })
+	r.GaugeFunc("fxdist_mempool_gets",
+		"Total pool Get calls across every registered pool.",
+		func() float64 {
+			var gets uint64
+			for _, p := range Report() {
+				gets += p.Gets
+			}
+			return float64(gets)
+		})
+	obs.RegisterDebugHandler("/debug/mempool", "slab pool stats: per-size-class gets/puts/misses and recycled bytes/slabs", obs.DebugEndpoint(
 		func() (any, error) {
 			b, o := RecycledTotals()
 			return mempoolDoc{RecycledBytes: b, RecycledSlabs: o, Pools: Report()}, nil

@@ -26,7 +26,7 @@ import (
 // Payloads use uvarints for counts/ids and zigzag varints for signed
 // ints; strings are uvarint length + raw bytes. Request payload:
 //
-//	flags(1: bit0=Ping) id traceID parentSpan zigzag(asDevice)
+//	flags(1: bit0=Ping bit1=Stats) id traceID parentSpan zigzag(asDevice)
 //	uvarint(len(Spec)) zigzag(Spec...)
 //	uvarint(numFields) then per field: 1 byte specified, if set
 //	uvarint(len)+bytes of the value
@@ -37,6 +37,14 @@ import (
 //	zigzag(RetryAfterMillis)
 //	uvarint(numRecords) then per record: uvarint(numFields) and per
 //	field uvarint(len)+bytes
+//	[optional trailing] uvarint(len)+bytes of StatsJSON
+//
+// The StatsJSON field is trailing-optional for wire compatibility:
+// encoders append it only when non-empty, and decoders read it only
+// when payload bytes remain after the records, so frames from peers on
+// either side of the addition round-trip cleanly (old decoders never
+// reach the trailing bytes of a frame they've fully parsed; gob
+// tolerates added struct fields in both directions by design).
 //
 // Encoders size the payload exactly, fill one pooled frame, and write
 // it with a single Write; decoders read the whole frame into a pooled
@@ -139,6 +147,9 @@ func appendRequest(b []byte, req *Request) []byte {
 	if req.Ping {
 		flags |= 1
 	}
+	if req.Stats {
+		flags |= 2
+	}
 	b = append(b, flags)
 	b = appendUvarint(b, req.ID)
 	b = appendUvarint(b, req.TraceID)
@@ -169,6 +180,7 @@ func decodeRequest(buf []byte, req *Request) error {
 		return err
 	}
 	req.Ping = flags&1 != 0
+	req.Stats = flags&2 != 0
 	if req.ID, err = f.uvarint(); err != nil {
 		return err
 	}
@@ -238,6 +250,9 @@ func responseSize(resp *Response) int {
 			n += stringSize(field)
 		}
 	}
+	if len(resp.StatsJSON) > 0 {
+		n += uvarintLen(uint64(len(resp.StatsJSON))) + len(resp.StatsJSON)
+	}
 	return n
 }
 
@@ -254,7 +269,27 @@ func appendResponse(b []byte, resp *Response) []byte {
 			b = appendString(b, field)
 		}
 	}
+	if len(resp.StatsJSON) > 0 {
+		b = appendUvarint(b, uint64(len(resp.StatsJSON)))
+		b = append(b, resp.StatsJSON...)
+	}
 	return b
+}
+
+// decodeTrailingStats reads the trailing-optional StatsJSON field: bytes
+// remaining after the records are the stats blob, copied out because the
+// frame slab recycles; an exhausted frame means the peer didn't send one.
+func decodeTrailingStats(f *frameReader, resp *Response) error {
+	resp.StatsJSON = nil
+	if f.off >= len(f.buf) {
+		return nil
+	}
+	v, err := f.bytes()
+	if err != nil {
+		return err
+	}
+	resp.StatsJSON = append([]byte(nil), v...)
+	return nil
 }
 
 // decodeResponse parses one response payload. Record field bytes are
@@ -297,7 +332,7 @@ func decodeResponse(buf []byte, resp *Response, hits *mempool.SlicePool[mkhash.R
 	}
 	if nr == 0 {
 		resp.Records = nil
-		return nil, nil
+		return nil, decodeTrailingStats(&f, resp)
 	}
 	b := mempool.NewRecordBuilder(arena)
 	recs := hits.Get(int(nr))[:0]
@@ -323,6 +358,9 @@ func decodeResponse(buf []byte, resp *Response, hits *mempool.SlicePool[mkhash.R
 			fields[j] = b.Bytes(v)
 		}
 		recs = append(recs, mkhash.Record(fields))
+	}
+	if err := decodeTrailingStats(&f, resp); err != nil {
+		return fail(err)
 	}
 	resp.Records = recs
 	if arena {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fxdist/internal/audit"
@@ -19,6 +20,7 @@ import (
 	"fxdist/internal/query"
 	"fxdist/internal/resilience"
 	"fxdist/internal/retry"
+	"fxdist/internal/telemetry"
 )
 
 // ErrTimeout marks a per-device request that exceeded the coordinator's
@@ -339,6 +341,16 @@ type Coordinator struct {
 	probeMu   sync.Mutex
 	probeStop chan struct{}
 	probeWG   sync.WaitGroup
+
+	// Metrics federation (PullStats / StartStatsPull): fed accumulates
+	// per-server NodeStats snapshots into the /debug/cluster fleet view.
+	fleetName       string
+	fed             *telemetry.Federator
+	fleetOnce       sync.Once
+	fleetRegistered atomic.Bool
+	statsMu         sync.Mutex
+	statsStop       chan struct{}
+	statsWG         sync.WaitGroup
 }
 
 // DialOption configures Dial.
@@ -364,6 +376,14 @@ func WithInjector(in *resilience.Injector) DialOption {
 	return func(c *Coordinator) { c.injector = in }
 }
 
+// WithFleetName sets the name this coordinator's federated fleet view
+// registers under on /debug/cluster (default "netdist"). Give each
+// coordinator in a multi-fleet process its own name so their reports
+// don't shadow each other.
+func WithFleetName(name string) DialOption {
+	return func(c *Coordinator) { c.fleetName = name }
+}
+
 // WithoutMemPool disables the coordinator's buffer pools: wire frames,
 // decoded record arenas, and fan-out scratch all fall back to plain
 // allocation. The A/B switch for the differential tests and for ruling
@@ -385,10 +405,11 @@ func WithArenaResults() DialOption {
 // The file provides the schema and hash functions used to lower value
 // queries to bucket coordinates — it can be empty of records.
 func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, error) {
-	c := &Coordinator{file: file, tracer: obs.DefaultTracer(), prof: obs.CostProfilerFor("netdist")}
+	c := &Coordinator{file: file, tracer: obs.DefaultTracer(), prof: obs.CostProfilerFor("netdist"), fleetName: "netdist"}
 	for _, opt := range opts {
 		opt(c)
 	}
+	c.fed = telemetry.NewFederator(c.fleetName)
 	for i, addr := range addrs {
 		dc, err := c.dialDevice(addr)
 		if err != nil {
@@ -416,6 +437,7 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		Plans:        plancache.New("netdist"),
 		Profile:      c.prof,
 		Flight:       obs.FlightRecorderFor("netdist"),
+		Events:       telemetry.LogFor("netdist"),
 		NoPool:       c.noPool,
 		ArenaResults: c.arena,
 	})
@@ -553,6 +575,89 @@ func (c *Coordinator) probeAll() {
 	}
 }
 
+// Federator exposes the coordinator's fleet accumulator (for rendering
+// a report without going through /debug/cluster).
+func (c *Coordinator) Federator() *telemetry.Federator { return c.fed }
+
+// nodeName is the federator's key for device dev — fixed by the
+// coordinator's own indexing so a failed pull and a successful one land
+// on the same row.
+func nodeName(dev int) string { return fmt.Sprintf("device-%d", dev) }
+
+// PullStats fetches every device server's telemetry snapshot over the
+// wire protocol and folds the results into the coordinator's federator.
+// Alongside each node's own snapshot it hands the federator the
+// coordinator's cumulative transport-error count for that device, so a
+// node whose requests are failing at the coordinator seam (injected
+// faults, flaky network) gets flagged even when its stats pull — a
+// fresh, uninjected round trip — succeeds. The first pull registers the
+// fleet on /debug/cluster. Returns the first pull error, if any.
+func (c *Coordinator) PullStats(ctx context.Context) error {
+	c.fleetOnce.Do(func() {
+		telemetry.RegisterFleet(c.fleetName, c.fed.Report)
+		c.fleetRegistered.Store(true)
+	})
+	c.connMu.RLock()
+	m := len(c.conns)
+	c.connMu.RUnlock()
+	var firstErr error
+	for dev := 0; dev < m; dev++ {
+		dc := c.conn(dev)
+		coordErrs := c.dm[dev].errors.Value()
+		pctx, cancel := context.WithTimeout(ctx, c.probeTimeout())
+		resp, _, _, _, err := dc.roundTrip(pctx, Request{Stats: true, AsDevice: -1}, c.timeout)
+		cancel()
+		if err == nil && resp.Err != "" {
+			err = errors.New(resp.Err)
+		}
+		if err == nil && len(resp.StatsJSON) == 0 {
+			err = errors.New("netdist: server answered stats pull without a snapshot (pre-stats peer?)")
+		}
+		var st telemetry.NodeStats
+		if err == nil {
+			st, err = telemetry.DecodeNodeStats(resp.StatsJSON)
+		}
+		if err != nil {
+			c.fed.ObserveFailure(nodeName(dev), err, coordErrs)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("netdist: stats pull device %d (%s): %w", dev, dc.addr, err)
+			}
+			continue
+		}
+		c.fed.ObserveNode(nodeName(dev), st, coordErrs)
+	}
+	return firstErr
+}
+
+// StartStatsPull pulls every device's stats each interval, keeping the
+// /debug/cluster fleet view fresh. Idempotent; Close stops the loop. An
+// immediate first pull runs synchronously so the fleet view is populated
+// as soon as this returns.
+func (c *Coordinator) StartStatsPull(interval time.Duration) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	if c.statsStop != nil {
+		return
+	}
+	c.PullStats(context.Background()) //nolint:errcheck // failures land in the federator
+	stop := make(chan struct{})
+	c.statsStop = stop
+	c.statsWG.Add(1)
+	go func() {
+		defer c.statsWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				c.PullStats(context.Background()) //nolint:errcheck // failures land in the federator
+			}
+		}
+	}()
+}
+
 // probeTimeout bounds one health ping even when no request timeout is
 // configured.
 func (c *Coordinator) probeTimeout() time.Duration {
@@ -570,6 +675,12 @@ func (coordObserver) RetrieveStarted() { mCoordRetrieves.Inc() }
 func (coordObserver) RetrieveError()   { mCoordRetrieveErrors.Inc() }
 func (coordObserver) RetrieveDone(elapsed time.Duration, _ []int) {
 	mCoordRetrieveLatency.Observe(elapsed.Seconds())
+}
+
+// RetrieveExemplar implements engine.ExemplarObserver: a tail-sampled
+// retrieval links its latency bucket to the retained trace.
+func (coordObserver) RetrieveExemplar(elapsed time.Duration, traceID uint64) {
+	mCoordRetrieveLatency.SetExemplar(elapsed.Seconds(), traceID)
 }
 
 // remoteDevice adapts one device server connection to the engine's Device
@@ -611,8 +722,8 @@ func (c *Coordinator) failover(ctx context.Context, dev int, err error) engine.D
 	return &remoteDevice{c: c, server: (dev + 1) % m, as: dev}
 }
 
-// Close stops the health prober, drops all device connections, and
-// releases the plan cache.
+// Close stops the health prober and the stats puller, unregisters the
+// fleet view, drops all device connections, and releases the plan cache.
 func (c *Coordinator) Close() {
 	c.probeMu.Lock()
 	if c.probeStop != nil {
@@ -621,6 +732,16 @@ func (c *Coordinator) Close() {
 	}
 	c.probeMu.Unlock()
 	c.probeWG.Wait()
+	c.statsMu.Lock()
+	if c.statsStop != nil {
+		close(c.statsStop)
+		c.statsStop = nil
+	}
+	c.statsMu.Unlock()
+	c.statsWG.Wait()
+	if c.fleetRegistered.Swap(false) {
+		telemetry.RegisterFleet(c.fleetName, nil)
+	}
 	if c.eng != nil && c.eng.Plans() != nil {
 		c.eng.Plans().Close()
 	}

@@ -44,7 +44,7 @@ func newCoordDevMetrics(dev int) coordDevMetrics {
 }
 
 // serverMetrics are one device server's instruments, cached at
-// NewServer.
+// NewServer (re-cached by Server.UseRegistry for per-node isolation).
 type serverMetrics struct {
 	latency  *obs.Histogram
 	inflight *obs.Gauge
@@ -54,8 +54,7 @@ type serverMetrics struct {
 	shed     *obs.Counter
 }
 
-func newServerMetrics(dev int) serverMetrics {
-	r := obs.Default()
+func newServerMetrics(r *obs.Registry, dev int) serverMetrics {
 	d := obs.L("device", strconv.Itoa(dev))
 	return serverMetrics{
 		latency: r.Histogram("fxdist_netdist_server_request_seconds",

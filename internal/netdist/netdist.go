@@ -20,6 +20,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"fxdist/internal/mkhash"
 	"fxdist/internal/obs"
 	"fxdist/internal/query"
+	"fxdist/internal/telemetry"
 )
 
 // Request is one coordinator-to-device message. The value filters travel
@@ -61,6 +63,13 @@ type Request struct {
 	// coordinator's health prober uses it to close circuit breakers once
 	// a server comes back.
 	Ping bool
+	// Stats asks the server for its telemetry snapshot instead of a
+	// query: the response carries the node's metrics registry serialised
+	// as StatsJSON. Like Ping it bypasses load shedding — a drowning
+	// node's stats are exactly the ones the fleet view needs. Old servers
+	// that predate the field answer it as a malformed query (harmless:
+	// the coordinator's stats pull just records the failure).
+	Stats bool
 }
 
 // NewRequest builds the wire request for a hashed query and its
@@ -99,6 +108,11 @@ type Response struct {
 	// milliseconds (the wire protocol's Retry-After). The coordinator's
 	// retry budget honors it as the minimum backoff.
 	RetryAfterMillis int64
+	// StatsJSON answers a Stats request: the node's telemetry snapshot
+	// (telemetry.NodeStats) as an opaque JSON blob, so the frame layout
+	// stays stable as metrics evolve. Trailing-optional on the binary
+	// wire; empty on every other response.
+	StatsJSON []byte
 }
 
 // Server is one device's network frontend.
@@ -114,7 +128,12 @@ type Server struct {
 	hasBackup bool
 
 	sm     serverMetrics
+	reg    *obs.Registry
 	tracer *obs.Tracer
+	// shapeCounts caches the per-shape request counters (sync.Map keyed
+	// by shape string) so the serve loop never re-resolves registry
+	// entries; the federated fleet view sums these across nodes.
+	shapeCounts sync.Map
 
 	// Load shedding (SetShedding): above shedLimit concurrent requests
 	// the server rejects with a Retry-After hint instead of queueing.
@@ -157,7 +176,8 @@ func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Recor
 		fs:        fs,
 		im:        query.NewInverseMapper(alloc),
 		buckets:   buckets,
-		sm:        newServerMetrics(deviceID),
+		sm:        newServerMetrics(obs.Default(), deviceID),
+		reg:       obs.Default(),
 		tracer:    obs.DefaultTracer(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
@@ -166,6 +186,42 @@ func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Recor
 
 // DeviceID returns the device this server fronts.
 func (s *Server) DeviceID() int { return s.deviceID }
+
+// UseRegistry points the server's instruments (and its Stats snapshots)
+// at r instead of the process default — the isolation seam that lets a
+// single test process run N servers with N distinct registries, each
+// answering stats pulls as if it were its own node. Call before Serve.
+func (s *Server) UseRegistry(r *obs.Registry) {
+	s.reg = r
+	s.sm = newServerMetrics(r, s.deviceID)
+	s.shapeCounts = sync.Map{}
+	obs.RegisterBuildInfo(r)
+}
+
+// nodeName is the server's identity in stats snapshots.
+func (s *Server) nodeName() string { return fmt.Sprintf("device-%d", s.deviceID) }
+
+// shapeCounter returns (caching) the per-shape request counter.
+func (s *Server) shapeCounter(shape string) *obs.Counter {
+	if c, ok := s.shapeCounts.Load(shape); ok {
+		return c.(*obs.Counter)
+	}
+	c := s.reg.Counter("fxdist_netdist_server_shape_requests_total",
+		"Requests answered by the device server, by query shape.",
+		obs.L("device", strconv.Itoa(s.deviceID)), obs.L("shape", shape))
+	s.shapeCounts.Store(shape, c)
+	return c
+}
+
+// stats snapshots the server's registry for a Stats request.
+func (s *Server) stats(id uint64) Response {
+	st := telemetry.LocalNodeStats(s.nodeName(), s.reg)
+	b, err := telemetry.EncodeNodeStats(st)
+	if err != nil {
+		return Response{ID: id, Err: fmt.Sprintf("netdist: encode stats: %v", err)}
+	}
+	return Response{ID: id, StatsJSON: b}
+}
 
 // SetShedding enables load shedding: beyond maxInflight concurrent
 // requests the server rejects new ones with a Retry-After hint of
@@ -271,6 +327,15 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Stats {
+			// Stats pulls also bypass shedding: an overloaded node's
+			// telemetry is exactly what the fleet view needs to show.
+			resp := s.stats(req.ID)
+			if err := codec.writeResponse(&resp); err != nil {
+				return
+			}
+			continue
+		}
 		if n, limit := s.inflightN.Add(1), s.shedLimit.Load(); limit > 0 && n > limit {
 			s.inflightN.Add(-1)
 			s.sm.shed.Inc()
@@ -292,6 +357,7 @@ func (s *Server) handle(conn net.Conn) {
 			resp = s.answer(req)
 		}
 		s.sm.requests.Inc()
+		s.shapeCounter(query.New(req.Spec).Shape()).Inc()
 		if resp.Err != "" {
 			s.sm.errors.Inc()
 			span.Event("rejected: " + resp.Err)

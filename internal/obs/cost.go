@@ -327,7 +327,7 @@ func ResetCostProfilers() {
 }
 
 func init() {
-	RegisterDebugHandler("/debug/hotpath", DebugEndpoint(
+	RegisterDebugHandler("/debug/hotpath", "per-(backend,shape) stage cost aggregates: plan/fanout/merge/audit wall, bytes, objects", DebugEndpoint(
 		func() (any, error) { return CostReport(), nil },
 		func(w io.Writer, doc any) { WriteCostReport(w, doc.([]BackendCost)) },
 	))

@@ -228,7 +228,7 @@ func ResetFlightRecorders() {
 }
 
 func init() {
-	RegisterDebugHandler("/debug/flight", DebugEndpoint(
+	RegisterDebugHandler("/debug/flight", "slow-query flight recorder: K worst queries per (backend,shape) with full evidence", DebugEndpoint(
 		func() (any, error) { return FlightReport(), nil },
 		func(w io.Writer, doc any) { WriteFlightReport(w, doc.([]BackendFlights)) },
 	))

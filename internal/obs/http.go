@@ -3,9 +3,12 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 )
 
@@ -14,28 +17,66 @@ import (
 // without obs importing them.
 var (
 	debugMu       sync.Mutex
-	debugHandlers = make(map[string]http.Handler)
+	debugHandlers = make(map[string]registeredDebugHandler)
 )
 
+type registeredDebugHandler struct {
+	desc string
+	h    http.Handler
+}
+
 // RegisterDebugHandler mounts h at path (e.g. "/debug/optimality") on
-// every handler built by Handler/HandlerFor. Registering the same path
+// every handler built by Handler/HandlerFor, with a one-line
+// description shown on the /debug/ index. Registering the same path
 // again replaces the handler. Typically called from an init function.
-func RegisterDebugHandler(path string, h http.Handler) {
+func RegisterDebugHandler(path, desc string, h http.Handler) {
 	debugMu.Lock()
-	debugHandlers[path] = h
+	debugHandlers[path] = registeredDebugHandler{desc: desc, h: h}
 	debugMu.Unlock()
+}
+
+// EndpointInfo describes one debug endpoint on the /debug/ index.
+type EndpointInfo struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+// builtinEndpoints are the surfaces HandlerFor mounts itself.
+var builtinEndpoints = []EndpointInfo{
+	{Path: "/metrics", Desc: "Prometheus text exposition of every metric (?exemplars=1 appends trace-linked exemplars)"},
+	{Path: "/debug/", Desc: "this index: every debug endpoint with a one-line description"},
+	{Path: "/debug/vars", Desc: "expvar-style JSON of every metric, with histogram quantiles and exemplars"},
+	{Path: "/debug/traces", Desc: "recent query spans (?n=K; ?tree=1 stitches parent→child; ?retained=1 lists tail-sampled kept trees)"},
+	{Path: "/debug/pprof/", Desc: "net/http/pprof runtime profiles (cpu, heap, goroutine, ...)"},
+}
+
+// DebugEndpoints lists every debug endpoint a Handler would serve —
+// built-ins plus everything registered — sorted by path. fxnode logs
+// this set at startup.
+func DebugEndpoints() []EndpointInfo {
+	out := append([]EndpointInfo(nil), builtinEndpoints...)
+	debugMu.Lock()
+	for path, reg := range debugHandlers {
+		out = append(out, EndpointInfo{Path: path, Desc: reg.desc})
+	}
+	debugMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // Handler serves the default registry and tracer:
 //
-//	/metrics            Prometheus text exposition
+//	/metrics            Prometheus text exposition (?exemplars=1)
+//	/debug/             index of every debug endpoint
 //	/debug/vars         expvar-style JSON of every metric
 //	/debug/traces       recent query spans as JSON (?n=K, default 32;
-//	                    ?tree=1 stitches parent→child span trees)
+//	                    ?tree=1 stitches parent→child span trees;
+//	                    ?retained=1 lists tail-sampled kept trees)
 //	/debug/pprof/       net/http/pprof runtime profiles
 //
 // plus every endpoint mounted via RegisterDebugHandler (the optimality
-// auditor's /debug/optimality, when internal/audit is linked in).
+// auditor's /debug/optimality, the telemetry plane's /debug/events and
+// /debug/cluster, ... — see /debug/ for the full list).
 func Handler() http.Handler { return HandlerFor(Default(), DefaultTracer()) }
 
 // HandlerFor builds the observability handler for a specific registry
@@ -43,8 +84,12 @@ func Handler() http.Handler { return HandlerFor(Default(), DefaultTracer()) }
 func HandlerFor(r *Registry, t *Tracer) http.Handler {
 	mux := http.NewServeMux()
 	if r != nil {
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if req.URL.Query().Get("exemplars") == "1" {
+				r.WritePrometheusExemplars(w) //nolint:errcheck // client gone
+				return
+			}
 			r.WritePrometheus(w) //nolint:errcheck // client gone
 		})
 		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
@@ -66,9 +111,12 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 				}
 			}
 			var doc any
-			if req.URL.Query().Get("tree") == "1" {
+			switch {
+			case req.URL.Query().Get("retained") == "1":
+				doc = t.Retained(n)
+			case req.URL.Query().Get("tree") == "1":
 				doc = t.Trees(n)
-			} else {
+			default:
 				doc = t.Recent(n)
 			}
 			var buf bytes.Buffer
@@ -87,9 +135,26 @@ func HandlerFor(r *Registry, t *Tracer) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Index: exact /debug (and /debug/) only; this pattern also catches
+	// unregistered /debug/* paths, which 404 with a pointer to the index.
+	index := DebugEndpoint(
+		func() (any, error) { return DebugEndpoints(), nil },
+		func(w io.Writer, doc any) {
+			for _, e := range doc.([]EndpointInfo) {
+				fmt.Fprintf(w, "%-22s %s\n", e.Path, e.Desc)
+			}
+		},
+	)
+	mux.HandleFunc("/debug/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/debug/" && req.URL.Path != "/debug" {
+			http.Error(w, "unknown debug endpoint (see /debug/ for the index)", http.StatusNotFound)
+			return
+		}
+		index.ServeHTTP(w, req)
+	})
 	debugMu.Lock()
-	for path, h := range debugHandlers {
-		mux.Handle(path, h)
+	for path, reg := range debugHandlers {
+		mux.Handle(path, reg.h)
 	}
 	debugMu.Unlock()
 	return mux

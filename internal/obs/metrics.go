@@ -58,18 +58,30 @@ type Histogram struct {
 	counts  []atomic.Uint64
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds, per bucket, the most recent trace-linked
+	// observation (tail-sampled queries only) — the hook that lets an
+	// operator jump from a latency bucket to a retained trace tree.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one observed value to the trace that produced it.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID uint64    `json:"trace_id"`
+	Time    time.Time `json:"time"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{
-		bounds: bounds,
-		counts: make([]atomic.Uint64, len(bounds)+1),
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Binary search for the first bound >= v.
+// bucketIndex returns the index of the first bound >= v (the +Inf
+// bucket when v exceeds every bound).
+func (h *Histogram) bucketIndex(v float64) int {
 	lo, hi := 0, len(h.bounds)
 	for lo < hi {
 		mid := (lo + hi) / 2
@@ -79,7 +91,12 @@ func (h *Histogram) Observe(v float64) {
 			hi = mid
 		}
 	}
-	h.counts[lo].Add(1)
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sumBits.Load()
@@ -88,6 +105,22 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// SetExemplar attaches an exemplar for value v to its bucket without
+// observing it — callers pair it with a regular Observe of the same
+// value. The latest exemplar per bucket wins. No-op when traceID is 0.
+func (h *Histogram) SetExemplar(v float64, traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+}
+
+// ObserveWithExemplar records one value and links it to traceID.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	h.SetExemplar(v, traceID)
 }
 
 // ObserveSince records the elapsed time since t0, in seconds.
@@ -111,6 +144,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]*Exemplar, len(h.counts))
+			}
+			s.Exemplars[i] = ex
+		}
 	}
 	return s
 }
@@ -121,12 +160,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
 
 // HistogramSnapshot is a point-in-time copy of a Histogram. Counts has
-// one extra element for the +Inf bucket.
+// one extra element for the +Inf bucket. Exemplars, when non-nil, is
+// parallel to Counts (nil slots mean the bucket has no exemplar).
 type HistogramSnapshot struct {
-	Bounds []float64
-	Counts []uint64
-	Count  uint64
-	Sum    float64
+	Bounds    []float64
+	Counts    []uint64
+	Count     uint64
+	Sum       float64
+	Exemplars []*Exemplar `json:",omitempty"`
 }
 
 // Quantile estimates the q-quantile by linear interpolation within the

@@ -222,7 +222,7 @@ type profilesDoc struct {
 }
 
 func init() {
-	RegisterDebugHandler("/debug/profiles", DebugEndpoint(
+	RegisterDebugHandler("/debug/profiles", "threshold-triggered pprof captures (SLO burn / latency): status and spooled files", DebugEndpoint(
 		func() (any, error) {
 			t := ActiveProfileTrigger()
 			d := profilesDoc{Enabled: t != nil}
@@ -248,7 +248,7 @@ func init() {
 			}
 		},
 	))
-	RegisterDebugHandler("/debug/profiles/", http.HandlerFunc(serveProfileFile))
+	RegisterDebugHandler("/debug/profiles/", "download one spooled pprof capture by name", http.HandlerFunc(serveProfileFile))
 }
 
 // serveProfileFile serves a single spooled profile by base name

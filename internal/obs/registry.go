@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind identifies a metric family's type.
@@ -46,6 +47,18 @@ type entry struct {
 	counter *Counter
 	gauge   *Gauge
 	hist    *Histogram
+	// gaugeFn, when set, is read instead of gauge at render time
+	// (callback gauges such as fxdist_uptime_seconds).
+	gaugeFn atomic.Pointer[func() float64]
+}
+
+// gaugeValue reads the entry's gauge, preferring a callback when one is
+// registered.
+func (e *entry) gaugeValue() float64 {
+	if fn := e.gaugeFn.Load(); fn != nil {
+		return (*fn)()
+	}
+	return e.gauge.Value()
 }
 
 // family groups every label combination of one metric name.
@@ -138,6 +151,13 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return r.entryFor(name, help, KindGauge, nil, labels).gauge
 }
 
+// GaugeFunc registers a callback gauge: renders read fn() instead of a
+// stored value. Re-registering the same name+labels replaces the
+// callback. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.entryFor(name, help, KindGauge, nil, labels).gaugeFn.Store(&fn)
+}
+
 // Histogram returns the histogram for name+labels, creating it on first
 // use. The family's bucket bounds are fixed by the first registration;
 // pass nil to default to DefLatencyBuckets.
@@ -212,7 +232,16 @@ func promLabels(labels []Label, extra ...Label) string {
 
 // WritePrometheus renders the registry in the Prometheus text
 // exposition format (version 0.0.4).
-func (r *Registry) WritePrometheus(w io.Writer) error {
+func (r *Registry) WritePrometheus(w io.Writer) error { return r.writeProm(w, false) }
+
+// WritePrometheusExemplars renders the registry like WritePrometheus
+// but appends OpenMetrics-style exemplars (` # {trace_id="…"} v ts`)
+// to histogram bucket lines that have one. Served by /metrics under
+// ?exemplars=1 — kept off the default path because strict 0.0.4
+// parsers reject exemplar syntax.
+func (r *Registry) WritePrometheusExemplars(w io.Writer) error { return r.writeProm(w, true) }
+
+func (r *Registry) writeProm(w io.Writer, exemplars bool) error {
 	for _, f := range r.sortedFamilies() {
 		if f.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
@@ -228,9 +257,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case KindCounter:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(e.labels), e.counter.Value())
 			case KindGauge:
-				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(e.labels), formatFloat(e.gauge.Value()))
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(e.labels), formatFloat(e.gaugeValue()))
 			case KindHistogram:
-				err = writePromHistogram(w, f.name, e)
+				err = writePromHistogram(w, f.name, e, exemplars)
 			}
 			if err != nil {
 				return err
@@ -240,18 +269,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name string, e *entry) error {
+func writePromHistogram(w io.Writer, name string, e *entry, exemplars bool) error {
 	s := e.hist.Snapshot()
+	writeBucket := func(b int, le string, cum uint64) error {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d", name, promLabels(e.labels, L("le", le)), cum); err != nil {
+			return err
+		}
+		if exemplars && s.Exemplars != nil && s.Exemplars[b] != nil {
+			ex := s.Exemplars[b]
+			if _, err := fmt.Fprintf(w, " # {trace_id=\"%d\"} %s %d", ex.TraceID, formatFloat(ex.Value), ex.Time.Unix()); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
 	var cum uint64
 	for b, bound := range s.Bounds {
 		cum += s.Counts[b]
-		le := L("le", formatFloat(bound))
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, le), cum); err != nil {
+		if err := writeBucket(b, formatFloat(bound), cum); err != nil {
 			return err
 		}
 	}
 	cum += s.Counts[len(s.Bounds)]
-	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(e.labels, L("le", "+Inf")), cum); err != nil {
+	if err := writeBucket(len(s.Bounds), "+Inf", cum); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(e.labels), formatFloat(s.Sum)); err != nil {
@@ -268,14 +309,21 @@ type jsonBucket struct {
 	Count uint64  `json:"count"`
 }
 
+type jsonExemplar struct {
+	LE      string  `json:"le"` // bucket bound, "+Inf" for the overflow bucket
+	Value   float64 `json:"value"`
+	TraceID uint64  `json:"trace_id"`
+}
+
 type jsonMetric struct {
-	Labels  map[string]string `json:"labels,omitempty"`
-	Value   *float64          `json:"value,omitempty"`
-	Count   *uint64           `json:"count,omitempty"`
-	Sum     *float64          `json:"sum,omitempty"`
-	P50     *float64          `json:"p50,omitempty"`
-	P99     *float64          `json:"p99,omitempty"`
-	Buckets []jsonBucket      `json:"buckets,omitempty"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     *float64          `json:"value,omitempty"`
+	Count     *uint64           `json:"count,omitempty"`
+	Sum       *float64          `json:"sum,omitempty"`
+	P50       *float64          `json:"p50,omitempty"`
+	P99       *float64          `json:"p99,omitempty"`
+	Buckets   []jsonBucket      `json:"buckets,omitempty"`
+	Exemplars []jsonExemplar    `json:"exemplars,omitempty"`
 }
 
 type jsonFamily struct {
@@ -303,7 +351,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				v := float64(e.counter.Value())
 				m.Value = &v
 			case KindGauge:
-				v := e.gauge.Value()
+				v := e.gaugeValue()
 				m.Value = &v
 			case KindHistogram:
 				s := e.hist.Snapshot()
@@ -314,6 +362,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				for b, bound := range s.Bounds {
 					cum += s.Counts[b]
 					m.Buckets = append(m.Buckets, jsonBucket{LE: bound, Count: cum})
+				}
+				if s.Exemplars != nil {
+					for b, ex := range s.Exemplars {
+						if ex == nil {
+							continue
+						}
+						le := "+Inf"
+						if b < len(s.Bounds) {
+							le = formatFloat(s.Bounds[b])
+						}
+						m.Exemplars = append(m.Exemplars, jsonExemplar{LE: le, Value: ex.Value, TraceID: ex.TraceID})
+					}
 				}
 			}
 			jf.Metrics = append(jf.Metrics, m)
@@ -347,7 +407,7 @@ func (r *Registry) Snapshot() []Point {
 			case KindCounter:
 				p.Value = float64(e.counter.Value())
 			case KindGauge:
-				p.Value = e.gauge.Value()
+				p.Value = e.gaugeValue()
 			case KindHistogram:
 				s := e.hist.Snapshot()
 				p.Histogram = &s

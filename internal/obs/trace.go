@@ -23,7 +23,43 @@ type Tracer struct {
 	next int
 	full bool
 	seq  uint64
+
+	// Tail-based retention: the ring above is only a staging window —
+	// whether a trace outlives it is decided at query end (error, SLO
+	// miss, bound violation → always keep; otherwise a uniform 1-in-N
+	// sample). Kept trees are immutable snapshots, so a retained trace
+	// stays recoverable by its exemplar trace ID long after its spans
+	// were evicted from the ring.
+	retainMu    sync.Mutex
+	retainCap   int
+	retained    []RetainedTrace // insertion order (oldest first)
+	sampleEvery uint64
+	sampleSeq   uint64
 }
+
+// Keep reasons recorded on retained traces.
+const (
+	KeepError  = "error"  // the query failed (or returned partial results)
+	KeepSlow   = "slow"   // latency exceeded the shape's SLO target
+	KeepBound  = "bound"  // a device exceeded the strict bound ceil(|R(q)|/M)
+	KeepSample = "sample" // uniform 1-in-N sample of unremarkable traffic
+)
+
+// RetainedTrace is one trace tree kept by the tail-sampling decision.
+type RetainedTrace struct {
+	TraceID uint64    `json:"trace_id"`
+	Reason  string    `json:"reason"`
+	At      time.Time `json:"at"`
+	Root    SpanTree  `json:"root"`
+}
+
+// DefaultRetainedTraces and DefaultSampleEvery size the retention
+// buffer: up to 64 kept trees, 1-in-16 uniform sampling of queries that
+// trip no always-keep rule.
+const (
+	DefaultRetainedTraces = 64
+	DefaultSampleEvery    = 16
+)
 
 // NewTracer returns a tracer retaining the last capacity spans. Span
 // ids count up from 1 — deterministic, which tests rely on; the
@@ -33,7 +69,12 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{cap: capacity, ring: make([]*Span, capacity)}
+	return &Tracer{
+		cap:         capacity,
+		ring:        make([]*Span, capacity),
+		retainCap:   DefaultRetainedTraces,
+		sampleEvery: DefaultSampleEvery,
+	}
 }
 
 // newProcessTracer seeds the span-id sequence with a per-process random
@@ -124,7 +165,12 @@ type SpanTree struct {
 // (evicted from the ring, or rooted in another process's tracer) is
 // promoted to a root so no span is dropped.
 func (t *Tracer) Trees(n int) []SpanTree {
-	snaps := t.Recent(n)
+	return stitchTrees(t.Recent(n))
+}
+
+// stitchTrees groups span snapshots into parent→child trees (see Trees
+// for the attach rule).
+func stitchTrees(snaps []SpanSnapshot) []SpanTree {
 	if len(snaps) == 0 {
 		return nil
 	}
@@ -160,6 +206,140 @@ func (t *Tracer) Trees(n int) []SpanTree {
 		out = append(out, build(r))
 	}
 	return out
+}
+
+// SetRetention reconfigures the tail-sampling buffer: capacity bounds
+// how many trees are kept, sampleEvery sets the uniform keep rate for
+// unremarkable queries (1 in sampleEvery; 0 disables sampling). Kept
+// trees beyond the new capacity are dropped oldest-first.
+func (t *Tracer) SetRetention(capacity, sampleEvery int) {
+	if t == nil {
+		return
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	if sampleEvery < 0 {
+		sampleEvery = 0
+	}
+	t.retainMu.Lock()
+	t.retainCap = capacity
+	t.sampleEvery = uint64(sampleEvery)
+	if over := len(t.retained) - capacity; over > 0 {
+		t.retained = append(t.retained[:0], t.retained[over:]...)
+	}
+	t.retainMu.Unlock()
+}
+
+// Retain snapshots every span of traceID still in the ring, stitches
+// them into a tree, and keeps it with the given reason. When the buffer
+// is full, the oldest uniform-sample entry is evicted first — an
+// always-keep tree (error/slow/bound) is only displaced by newer
+// always-keep trees, so memory stays bounded without losing the
+// interesting tail. Returns false when no span of the trace remains.
+func (t *Tracer) Retain(traceID uint64, reason string) bool {
+	if t == nil || traceID == 0 {
+		return false
+	}
+	snaps := t.Recent(t.cap)
+	var mine []SpanSnapshot
+	for _, s := range snaps {
+		if s.TraceID == traceID {
+			mine = append(mine, s)
+		}
+	}
+	if len(mine) == 0 {
+		return false
+	}
+	trees := stitchTrees(mine)
+	root := trees[0]
+	for _, tr := range trees {
+		if tr.ID == traceID { // prefer the true root (its ID is the trace ID)
+			root = tr
+			break
+		}
+	}
+	rec := RetainedTrace{TraceID: traceID, Reason: reason, At: time.Now(), Root: root}
+	t.retainMu.Lock()
+	// Replace an existing entry for the same trace (e.g. sampled first,
+	// then retained again with an always-keep reason).
+	for i := range t.retained {
+		if t.retained[i].TraceID == traceID {
+			if t.retained[i].Reason != KeepSample && reason == KeepSample {
+				rec.Reason = t.retained[i].Reason
+			}
+			t.retained[i] = rec
+			t.retainMu.Unlock()
+			return true
+		}
+	}
+	if len(t.retained) >= t.retainCap {
+		evict := -1
+		for i := range t.retained {
+			if t.retained[i].Reason == KeepSample {
+				evict = i
+				break
+			}
+		}
+		if evict < 0 {
+			evict = 0 // all always-keep: drop the oldest to stay bounded
+		}
+		t.retained = append(t.retained[:evict], t.retained[evict+1:]...)
+	}
+	t.retained = append(t.retained, rec)
+	t.retainMu.Unlock()
+	return true
+}
+
+// MaybeSample applies the uniform 1-in-N tail-sampling policy to a
+// query that tripped no always-keep rule, retaining its tree when the
+// counter lands on a sampling point.
+func (t *Tracer) MaybeSample(traceID uint64) bool {
+	if t == nil || traceID == 0 {
+		return false
+	}
+	t.retainMu.Lock()
+	every := t.sampleEvery
+	t.sampleSeq++
+	hit := every > 0 && t.sampleSeq%every == 0
+	t.retainMu.Unlock()
+	if !hit {
+		return false
+	}
+	return t.Retain(traceID, KeepSample)
+}
+
+// Retained returns up to n kept trace trees, most recent first.
+func (t *Tracer) Retained(n int) []RetainedTrace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.retainMu.Lock()
+	defer t.retainMu.Unlock()
+	if n > len(t.retained) {
+		n = len(t.retained)
+	}
+	out := make([]RetainedTrace, 0, n)
+	for i := len(t.retained) - 1; i >= len(t.retained)-n; i-- {
+		out = append(out, t.retained[i])
+	}
+	return out
+}
+
+// RetainedTrace looks up a kept tree by trace ID — the path an operator
+// follows from a histogram exemplar back to the query's full tree.
+func (t *Tracer) RetainedTrace(traceID uint64) (RetainedTrace, bool) {
+	if t == nil {
+		return RetainedTrace{}, false
+	}
+	t.retainMu.Lock()
+	defer t.retainMu.Unlock()
+	for i := len(t.retained) - 1; i >= 0; i-- {
+		if t.retained[i].TraceID == traceID {
+			return t.retained[i], true
+		}
+	}
+	return RetainedTrace{}, false
 }
 
 // SpanEvent is one timestamped annotation inside a span.

@@ -49,7 +49,7 @@ func Report() []Snapshot {
 }
 
 func init() {
-	obs.RegisterDebugHandler("/debug/plancache", obs.DebugEndpoint(
+	obs.RegisterDebugHandler("/debug/plancache", "compiled-plan LRU per backend: hit/miss/eviction counts, entries, bytes", obs.DebugEndpoint(
 		func() (any, error) { return Report(), nil },
 		func(w io.Writer, doc any) { writeText(w, doc.([]Snapshot)) },
 	))

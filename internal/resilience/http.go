@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	obs.RegisterDebugHandler("/debug/resilience", Handler())
+	obs.RegisterDebugHandler("/debug/resilience", "retry budgets, circuit breaker states, hedging and fault-injector counters", Handler())
 }
 
 // Snapshot is the /debug/resilience document: every retry controller

@@ -18,6 +18,7 @@ import (
 	"fxdist/internal/persist"
 	"fxdist/internal/plancache"
 	"fxdist/internal/query"
+	"fxdist/internal/telemetry"
 )
 
 // DurableCluster is the disk-backed counterpart of Cluster: every device
@@ -79,6 +80,7 @@ func (c *DurableCluster) engineFor(model CostModel, st *settings) (*engine.Execu
 		Plans:      plancache.New("durable"),
 		Profile:    obs.CostProfilerFor("durable"),
 		Flight:     obs.FlightRecorderFor("durable"),
+		Events:     telemetry.LogFor("durable"),
 		Resilience: st.resilienceFor("durable", devices),
 	}))
 }

@@ -12,6 +12,7 @@ import (
 	"fxdist/internal/plancache"
 	"fxdist/internal/query"
 	"fxdist/internal/replica"
+	"fxdist/internal/telemetry"
 )
 
 // ReplicatedCluster is a simulated parallel cluster with chained
@@ -76,6 +77,7 @@ func NewReplicated(file *mkhash.File, alloc decluster.GroupAllocator, mode repli
 		Plans:      plancache.New("replicated"),
 		Profile:    obs.CostProfilerFor("replicated"),
 		Flight:     obs.FlightRecorderFor("replicated"),
+		Events:     telemetry.LogFor("replicated"),
 		Resilience: st.resilienceFor("replicated", devices),
 	}))
 	if err != nil {

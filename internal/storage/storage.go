@@ -28,6 +28,7 @@ import (
 	"fxdist/internal/obs"
 	"fxdist/internal/plancache"
 	"fxdist/internal/query"
+	"fxdist/internal/telemetry"
 )
 
 // CostModel is the per-device service time model; see engine.CostModel.
@@ -117,6 +118,7 @@ func NewCluster(file *mkhash.File, alloc decluster.GroupAllocator, model CostMod
 		Plans:      plancache.New("memory"),
 		Profile:    obs.CostProfilerFor("memory"),
 		Flight:     obs.FlightRecorderFor("memory"),
+		Events:     telemetry.LogFor("memory"),
 		Resilience: st.resilienceFor("memory", devices),
 	}))
 	if err != nil {

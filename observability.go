@@ -7,6 +7,7 @@ import (
 
 	"fxdist/internal/audit"
 	"fxdist/internal/obs"
+	"fxdist/internal/telemetry"
 )
 
 // Observability: the runtime introspection surface. Every hot path in
@@ -108,6 +109,87 @@ func SetLatencySLO(backend string, target time.Duration, goal float64) {
 // Open time), which derives the backend name from the cluster itself.
 func SetShapeLatencySLO(backend, shape string, target time.Duration, goal float64) {
 	audit.SetShapeSLO(backend, shape, audit.SLO{Target: target, Goal: goal})
+}
+
+// Wide-event query log: one structured event per retrieval, head+tail
+// sampled per shape with always-keep rules for errors, SLO-slow and
+// bound-violating queries. The same data is served on /debug/events.
+
+// QueryEvent is one wide event — everything known about a single
+// retrieval: shape, backend, plan-cache hit, per-stage costs, per-device
+// bucket counts against the strict bound, trace id, and error/partial
+// manifest.
+type QueryEvent = telemetry.Event
+
+// QueryLogStats summarises one backend's event log: seen/kept counts
+// and the sampling configuration.
+type QueryLogStats = telemetry.LogStats
+
+// QueryLogConfig tunes a backend's event sampling (ring capacity, head
+// events per shape, 1-in-N tail sampling).
+type QueryLogConfig = telemetry.Config
+
+// QueryEvents returns up to n recent kept events of one backend
+// ("memory", "durable", "replicated", "netdist"), most recent first.
+func QueryEvents(backend string, n int) []QueryEvent {
+	return telemetry.LogFor(backend).Recent(n)
+}
+
+// QueryLogStatsFor returns one backend's event-log statistics.
+func QueryLogStatsFor(backend string) QueryLogStats {
+	return telemetry.LogFor(backend).Stats()
+}
+
+// ConfigureQueryLog replaces one backend's event sampling configuration
+// (zero fields keep their defaults) and clears its ring.
+func ConfigureQueryLog(backend string, cfg QueryLogConfig) {
+	telemetry.LogFor(backend).Configure(cfg)
+}
+
+// Metrics federation: a netdist coordinator pulls every device server's
+// metrics snapshot over the wire (Coordinator.StartStatsPull or
+// WithStatsPull) and merges them into a fleet view on /debug/cluster.
+
+// FleetReport is one fleet's merged view: per-node liveness/lag rows,
+// summed counters and merged histograms, and the worst-of digests
+// (bound discrepancy, SLO burn) fxtop leads with.
+type FleetReport = telemetry.ClusterReport
+
+// FleetNodeStats is one node's self-description and metric snapshot as
+// pulled over the wire.
+type FleetNodeStats = telemetry.NodeStats
+
+// FleetReports snapshots every registered fleet by name — the
+// programmatic /debug/cluster.
+func FleetReports() map[string]FleetReport { return telemetry.FleetReports() }
+
+// Tail-based trace retention: the trace ring is a short staging window;
+// queries that end up mattering (errors, SLO-slow, bound violations,
+// plus a uniform sample) have their complete span trees copied into a
+// decision buffer before the ring evicts them. Histogram exemplars link
+// latency buckets to the retained trace ids (see /metrics?exemplars=1).
+
+// RetainedTrace is one kept span tree plus why it was kept ("error",
+// "slow", "bound" or "sample").
+type RetainedTrace = obs.RetainedTrace
+
+// RetainedTraces returns up to n retained traces, most recently kept
+// first (the programmatic /debug/traces?retained=1).
+func RetainedTraces(n int) []RetainedTrace {
+	return obs.DefaultTracer().Retained(n)
+}
+
+// RetainedTraceByID looks one retained trace up by trace id — the
+// recovery path from a histogram exemplar's trace_id to the full tree.
+func RetainedTraceByID(traceID uint64) (RetainedTrace, bool) {
+	return obs.DefaultTracer().RetainedTrace(traceID)
+}
+
+// SetTraceRetention tunes the decision buffer: capacity bounds how many
+// traces stay recoverable, sampleEvery keeps 1 in N ordinary queries
+// alongside the always-keep rules (0 keeps either default).
+func SetTraceRetention(capacity, sampleEvery int) {
+	obs.DefaultTracer().SetRetention(capacity, sampleEvery)
 }
 
 // SetLogLevel tunes the runtime logger: "debug", "info", "warn",

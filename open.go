@@ -62,6 +62,7 @@ type openSettings struct {
 	faultScheds map[int]FaultSchedule
 	injector    *FaultInjector
 	probeEvery  time.Duration
+	statsEvery  time.Duration
 }
 
 // storageOpts lowers the resilience settings onto one local backend
@@ -115,6 +116,13 @@ func WithReplication(mode ReplicaMode) Option {
 // backend; zero (the default) waits indefinitely.
 func WithDialTimeout(d time.Duration) Option {
 	return func(s *openSettings) { s.dialTimeout = d }
+}
+
+// WithStatsPull makes the distributed backend's coordinator pull every
+// device server's metrics snapshot each interval, keeping the federated
+// fleet view on /debug/cluster fresh. Ignored on other backend kinds.
+func WithStatsPull(interval time.Duration) Option {
+	return func(s *openSettings) { s.statsEvery = interval }
 }
 
 // WithFailover routes the distributed backend's retrievals through the
@@ -259,6 +267,9 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		}
 		if s.probeEvery > 0 {
 			coord.StartHealthProbes(s.probeEvery)
+		}
+		if s.statsEvery > 0 {
+			coord.StartStatsPull(s.statsEvery)
 		}
 		c.kind, c.coord, c.failover = KindNetdist, coord, s.failover
 

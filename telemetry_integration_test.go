@@ -1,0 +1,470 @@
+package fxdist_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"fxdist"
+	"fxdist/internal/netdist"
+	"fxdist/internal/obs"
+	"fxdist/internal/resilience"
+	"fxdist/internal/telemetry"
+)
+
+// buildTelemetryFile returns a file whose Modulo allocation provably
+// violates the strict bound: sizes [2,2,4] on M=4 devices means a query
+// specifying only the third field qualifies the 4 buckets {(i,j,z)},
+// whose Modulo devices (i+j+z) mod 4 are {z, z+1, z+1, z+2} — one
+// device gets 2 buckets against bound ceil(4/4)=1, for every z.
+func buildTelemetryFile(t *testing.T) (*fxdist.File, *fxdist.Modulo) {
+	t.Helper()
+	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
+		{Name: "x", Cardinality: 8},
+		{Name: "y", Cardinality: 8},
+		{Name: "z", Cardinality: 16},
+	}}
+	file, err := fxdist.NewFile(fxdist.GenerateSchema(spec, []int{1, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fxdist.GenerateRecords(spec, 96, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := file.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := file.FileSystem(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, fxdist.NewModulo(fs)
+}
+
+// TestClusterTelemetryPlane runs the telemetry plane end to end on a
+// real multi-node cluster with an injected fault: per-node registries
+// federated over the wire into one /debug/cluster view whose per-shape
+// counts must equal the sum of the per-node counters, the faulted node
+// flagged, and a bound-violating Modulo query always kept in the wide-
+// event log — with its full trace tree recoverable through the latency
+// histogram's exemplar — even at 1% uniform sampling.
+func TestClusterTelemetryPlane(t *testing.T) {
+	// <10% sampling: no head-keep, 1-in-100 uniform. Always-keep rules
+	// are the only way an event survives in a short test.
+	ev := telemetry.LogFor("netdist")
+	ev.Reset()
+	ev.Configure(telemetry.Config{Capacity: 256, HeadPerShape: 0, SampleEvery: 100})
+	t.Cleanup(func() {
+		ev.Configure(telemetry.DefaultEventConfig)
+		ev.Reset()
+	})
+	tracer := obs.DefaultTracer()
+	tracer.SetRetention(256, 0) // always-keep only: exemplars stay deterministic
+	t.Cleanup(func() { tracer.SetRetention(obs.DefaultRetainedTraces, obs.DefaultSampleEvery) })
+
+	file, alloc := buildTelemetryFile(t)
+	allocSpec, err := fxdist.DescribeAllocator(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := fxdist.PartitionFile(file, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One server per device, each with its own private registry — the
+	// only route its counters have into the test's assertions is the
+	// stats pull over the wire.
+	const m = 4
+	addrs := make([]string, m)
+	regs := make([]*obs.Registry, m)
+	for dev := 0; dev < m; dev++ {
+		srv, err := fxdist.NewDeviceServer(dev, allocSpec, parts[dev])
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs[dev] = obs.NewRegistry()
+		srv.UseRegistry(regs[dev])
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[dev] = l.Addr().String()
+		go srv.Serve(l) //nolint:errcheck // closed at test end
+		defer srv.Close()
+	}
+
+	inj := resilience.NewInjector("telemetry-itest", 1, map[int]resilience.Schedule{})
+	coord, err := netdist.Dial(file, addrs,
+		netdist.WithInjector(inj), netdist.WithFleetName("telemetry-itest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	ctx := context.Background()
+
+	// Baseline pull so the fault below shows up as error *growth*.
+	if err := coord.PullStats(ctx); err != nil {
+		t.Fatalf("baseline stats pull: %v", err)
+	}
+
+	// Healthy traffic: 5 queries of shape s** — all below the sampling
+	// floor, so none should be kept.
+	pmX, err := file.Spec(map[string]string{"x": "x-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := coord.RetrieveContext(ctx, pmX); err != nil {
+			t.Fatalf("healthy query %d: %v", i, err)
+		}
+	}
+
+	// Chaos: partition device 2 at the coordinator seam and keep
+	// querying. The retrievals fail (no retry/failover configured), the
+	// coordinator's per-device error counters grow.
+	inj.Set(2, resilience.Schedule{Partition: true})
+	pmY, err := file.Spec(map[string]string{"y": "y-2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := coord.RetrieveContext(ctx, pmY); err == nil {
+			t.Fatalf("query %d against partitioned device 2 unexpectedly succeeded", i)
+		}
+	}
+
+	// The pull itself bypasses the injector (an overloaded or faulted
+	// node's telemetry is exactly what the fleet view needs), so it
+	// succeeds — the node is flagged by coordinator-observed error
+	// growth instead.
+	if err := coord.PullStats(ctx); err != nil {
+		t.Fatalf("stats pull during fault: %v", err)
+	}
+	rep := coord.Federator().Report()
+	for _, n := range rep.Nodes {
+		if n.Node == "device-2" {
+			if !n.Flagged {
+				t.Errorf("device-2 not flagged after injected faults: %+v", n)
+			}
+		} else if n.Flagged {
+			t.Errorf("%s flagged without faults: %q", n.Node, n.FlagReason)
+		}
+		if !n.Alive {
+			t.Errorf("%s reported dead; stats pulls bypass the injector", n.Node)
+		}
+	}
+
+	// The fleet view is served on /debug/cluster exactly as fxtop
+	// consumes it: fetch it over HTTP and decode through the facade type.
+	httpAddr, stopMetrics, err := fxdist.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopMetrics()
+	resp, err := http.Get("http://" + httpAddr + "/debug/cluster?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fleets map[string]fxdist.FleetReport
+	err = json.NewDecoder(resp.Body).Decode(&fleets)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode /debug/cluster: %v", err)
+	}
+	cluster, ok := fleets["telemetry-itest"]
+	if !ok {
+		t.Fatalf("/debug/cluster missing fleet telemetry-itest (have %d fleets)", len(fleets))
+	}
+	flagged := false
+	for _, n := range cluster.Nodes {
+		flagged = flagged || (n.Node == "device-2" && n.Flagged)
+	}
+	if !flagged {
+		t.Error("/debug/cluster does not flag device-2")
+	}
+
+	// Heal the partition and run the bound-violating query last, so its
+	// exemplar owns its latency bucket.
+	inj.Clear(2)
+	pmZ, err := file.Spec(map[string]string{"z": "z-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.RetrieveContext(ctx, pmZ)
+	if err != nil {
+		t.Fatalf("bound-violating query: %v", err)
+	}
+
+	// Final pull, then the federation invariant: the merged per-shape
+	// counts must equal the sum of the per-node counters, read straight
+	// out of each server's private registry.
+	if err := coord.PullStats(ctx); err != nil {
+		t.Fatalf("final stats pull: %v", err)
+	}
+	rep = coord.Federator().Report()
+	perNode := make(map[string]uint64)
+	var perNodeTotal uint64
+	for dev, reg := range regs {
+		for _, p := range reg.Snapshot() {
+			if p.Name != "fxdist_netdist_server_shape_requests_total" {
+				continue
+			}
+			var shape string
+			for _, l := range p.Labels {
+				if l.Key == "shape" {
+					shape = l.Value
+				}
+			}
+			if shape == "" {
+				t.Fatalf("device %d: shape counter without shape label", dev)
+			}
+			perNode[shape] += uint64(p.Value)
+			perNodeTotal += uint64(p.Value)
+		}
+	}
+	if len(perNode) == 0 {
+		t.Fatal("no per-node shape counters recorded")
+	}
+	if len(rep.Summary.QueriesByShape) != len(perNode) {
+		t.Errorf("merged shapes %v, per-node shapes %v", rep.Summary.QueriesByShape, perNode)
+	}
+	for shape, want := range perNode {
+		if got := rep.Summary.QueriesByShape[shape]; got != want {
+			t.Errorf("shape %s: merged count %d, per-node sum %d", shape, got, want)
+		}
+	}
+	if rep.Summary.Queries != perNodeTotal {
+		t.Errorf("merged total %d, per-node sum %d", rep.Summary.Queries, perNodeTotal)
+	}
+
+	// The bound-violating query must be in the event log despite the 1%
+	// sampling floor, kept for the bound reason...
+	var bound *telemetry.Event
+	recent := ev.Recent(256)
+	for i := range recent {
+		if recent[i].BoundViolation {
+			bound = &recent[i]
+			break
+		}
+	}
+	if bound == nil {
+		t.Fatal("bound-violating query not kept in the event log")
+	}
+	keep := fmt.Sprintf("%v", bound.Keep)
+	if !containsString(bound.Keep, obs.KeepBound) {
+		t.Errorf("bound event kept for %s, want %q", keep, obs.KeepBound)
+	}
+	if bound.Bound != 1 || bound.MaxDeviceBuckets < 2 {
+		t.Errorf("bound event: bound=%d max=%d, want bound 1 violated", bound.Bound, bound.MaxDeviceBuckets)
+	}
+	if bound.TraceID == 0 || bound.TraceID != res.TraceID {
+		t.Errorf("bound event trace id %d, result trace id %d", bound.TraceID, res.TraceID)
+	}
+	// ...while the sub-floor healthy shape was sampled out entirely.
+	for _, e := range recent {
+		if e.Shape == "s**" {
+			t.Errorf("shape s** event kept (%v) below the sampling floor", e.Keep)
+		}
+	}
+
+	// Exemplar loop: latency bucket → trace ID → retained tree.
+	tid := bound.TraceID
+	var exemplarHit bool
+	for _, p := range obs.Default().Snapshot() {
+		if p.Name != "fxdist_netdist_coordinator_retrieve_seconds" || p.Histogram == nil {
+			continue
+		}
+		for _, ex := range p.Histogram.Exemplars {
+			if ex != nil && ex.TraceID == tid {
+				exemplarHit = true
+			}
+		}
+	}
+	if !exemplarHit {
+		t.Error("no latency histogram exemplar points at the bound-violating trace")
+	}
+	rt, ok := tracer.RetainedTrace(tid)
+	if !ok {
+		t.Fatalf("trace %d not retained", tid)
+	}
+	if rt.Reason != obs.KeepBound {
+		t.Errorf("trace %d retained for %q, want %q", tid, rt.Reason, obs.KeepBound)
+	}
+	if rt.Root.TraceID != tid {
+		t.Errorf("retained tree root trace id %d, want %d", rt.Root.TraceID, tid)
+	}
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDebugEndpointsServeBothFormats walks the /debug/ index and
+// scrapes every endpoint in both renderings: ?format=json must return
+// 200 with a valid JSON document, ?format=text must return 200. This is
+// the CI telemetry job's in-process half.
+func TestDebugEndpointsServeBothFormats(t *testing.T) {
+	addr, stop, err := fxdist.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client := http.Client{Timeout: 10 * time.Second}
+	for _, ep := range obs.DebugEndpoints() {
+		if ep.Path == "/debug/pprof/" {
+			// The pprof mux ignores format params; reachability is enough.
+			resp, err := client.Get("http://" + addr + ep.Path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", ep.Path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("GET %s: %s", ep.Path, resp.Status)
+			}
+			continue
+		}
+		if ep.Path == "/metrics" {
+			continue // Prometheus text only; linted separately below
+		}
+		if ep.Path == "/debug/profiles/" {
+			continue // parameterized download route: 404 without a capture name
+		}
+		for _, format := range []string{"json", "text"} {
+			url := "http://" + addr + ep.Path + "?format=" + format
+			resp, err := client.Get(url)
+			if err != nil {
+				t.Fatalf("GET %s: %v", url, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				t.Errorf("GET %s: %s", url, resp.Status)
+				continue
+			}
+			if format == "json" {
+				var doc any
+				if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+					t.Errorf("GET %s: invalid JSON: %v", url, err)
+				}
+			}
+			resp.Body.Close()
+		}
+	}
+}
+
+// TestPrometheusHelpTypeLint asserts every sample family in the
+// /metrics exposition is preceded by its # HELP and # TYPE headers —
+// the lint half of the CI telemetry job.
+func TestPrometheusHelpTypeLint(t *testing.T) {
+	// Touch a few instruments so the exposition is non-trivial.
+	obs.Default().Counter("fxdist_lint_probe_total", "Lint probe.").Inc()
+	addr, stop, err := fxdist.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	problems := lintPrometheus(t, resp.Body)
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func lintPrometheus(t *testing.T, r io.Reader) []string {
+	t.Helper()
+	var problems []string
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	seen := map[string]bool{}
+	var samples []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if name, ok := cutPrefixWord(line, "# HELP "); ok {
+			helped[name] = true
+			continue
+		}
+		if name, ok := cutPrefixWord(line, "# TYPE "); ok {
+			typed[name] = true
+			continue
+		}
+		if line[0] == '#' {
+			continue
+		}
+		name := line
+		for i := 0; i < len(name); i++ {
+			if name[i] == '{' || name[i] == ' ' {
+				name = name[:i]
+				break
+			}
+		}
+		// _bucket/_sum/_count samples belong to their histogram family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := name
+			if len(name) > len(suf) && name[len(name)-len(suf):] == suf && typed[name[:len(name)-len(suf)]] {
+				base = name[:len(name)-len(suf)]
+			}
+			if base != name {
+				name = base
+				break
+			}
+		}
+		if !seen[name] {
+			seen[name] = true
+			samples = append(samples, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("empty /metrics exposition")
+	}
+	for _, name := range samples {
+		if !helped[name] {
+			problems = append(problems, "metric "+name+" has no # HELP line")
+		}
+		if !typed[name] {
+			problems = append(problems, "metric "+name+" has no # TYPE line")
+		}
+	}
+	return problems
+}
+
+func cutPrefixWord(line, prefix string) (string, bool) {
+	if len(line) < len(prefix) || line[:len(prefix)] != prefix {
+		return "", false
+	}
+	rest := line[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ' ' {
+			return rest[:i], true
+		}
+	}
+	return rest, true
+}
