@@ -260,9 +260,9 @@ func FindWitness(a GroupAllocator) (w OptimalityWitness, ok bool) {
 	return optimal.FindWitness(a)
 }
 
-// RoundRobinPlan forces the paper's Tables 7-9 transform assignment:
+// WithRoundRobinPlan forces the paper's Tables 7-9 transform assignment:
 // cycling I, U, then the family transform (see WithFamily) over fields
 // smaller than M, in field order.
-func RoundRobinPlan() PlanOption {
+func WithRoundRobinPlan() PlanOption {
 	return field.WithStrategy(field.RoundRobin)
 }

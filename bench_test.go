@@ -192,7 +192,7 @@ func table7FS() fxdist.FileSystem {
 }
 
 func BenchmarkAddressFX(b *testing.B) {
-	fx, err := fxdist.NewFX(table7FS(), fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(table7FS(), fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -214,7 +214,7 @@ func BenchmarkAddressModulo(b *testing.B) {
 // --- Inverse mapping and end-to-end retrieval ----------------------------
 
 func BenchmarkInverseMapping(b *testing.B) {
-	fx, err := fxdist.NewFX(table7FS(), fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(table7FS(), fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func BenchmarkAblationPlanner(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	planned, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	planned, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -418,7 +418,7 @@ func BenchmarkAblationMSweep(b *testing.B) {
 // response under a Poisson stream, FX vs Modulo.
 func BenchmarkQueueingThroughput(b *testing.B) {
 	fs := table7FS()
-	fx, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -590,7 +590,7 @@ func BenchmarkDistributedRetrieve(b *testing.B) {
 // on the whole-file query.
 func BenchmarkReplicaFailover(b *testing.B) {
 	fs := table7FS()
-	fx, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -691,7 +691,7 @@ func BenchmarkAblationPSweep(b *testing.B) {
 // sustains more queries per second than Modulo once devices saturate.
 func BenchmarkClosedLoopThroughput(b *testing.B) {
 	fs := table7FS()
-	fx, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -798,11 +798,11 @@ func BenchmarkAblationIU1vsIU2(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	iu1, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	iu1, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	if err != nil {
 		b.Fatal(err)
 	}
-	iu2, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
+	iu2, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,186 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fxdist"
+)
+
+// Client talks JSON-RPC 2.0 to an fxgate endpoint over persistent
+// (keep-alive) HTTP connections. It is safe for concurrent use; a
+// single Client multiplexes any number of in-flight calls over the
+// transport's connection pool.
+type Client struct {
+	endpoint string
+	apiKey   string
+	httpc    *http.Client
+	nextID   atomic.Uint64
+}
+
+// Option configures New.
+type Option func(*Client)
+
+// WithAPIKey authenticates every request as the tenant owning key
+// (sent as a Bearer token).
+func WithAPIKey(key string) Option {
+	return func(c *Client) { c.apiKey = key }
+}
+
+// WithHTTPClient substitutes the underlying HTTP client (custom
+// transport, TLS, proxies). The default keeps connections alive and
+// applies no overall timeout — use context deadlines per call.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// New builds a client for an fxgate RPC endpoint, e.g.
+// "http://127.0.0.1:8080/rpc".
+func New(endpoint string, opts ...Option) *Client {
+	c := &Client{endpoint: endpoint, httpc: &http.Client{}}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// call runs one JSON-RPC request and unmarshals its result into out.
+func (c *Client) call(ctx context.Context, method string, params any, out any) error {
+	var raw json.RawMessage
+	if params != nil {
+		b, err := json.Marshal(params)
+		if err != nil {
+			return fmt.Errorf("client: marshal params: %w", err)
+		}
+		raw = b
+	}
+	id := c.nextID.Add(1)
+	req := Request{
+		JSONRPC: "2.0",
+		ID:      json.RawMessage(strconv.FormatUint(id, 10)),
+		Method:  method,
+		Params:  raw,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: marshal request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if c.apiKey != "" {
+		hreq.Header.Set("Authorization", "Bearer "+c.apiKey)
+	}
+	hres, err := c.httpc.Do(hreq)
+	if err != nil {
+		return classifyTransport(ctx, err)
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, 64<<20))
+	if err != nil {
+		return classifyTransport(ctx, err)
+	}
+	var res Response
+	if err := json.Unmarshal(data, &res); err != nil {
+		// No JSON-RPC envelope at all: surface the HTTP status.
+		e := fxdist.NewError(fxdist.ErrCodeInternal,
+			fmt.Sprintf("HTTP %d: %.200s", hres.StatusCode, data))
+		if ra := retryAfterHeader(hres); ra > 0 {
+			e.Code = fxdist.ErrCodeOverloaded
+			e.RetryAfter = ra
+		}
+		return e
+	}
+	if res.Error != nil {
+		e := res.Error.Err()
+		if e.RetryAfter == 0 {
+			e.RetryAfter = retryAfterHeader(hres)
+		}
+		return e
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(res.Result, out); err != nil {
+		return fxdist.NewError(fxdist.ErrCodeInternal, "malformed result: "+err.Error())
+	}
+	return nil
+}
+
+// classifyTransport folds transport-level failures onto the taxonomy.
+func classifyTransport(ctx context.Context, err error) error {
+	e := fxdist.Classify(err)
+	if ctx.Err() == context.DeadlineExceeded {
+		e.Code = fxdist.ErrCodeTimeout
+	} else if ctx.Err() == context.Canceled {
+		e.Code = fxdist.ErrCodeCanceled
+	}
+	return e
+}
+
+// retryAfterHeader parses an HTTP Retry-After delay (seconds form).
+func retryAfterHeader(res *http.Response) time.Duration {
+	v := res.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs > 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	return 0
+}
+
+// Retrieve answers one partial match query: field name → required
+// value; unmentioned fields are unspecified. Failures are *fxdist.Error
+// values carrying the taxonomy code from the wire.
+func (c *Client) Retrieve(ctx context.Context, query map[string]string) (*RetrieveResult, error) {
+	var out RetrieveResult
+	if err := c.call(ctx, MethodRetrieve, RetrieveParams{Query: query}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RetrieveBatch answers a batch of queries in one round trip; the
+// result's Items are index-aligned with queries, each carrying either
+// a result or a per-query error.
+func (c *Client) RetrieveBatch(ctx context.Context, queries []map[string]string) (*BatchResult, error) {
+	var out BatchResult
+	if err := c.call(ctx, MethodRetrieveBatch, BatchParams{Queries: queries}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Explain reports the compiled plan's view of a query — shape, |R(q)|,
+// the strict bound, per-device loads when known — without running it.
+func (c *Client) Explain(ctx context.Context, query map[string]string) (*ExplainResult, error) {
+	var out ExplainResult
+	if err := c.call(ctx, MethodExplain, RetrieveParams{Query: query}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health reports the serving cluster's identity and liveness.
+func (c *Client) Health(ctx context.Context) (*HealthResult, error) {
+	var out HealthResult
+	if err := c.call(ctx, MethodHealth, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Close releases idle connections held by the default transport.
+func (c *Client) Close() {
+	c.httpc.CloseIdleConnections()
+}

@@ -1,0 +1,125 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"fxdist"
+)
+
+// TestErrorCodeWireRoundTrip drives every taxonomy code through the
+// exact JSON that crosses the fxgate wire — FromError → marshal →
+// unmarshal → Err() — and asserts the taxonomy survives byte-for-byte,
+// including the device/trace/coverage/retry-after payload. The numeric
+// JSON-RPC codes are asserted against literals: they are part of the
+// public contract, and this table is what fails if someone renumbers.
+func TestErrorCodeWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		code fxdist.ErrorCode
+		wire int
+	}{
+		{fxdist.ErrCodeInvalidQuery, -32602},
+		{fxdist.ErrCodeUnknownMethod, -32601},
+		{fxdist.ErrCodeInternal, -32603},
+		{fxdist.ErrCodeUnauthorized, -32001},
+		{fxdist.ErrCodeRateLimited, -32002},
+		{fxdist.ErrCodeOverloaded, -32003},
+		{fxdist.ErrCodeTimeout, -32004},
+		{fxdist.ErrCodeCanceled, -32005},
+		{fxdist.ErrCodeDeviceFailure, -32006},
+		{fxdist.ErrCodePartialResult, -32007},
+		{fxdist.ErrCodeBreakerOpen, -32008},
+		{fxdist.ErrCodeFaultInjected, -32009},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.code), func(t *testing.T) {
+			in := &fxdist.Error{
+				Code:       tc.code,
+				Message:    "message for " + string(tc.code),
+				Device:     3,
+				TraceID:    0xfeed,
+				Coverage:   0.75,
+				RetryAfter: 1500 * time.Millisecond,
+			}
+			if got := WireCode(tc.code); got != tc.wire {
+				t.Fatalf("WireCode(%s) = %d, want %d", tc.code, got, tc.wire)
+			}
+			obj := FromError(in)
+			if obj.Code != tc.wire {
+				t.Fatalf("FromError code = %d, want %d", obj.Code, tc.wire)
+			}
+			raw, err := json.Marshal(Response{JSONRPC: "2.0", Error: obj})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res Response
+			if err := json.Unmarshal(raw, &res); err != nil {
+				t.Fatal(err)
+			}
+			out := res.Error.Err()
+			if out.Code != tc.code {
+				t.Fatalf("round-tripped code = %s, want %s", out.Code, tc.code)
+			}
+			if out.Message != in.Message {
+				t.Fatalf("message = %q, want %q", out.Message, in.Message)
+			}
+			if out.Device != 3 || out.TraceID != 0xfeed || out.Coverage != 0.75 {
+				t.Fatalf("payload drifted: %+v", out)
+			}
+			if out.RetryAfter != 1500*time.Millisecond {
+				t.Fatalf("retry-after = %v, want 1.5s", out.RetryAfter)
+			}
+			// The taxonomy type must keep working with errors.As through
+			// wrapping, exactly like in-process errors.
+			wrapped := &fxdist.Error{Code: fxdist.ErrCodeInternal, Message: "outer", Device: -1, Err: out}
+			var target *fxdist.Error
+			if !errors.As(wrapped, &target) {
+				t.Fatal("errors.As failed on wrapped *fxdist.Error")
+			}
+		})
+	}
+}
+
+// TestErrorObjectNumericFallback covers a foreign server that sends no
+// taxonomy data: the numeric code alone must still classify.
+func TestErrorObjectNumericFallback(t *testing.T) {
+	cases := []struct {
+		wire int
+		want fxdist.ErrorCode
+	}{
+		{-32601, fxdist.ErrCodeUnknownMethod},
+		{-32602, fxdist.ErrCodeInvalidQuery},
+		{-32600, fxdist.ErrCodeInvalidQuery},
+		{-32700, fxdist.ErrCodeInvalidQuery},
+		{-32603, fxdist.ErrCodeInternal},
+		{-31999, fxdist.ErrCodeInternal}, // unknown numeric space
+	}
+	for _, tc := range cases {
+		e := (&ErrorObject{Code: tc.wire, Message: "m"}).Err()
+		if e.Code != tc.want {
+			t.Fatalf("numeric %d classified as %s, want %s", tc.wire, e.Code, tc.want)
+		}
+		if e.Device != -1 {
+			t.Fatalf("device should default to -1, got %d", e.Device)
+		}
+	}
+}
+
+// TestDeviceZeroSurvivesWire pins the regression where device 0 (a
+// perfectly valid device id) is dropped by omitempty semantics.
+func TestDeviceZeroSurvivesWire(t *testing.T) {
+	in := &fxdist.Error{Code: fxdist.ErrCodeDeviceFailure, Message: "dev 0 down", Device: 0}
+	raw, err := json.Marshal(FromError(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj ErrorObject
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		t.Fatal(err)
+	}
+	if out := obj.Err(); out.Device != 0 {
+		t.Fatalf("device 0 became %d across the wire", out.Device)
+	}
+}

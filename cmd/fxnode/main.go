@@ -30,6 +30,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"fxdist"
 	"fxdist/internal/cliutil"
@@ -62,6 +63,8 @@ func runServe(args []string) error {
 	listen := fs.String("listen", "127.0.0.1:0", "listen address")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/traces and /debug/pprof/ on this address")
 	logLevel := fs.String("log-level", "info", "log level: debug, info, warn, error, off")
+	shedInflight := fs.Int("shed-inflight", 0, "shed requests beyond this many in flight with a retryable busy response (0 disables)")
+	shedRetryAfter := fs.Duration("shed-retry-after", 250*time.Millisecond, "retry-after hint attached to shed responses")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +103,9 @@ func runServe(args []string) error {
 	srv, err := fxdist.NewDeviceServer(*device, spec, parts[*device])
 	if err != nil {
 		return err
+	}
+	if *shedInflight > 0 {
+		srv.SetShedding(*shedInflight, *shedRetryAfter)
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,167 @@
+package fxdist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"fxdist/internal/engine"
+	"fxdist/internal/netdist"
+	"fxdist/internal/resilience"
+	"fxdist/internal/retry"
+)
+
+// Error is the unified retrieval error of the public API: every failure
+// the library can produce — device scan errors, degraded partial
+// results, breaker vetoes, injected faults, timeouts, gateway admission
+// rejections — classifies onto one taxonomy with a stable,
+// machine-readable Code. The gateway (cmd/fxgate) and the client
+// package speak exactly these codes on the wire, so a remote caller
+// sees the same taxonomy an embedder does.
+//
+// Error wraps the original cause unmodified: errors.Is and errors.As
+// still find the concrete types underneath (DeviceFailure, TracedError,
+// PartialResult, ErrRequestTimeout, ...), so pre-taxonomy call sites
+// keep working against a classified error.
+type Error struct {
+	// Code is the stable taxonomy code (see the ErrCode constants).
+	Code ErrorCode
+	// Message is a human-readable description (the cause's Error()
+	// unless overridden).
+	Message string
+	// Device is the failing device id, -1 when the failure is not
+	// scoped to one device.
+	Device int
+	// TraceID joins the failure against /debug/traces; 0 when untraced.
+	TraceID uint64
+	// Coverage is the fraction of |R(q)| a degraded retrieval still
+	// covered; only meaningful with ErrCodePartialResult.
+	Coverage float64
+	// RetryAfter, when positive, is the server's load-shedding or
+	// admission-control hint: do not retry before this long (the wire's
+	// Retry-After). Set for ErrCodeRateLimited and ErrCodeOverloaded.
+	RetryAfter time.Duration
+	// Err is the wrapped cause; nil for errors born at the gateway
+	// boundary (auth, rate limits, unknown method).
+	Err error
+}
+
+// ErrorCode is a stable machine-readable failure class. Codes are part
+// of the wire contract: they never change meaning and are only ever
+// added to.
+type ErrorCode string
+
+// The error taxonomy. Every retrieval failure classifies onto exactly
+// one of these.
+const (
+	// ErrCodeInvalidQuery: the query is malformed — unknown field,
+	// out-of-range value, bad parameters.
+	ErrCodeInvalidQuery ErrorCode = "invalid_query"
+	// ErrCodeUnauthorized: missing or unrecognized API key.
+	ErrCodeUnauthorized ErrorCode = "unauthorized"
+	// ErrCodeRateLimited: the tenant exceeded its request rate or
+	// in-flight quota; honor RetryAfter before retrying.
+	ErrCodeRateLimited ErrorCode = "rate_limited"
+	// ErrCodeOverloaded: the service (gateway admission control or a
+	// shedding device server) refused the request to protect itself;
+	// honor RetryAfter.
+	ErrCodeOverloaded ErrorCode = "overloaded"
+	// ErrCodeTimeout: the retrieval exceeded its deadline.
+	ErrCodeTimeout ErrorCode = "timeout"
+	// ErrCodeCanceled: the caller canceled the retrieval.
+	ErrCodeCanceled ErrorCode = "canceled"
+	// ErrCodeBreakerOpen: a device's circuit breaker vetoed the attempt.
+	ErrCodeBreakerOpen ErrorCode = "breaker_open"
+	// ErrCodeFaultInjected: the failure was manufactured by a fault
+	// injector (chaos testing).
+	ErrCodeFaultInjected ErrorCode = "fault_injected"
+	// ErrCodePartialResult: some devices failed but the survivors'
+	// merged answer is attached (graceful degradation); Coverage says
+	// how much of |R(q)| it spans.
+	ErrCodePartialResult ErrorCode = "partial_result"
+	// ErrCodeDeviceFailure: one or more device scans failed and the
+	// retrieval could not be served.
+	ErrCodeDeviceFailure ErrorCode = "device_failure"
+	// ErrCodeUnknownMethod: the gateway does not serve the requested
+	// RPC method.
+	ErrCodeUnknownMethod ErrorCode = "unknown_method"
+	// ErrCodeInternal: anything that fits no other class.
+	ErrCodeInternal ErrorCode = "internal"
+)
+
+func (e *Error) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("fxdist: %s: %s", e.Code, e.Message)
+	}
+	return fmt.Sprintf("fxdist: %s", e.Code)
+}
+
+// Unwrap exposes the original cause, keeping errors.Is/As transparent
+// through the classification.
+func (e *Error) Unwrap() error { return e.Err }
+
+// NewError builds a taxonomy error with no underlying cause — the
+// constructor for failures born at a service boundary (auth, rate
+// limits, unknown method).
+func NewError(code ErrorCode, message string) *Error {
+	return &Error{Code: code, Message: message, Device: -1}
+}
+
+// Classify folds any retrieval error onto the unified taxonomy. The
+// returned *Error wraps err, so errors.Is/As keep seeing the original
+// chain. Classifying nil returns nil; an already-classified error is
+// returned as is (no double wrapping).
+//
+// Classification priority, most specific first: partial result,
+// load-shedding cooldown, breaker veto, injected fault, timeout,
+// cancellation, device failure, internal.
+func Classify(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe
+	}
+	e := &Error{Code: ErrCodeInternal, Message: err.Error(), Device: -1, Err: err}
+
+	// Context carried by wrapper types, whatever the final code.
+	var te *engine.TracedError
+	if errors.As(err, &te) {
+		e.TraceID = te.TraceID
+	}
+	var de *netdist.DeviceError
+	if errors.As(err, &de) {
+		e.Device = de.Device
+		if e.TraceID == 0 {
+			e.TraceID = de.TraceID
+		}
+	}
+	var df *engine.DeviceFailure
+	if errors.As(err, &df) && e.Device < 0 {
+		e.Device = df.Device
+	}
+
+	var pe *engine.PartialError
+	var cd *retry.Cooldown
+	switch {
+	case errors.As(err, &pe):
+		e.Code = ErrCodePartialResult
+		e.Coverage = pe.Coverage
+	case errors.As(err, &cd):
+		e.Code = ErrCodeOverloaded
+		e.RetryAfter = cd.After
+	case errors.Is(err, retry.ErrOpen):
+		e.Code = ErrCodeBreakerOpen
+	case errors.Is(err, resilience.ErrInjected):
+		e.Code = ErrCodeFaultInjected
+	case errors.Is(err, netdist.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		e.Code = ErrCodeTimeout
+	case errors.Is(err, context.Canceled):
+		e.Code = ErrCodeCanceled
+	case errors.As(err, &df), errors.As(err, &de):
+		e.Code = ErrCodeDeviceFailure
+	}
+	return e
+}

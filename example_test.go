@@ -64,7 +64,7 @@ func ExampleNewInverseMapper() {
 // sufficient conditions — no enumeration needed.
 func ExampleFXGuaranteed() {
 	fs, _ := fxdist.NewFileSystem([]int{8, 8, 8, 8, 8, 8}, 32)
-	fx, _ := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, _ := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	q := fxdist.NewQuery([]int{fxdist.Unspecified, fxdist.Unspecified, 0, 0, 0, 0})
 	fmt.Println("certified:", fxdist.FXGuaranteed(fx, q))
 	// Output:
@@ -74,7 +74,7 @@ func ExampleFXGuaranteed() {
 // ExampleResponseTable regenerates two rows of the paper's Table 7.
 func ExampleResponseTable() {
 	fs, _ := fxdist.NewFileSystem([]int{8, 8, 8, 8, 8, 8}, 32)
-	fx, _ := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, _ := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	md := fxdist.NewModulo(fs)
 	rows := fxdist.ResponseTable(fs, []fxdist.GroupAllocator{md, fx}, []int{2, 3})
 	for _, r := range rows {

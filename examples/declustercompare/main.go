@@ -19,7 +19,7 @@ func main() {
 	fs, err := fxdist.NewFileSystem(sizes, m)
 	check(err)
 
-	fx, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	check(err)
 	md := fxdist.NewModulo(fs)
 	gdm1, err := fxdist.NewGDM(fs, fxdist.GDM1Multipliers)

@@ -23,7 +23,7 @@ func main() {
 	fs, err := fxdist.NewFileSystem(sizes, m)
 	check(err)
 
-	fx, err := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
+	fx, err := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
 	check(err)
 	fmt.Printf("machine: %d nodes; directory %v; plan %v\n\n", m, sizes, fxdist.Kinds(fx))
 

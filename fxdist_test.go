@@ -66,7 +66,7 @@ func TestPublicAPIBaselines(t *testing.T) {
 
 func TestPublicAPISufficientConditions(t *testing.T) {
 	fs, _ := fxdist.NewFileSystem([]int{2, 2, 2, 2}, 16)
-	fx, _ := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
+	fx, _ := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU2))
 	q := fxdist.NewQuery([]int{0, fxdist.Unspecified, 1, fxdist.Unspecified})
 	if !fxdist.FXGuaranteed(fx, q) {
 		t.Error("two different-method small fields should be guaranteed")
@@ -143,7 +143,7 @@ func TestPublicAPIAnalysis(t *testing.T) {
 
 func TestPublicAPICPUCost(t *testing.T) {
 	fs, _ := fxdist.NewFileSystem([]int{8, 8, 8, 8, 8, 8}, 32)
-	fx, _ := fxdist.NewFX(fs, fxdist.RoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
+	fx, _ := fxdist.NewFX(fs, fxdist.WithRoundRobinPlan(), fxdist.WithFamily(fxdist.FamilyIU1))
 	rows := fxdist.CompareCPUCost(fxdist.MC68000, fx)
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))

@@ -278,6 +278,47 @@ func (e *Executor) planFor(q query.Query) (*plancache.Plan, bool, error) {
 	return plancache.Summary(q, e.numQualified(q), len(e.devs)), false, nil
 }
 
+// callerKey carries the retrieval's caller attribution (a gateway
+// tenant name, a batch job id, ...) through the context; callersKey
+// carries a batch-aligned slice for coalesced multi-tenant batches.
+type callerKey struct{}
+type callersKey struct{}
+
+// ContextWithCaller returns ctx attributing retrievals to caller; the
+// wide-event query log records it as the event's tenant.
+func ContextWithCaller(ctx context.Context, caller string) context.Context {
+	if caller == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, callerKey{}, caller)
+}
+
+// CallerFromContext returns the caller attribution carried by ctx, or
+// "".
+func CallerFromContext(ctx context.Context) string {
+	c, _ := ctx.Value(callerKey{}).(string)
+	return c
+}
+
+// ContextWithCallers returns ctx attributing the queries of a batch
+// retrieval to callers, index-aligned with the batch: query i of a
+// RetrieveBatch under this context is attributed to callers[i]. This is
+// how a coalescing gateway drives one engine batch on behalf of many
+// tenants and still gets per-tenant wide events.
+func ContextWithCallers(ctx context.Context, callers []string) context.Context {
+	if len(callers) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, callersKey{}, callers)
+}
+
+// CallersFromContext returns the batch-aligned caller attributions
+// carried by ctx, or nil.
+func CallersFromContext(ctx context.Context) []string {
+	c, _ := ctx.Value(callersKey{}).([]string)
+	return c
+}
+
 // planKey carries the retrieval's compiled plan through the context so
 // device adapters can enumerate their qualified buckets from the cached
 // tuple groups instead of re-walking the inverse mapper.
@@ -306,7 +347,8 @@ type call struct {
 	t0      time.Time
 	span    *obs.Span
 	q       query.Query
-	rq      int // |R(q)| for the optimality audit
+	caller  string // attribution for the wide-event query log
+	rq      int    // |R(q)| for the optimality audit
 	answers []Answer
 	errs    []error
 	pending atomic.Int64
@@ -377,11 +419,12 @@ type callInstr struct {
 // |R(q)| feeds the audit; its tuple groups (when compiled) travel to
 // the devices via the context. ci, when non-nil, turns on per-stage
 // cost attribution for this call.
-func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Plan, pm mkhash.PartialMatch, ci *callInstr) *call {
+func (e *Executor) launch(ctx context.Context, q query.Query, plan *plancache.Plan, pm mkhash.PartialMatch, caller string, ci *callInstr) *call {
 	m := len(e.devs)
 	c := &call{
 		t0:      time.Now(),
 		q:       q,
+		caller:  caller,
 		rq:      plan.RQ,
 		answers: e.answersP().Get(m),
 		errs:    e.errsP().Get(m),
@@ -642,6 +685,7 @@ func (e *Executor) emit(c *call, res Result, err error) {
 	ev := telemetry.Event{
 		Time:         start,
 		Shape:        c.q.Shape(),
+		Tenant:       c.caller,
 		TraceID:      c.span.Trace(),
 		Elapsed:      elapsed,
 		PlanCacheHit: c.planHit,
@@ -843,7 +887,7 @@ func (e *Executor) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Result
 		a1 := obs.ReadAllocs()
 		ci = &callInstr{started: t0, planHit: hit, planWall: time.Since(t0), planAlloc: a1.Sub(a0), mark: a1}
 	}
-	c := e.launch(ctx, q, plan, pm, ci)
+	c := e.launch(ctx, q, plan, pm, CallerFromContext(ctx), ci)
 	res, err := e.wait(ctx, c)
 	e.finish(c, res, err)
 	res, err = c.seal(res, err)
@@ -867,6 +911,8 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 	errs := e.errsP().Get(len(pms))
 	calls := e.callsP().Get(len(pms))
 	instr := e.prof != nil || e.flight != nil || e.events != nil
+	callers := CallersFromContext(ctx)
+	defCaller := CallerFromContext(ctx)
 	for i, pm := range pms {
 		if e.obs != nil {
 			e.obs.RetrieveStarted()
@@ -893,7 +939,11 @@ func (e *Executor) RetrieveBatch(ctx context.Context, pms []mkhash.PartialMatch)
 			a1 := obs.ReadAllocs()
 			ci = &callInstr{started: t0, planHit: hit, planWall: time.Since(t0), planAlloc: a1.Sub(a0), mark: a1}
 		}
-		calls[i] = e.launch(ctx, q, plan, pm, ci)
+		caller := defCaller
+		if i < len(callers) {
+			caller = callers[i]
+		}
+		calls[i] = e.launch(ctx, q, plan, pm, caller, ci)
 	}
 	for i, c := range calls {
 		if c == nil {

@@ -1,0 +1,201 @@
+package gate
+
+import (
+	"context"
+	"time"
+
+	"fxdist"
+)
+
+// The coalescer is the gate's cross-tenant batching dispatcher. Every
+// fx.retrieve enqueues a pending query and sleeps on its outcome
+// channel; a single dispatcher goroutine wakes on the first arrival,
+// waits out the coalescing window so shape-mates can pile up, then
+// drains the queue, groups it by query shape, chunks each group at
+// MaxBatch and drives every chunk through one Cluster.RetrieveBatch —
+// with fxdist.ContextWithCallers carrying each query's tenant so the
+// engine's wide events stay per-tenant. One chunk therefore costs one
+// plan-cache lookup per shape (one compilation ever, across tenants)
+// and one engine fan-out wave, however many tenants fed it.
+
+// pending is one enqueued query waiting for a coalesced dispatch.
+type pending struct {
+	tenant string
+	shape  string
+	pm     fxdist.PartialMatch
+	ctx    context.Context
+	done   chan outcome // buffered 1; dispatcher never blocks on it
+}
+
+// outcome is what the dispatcher hands back to a waiter.
+type outcome struct {
+	res   fxdist.RetrieveResult
+	batch int // size of the dispatch this query rode in
+	err   error
+}
+
+type coalescer struct {
+	g      *Gate
+	wake   chan struct{} // buffered 1: first enqueue arms the window
+	quit   chan struct{}
+	idle   chan struct{} // closed when the dispatcher exits
+	queueC chan *pending
+}
+
+func newCoalescer(g *Gate) *coalescer {
+	co := &coalescer{
+		g:      g,
+		wake:   make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		idle:   make(chan struct{}),
+		queueC: make(chan *pending, 4*g.cfg.MaxBatch),
+	}
+	go co.run()
+	return co
+}
+
+func (co *coalescer) stop() {
+	close(co.quit)
+	<-co.idle
+}
+
+// do enqueues one query and waits for its coalesced outcome. The
+// caller's context cancels the wait (the query itself may still be
+// served inside the batch; its result is then discarded).
+func (co *coalescer) do(ctx context.Context, t *tenant, shape string, pm fxdist.PartialMatch) (fxdist.RetrieveResult, int, error) {
+	p := &pending{
+		tenant: t.cfg.Name,
+		shape:  shape,
+		pm:     pm,
+		ctx:    ctx,
+		done:   make(chan outcome, 1),
+	}
+	select {
+	case co.queueC <- p:
+	default:
+		// Queue saturated: the dispatcher is running far behind arrivals.
+		e := fxdist.NewError(fxdist.ErrCodeOverloaded, "coalescing queue full")
+		e.RetryAfter = co.g.cfg.ShedRetryAfter
+		return fxdist.RetrieveResult{}, 0, e
+	}
+	select {
+	case co.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case out := <-p.done:
+		return out.res, out.batch, out.err
+	case <-ctx.Done():
+		return fxdist.RetrieveResult{}, 0, fxdist.Classify(ctx.Err())
+	case <-co.quit:
+		return fxdist.RetrieveResult{}, 0, fxdist.NewError(fxdist.ErrCodeOverloaded, "gate shutting down")
+	}
+}
+
+// run is the dispatcher loop.
+func (co *coalescer) run() {
+	defer close(co.idle)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		select {
+		case <-co.quit:
+			co.failQueued()
+			return
+		case <-co.wake:
+		}
+		// Arm the window: whoever woke us is already queued; shape-mates
+		// arriving within the window join the same dispatch.
+		timer.Reset(co.g.cfg.CoalesceWindow)
+		select {
+		case <-co.quit:
+			timer.Stop()
+			co.failQueued()
+			return
+		case <-timer.C:
+		}
+		co.flush()
+	}
+}
+
+// failQueued drains the queue on shutdown.
+func (co *coalescer) failQueued() {
+	for {
+		select {
+		case p := <-co.queueC:
+			p.done <- outcome{err: fxdist.NewError(fxdist.ErrCodeOverloaded, "gate shutting down")}
+		default:
+			return
+		}
+	}
+}
+
+// flush drains everything queued right now, groups by shape, chunks at
+// MaxBatch and dispatches each chunk concurrently.
+func (co *coalescer) flush() {
+	var all []*pending
+drain:
+	for {
+		select {
+		case p := <-co.queueC:
+			all = append(all, p)
+		default:
+			break drain
+		}
+	}
+	if len(all) == 0 {
+		return
+	}
+	// Group by shape, preserving arrival order within a group.
+	groups := make(map[string][]*pending)
+	var order []string
+	for _, p := range all {
+		if _, seen := groups[p.shape]; !seen {
+			order = append(order, p.shape)
+		}
+		groups[p.shape] = append(groups[p.shape], p)
+	}
+	for _, shape := range order {
+		group := groups[shape]
+		for len(group) > 0 {
+			n := len(group)
+			if n > co.g.cfg.MaxBatch {
+				n = co.g.cfg.MaxBatch
+			}
+			chunk := group[:n]
+			group = group[n:]
+			go co.dispatch(chunk)
+		}
+	}
+}
+
+// dispatch drives one shape-homogeneous chunk through a single
+// Cluster.RetrieveBatch and demultiplexes results to each waiter.
+func (co *coalescer) dispatch(chunk []*pending) {
+	pms := make([]fxdist.PartialMatch, len(chunk))
+	callers := make([]string, len(chunk))
+	for i, p := range chunk {
+		pms[i] = p.pm
+		callers[i] = p.tenant
+	}
+	co.g.batches.Add(1)
+	if len(chunk) > 1 {
+		co.g.coalescedQ.Add(uint64(len(chunk)))
+		co.g.metrics.coalesced(uint64(len(chunk)))
+	}
+	co.g.metrics.batches.Inc()
+	// The dispatch runs under its own context: individual waiters may
+	// have given up, but the batch serves whoever is still listening.
+	ctx := fxdist.ContextWithCallers(context.Background(), callers)
+	results, err := co.g.cfg.Cluster.RetrieveBatch(ctx, pms)
+	per := splitBatchError(err, len(chunk))
+	for i, p := range chunk {
+		out := outcome{batch: len(chunk), err: per[i]}
+		if results != nil {
+			out.res = results[i]
+		}
+		p.done <- out
+	}
+}

@@ -1,0 +1,323 @@
+// Package gate is fxdist's multi-tenant front door: a persistent-
+// connection serving tier that speaks the public client contract
+// (JSON-RPC 2.0, package client) in front of one fxdist.Cluster.
+//
+// The gate authenticates tenants by API key, enforces per-tenant token
+// buckets and in-flight quotas, sheds load when the cluster's SLO burn
+// rate says a query shape is over budget, and — its reason to exist —
+// coalesces concurrent requests across tenants: retrievals arriving
+// within one coalescing window are grouped by query shape and driven
+// through Cluster.RetrieveBatch as a single call, so the plan cache
+// compiles each shape once and the engine fans out once per batch.
+// Results are demultiplexed back to each tenant, and per-tenant wide
+// events are preserved via fxdist.ContextWithCallers. See DESIGN §S37.
+package gate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fxdist"
+	"fxdist/internal/audit"
+)
+
+// Config assembles a Gate.
+type Config struct {
+	// Cluster is the serving cluster (required). The gate owns nothing:
+	// callers open and close the cluster.
+	Cluster *fxdist.Cluster
+	// File is the multi-key hashed file's schema view, used to compile
+	// map-form queries to PartialMatch specs and to answer fx.explain
+	// (required).
+	File *fxdist.File
+	// Allocator, when set, lets fx.explain report exact per-device loads
+	// by group convolution.
+	Allocator fxdist.GroupAllocator
+	// Tenants declares the tenant set (at least one).
+	Tenants []TenantConfig
+	// CoalesceWindow is how long an fx.retrieve waits for shape-mates
+	// before dispatch. 0 means the 1ms default; negative disables
+	// coalescing (every retrieve dispatches alone, immediately).
+	CoalesceWindow time.Duration
+	// MaxBatch bounds one coalesced dispatch (default 64).
+	MaxBatch int
+	// MaxInFlight bounds requests in flight across all tenants; beyond
+	// it the front door sheds with 429/Retry-After before touching the
+	// cluster. 0 disables.
+	MaxInFlight int
+	// ShedRetryAfter is the Retry-After hint for front-door sheds
+	// (default 500ms).
+	ShedRetryAfter time.Duration
+	// BurnShedThreshold enables SLO-burn admission control: when a query
+	// shape's rolling burn rate (audit.ShapeReport.BurnRate) meets or
+	// exceeds it, new queries of that shape are rejected with
+	// 429/Retry-After until the burn decays. 0 disables. 1.0 means "shed
+	// exactly when the shape is burning its whole error budget".
+	BurnShedThreshold float64
+	// BurnRetryAfter is the Retry-After hint for burn sheds (default 1s).
+	BurnRetryAfter time.Duration
+}
+
+const (
+	defaultCoalesceWindow = time.Millisecond
+	defaultMaxBatch       = 64
+	defaultShedRetryAfter = 500 * time.Millisecond
+	defaultBurnRetryAfter = time.Second
+	burnCacheTTL          = 250 * time.Millisecond
+)
+
+// Gate is the serving tier. Create with New, serve its HTTP handler
+// (ServeHTTP), stop with Close.
+type Gate struct {
+	cfg     Config
+	tenants *tenantSet
+	methods *MethodRepository
+	co      *coalescer
+	start   time.Time
+
+	inFlight atomic.Int64
+
+	// Dispatch accounting: batches counts coalesced dispatches (each one
+	// Cluster.RetrieveBatch call), coalesced counts queries that shared
+	// a dispatch with at least one other query.
+	batches      atomic.Uint64
+	coalescedQ   atomic.Uint64
+	directBatch  atomic.Uint64 // fx.retrieveBatch pass-through dispatches
+	rateLimited  atomic.Uint64
+	quotaRejects atomic.Uint64
+	burnSheds    atomic.Uint64
+	frontSheds   atomic.Uint64
+
+	burnMu   sync.Mutex
+	burnAt   time.Time
+	burnRate map[string]float64
+
+	metrics *gateMetrics
+}
+
+// New builds a Gate over an open cluster and starts its coalescing
+// dispatcher.
+func New(cfg Config) (*Gate, error) {
+	if cfg.Cluster == nil {
+		return nil, errors.New("gate: Config.Cluster is required")
+	}
+	if cfg.File == nil {
+		return nil, errors.New("gate: Config.File is required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("gate: at least one tenant is required")
+	}
+	ts, err := newTenantSet(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CoalesceWindow == 0 {
+		cfg.CoalesceWindow = defaultCoalesceWindow
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = defaultMaxBatch
+	}
+	if cfg.ShedRetryAfter <= 0 {
+		cfg.ShedRetryAfter = defaultShedRetryAfter
+	}
+	if cfg.BurnRetryAfter <= 0 {
+		cfg.BurnRetryAfter = defaultBurnRetryAfter
+	}
+	g := &Gate{
+		cfg:     cfg,
+		tenants: ts,
+		start:   time.Now(),
+		metrics: newGateMetrics(),
+	}
+	g.methods = newMethodRepository(g)
+	g.co = newCoalescer(g)
+	registerDebugTenants(g)
+	return g, nil
+}
+
+// Close stops the coalescing dispatcher. In-flight dispatches finish;
+// queued queries are failed with overloaded.
+func (g *Gate) Close() { g.co.stop() }
+
+// SetShedding re-arms the front door's global in-flight shed at
+// runtime, symmetric with netdist.Server.SetShedding.
+func (g *Gate) SetShedding(maxInFlight int, retryAfter time.Duration) {
+	g.burnMu.Lock()
+	g.cfg.MaxInFlight = maxInFlight
+	if retryAfter > 0 {
+		g.cfg.ShedRetryAfter = retryAfter
+	}
+	g.burnMu.Unlock()
+}
+
+// shedConfig reads the (mutable) front-door shed settings.
+func (g *Gate) shedConfig() (int, time.Duration) {
+	g.burnMu.Lock()
+	defer g.burnMu.Unlock()
+	return g.cfg.MaxInFlight, g.cfg.ShedRetryAfter
+}
+
+// shapeOf derives the query-shape key straight from a spec: 's' per
+// specified field, '*' per unspecified.
+func shapeOf(pm fxdist.PartialMatch) string {
+	var b strings.Builder
+	b.Grow(len(pm))
+	for _, v := range pm {
+		if v == nil {
+			b.WriteByte('*')
+		} else {
+			b.WriteByte('s')
+		}
+	}
+	return b.String()
+}
+
+// burnFor returns the cluster backend's current SLO burn rate for a
+// shape, from a briefly-cached audit report (the audit is rolled up on
+// every retrieval; re-snapshotting it per request would be pure
+// overhead).
+func (g *Gate) burnFor(shape string) float64 {
+	g.burnMu.Lock()
+	defer g.burnMu.Unlock()
+	if g.burnRate == nil || time.Since(g.burnAt) > burnCacheTTL {
+		rep := audit.For(g.cfg.Cluster.Kind()).Report()
+		g.burnRate = make(map[string]float64, len(rep.Shapes))
+		for _, sr := range rep.Shapes {
+			g.burnRate[sr.Shape] = sr.BurnRate
+		}
+		g.burnAt = time.Now()
+	}
+	return g.burnRate[shape]
+}
+
+// admitShape applies SLO-burn admission control for one query shape.
+func (g *Gate) admitShape(shape string) *fxdist.Error {
+	if g.cfg.BurnShedThreshold <= 0 {
+		return nil
+	}
+	burn := g.burnFor(shape)
+	if burn < g.cfg.BurnShedThreshold {
+		return nil
+	}
+	g.burnSheds.Add(1)
+	e := fxdist.NewError(fxdist.ErrCodeOverloaded,
+		fmt.Sprintf("shape %s over SLO burn budget (burn rate %.2f)", shape, burn))
+	e.RetryAfter = g.cfg.BurnRetryAfter
+	return e
+}
+
+// spec compiles a map-form query into the cluster's PartialMatch.
+func (g *Gate) spec(query map[string]string) (fxdist.PartialMatch, *fxdist.Error) {
+	pm, err := g.cfg.File.Spec(query)
+	if err != nil {
+		return nil, fxdist.NewError(fxdist.ErrCodeInvalidQuery, err.Error())
+	}
+	return pm, nil
+}
+
+// retrieve serves one tenant query through the coalescer (or directly
+// when coalescing is disabled), returning the engine result plus the
+// dispatch's batch size (1 when it ran alone).
+func (g *Gate) retrieve(ctx context.Context, t *tenant, pm fxdist.PartialMatch) (fxdist.RetrieveResult, int, error) {
+	shape := shapeOf(pm)
+	if e := g.admitShape(shape); e != nil {
+		return fxdist.RetrieveResult{}, 0, e
+	}
+	start := time.Now()
+	var (
+		res   fxdist.RetrieveResult
+		batch int
+		err   error
+	)
+	if g.cfg.CoalesceWindow < 0 {
+		ctx = fxdist.ContextWithCaller(ctx, t.cfg.Name)
+		res, err = g.cfg.Cluster.RetrieveContext(ctx, pm)
+		batch = 1
+	} else {
+		res, batch, err = g.co.do(ctx, t, shape, pm)
+	}
+	t.observe(shape, time.Since(start), batch > 1, err)
+	return res, batch, err
+}
+
+// retrieveBatch serves an explicit tenant batch: one
+// Cluster.RetrieveBatch pass-through (the caller already batched; the
+// coalescing window would only add latency), with every query
+// attributed to the tenant.
+func (g *Gate) retrieveBatch(ctx context.Context, t *tenant, pms []fxdist.PartialMatch) ([]fxdist.RetrieveResult, []error) {
+	shapes := make([]string, len(pms))
+	errs := make([]error, len(pms))
+	run := make([]fxdist.PartialMatch, 0, len(pms))
+	runIdx := make([]int, 0, len(pms))
+	for i, pm := range pms {
+		shapes[i] = shapeOf(pm)
+		if e := g.admitShape(shapes[i]); e != nil {
+			errs[i] = e
+			continue
+		}
+		run = append(run, pm)
+		runIdx = append(runIdx, i)
+	}
+	results := make([]fxdist.RetrieveResult, len(pms))
+	start := time.Now()
+	if len(run) > 0 {
+		g.directBatch.Add(1)
+		ctx := fxdist.ContextWithCaller(ctx, t.cfg.Name)
+		rs, err := g.cfg.Cluster.RetrieveBatch(ctx, run)
+		per := splitBatchError(err, len(run))
+		for j, i := range runIdx {
+			results[i] = rs[j]
+			errs[i] = per[j]
+		}
+	}
+	elapsed := time.Since(start)
+	for i := range pms {
+		t.observe(shapes[i], elapsed, false, errs[i])
+	}
+	return results, errs
+}
+
+// splitBatchError demultiplexes Cluster.RetrieveBatch's joined error
+// (errors.Join of "query %d: <cause>" wrappers) back into per-query
+// errors. Unattributable causes fall back onto every still-unset slot.
+func splitBatchError(err error, n int) []error {
+	per := make([]error, n)
+	if err == nil {
+		return per
+	}
+	var rest []error
+	var walk func(error)
+	walk = func(e error) {
+		if joined, ok := e.(interface{ Unwrap() []error }); ok {
+			for _, sub := range joined.Unwrap() {
+				walk(sub)
+			}
+			return
+		}
+		var idx int
+		if _, scanErr := fmt.Sscanf(e.Error(), "query %d:", &idx); scanErr == nil && idx >= 0 && idx < n {
+			cause := errors.Unwrap(e)
+			if cause == nil {
+				cause = e
+			}
+			per[idx] = cause
+			return
+		}
+		rest = append(rest, e)
+	}
+	walk(err)
+	if len(rest) > 0 {
+		fallback := errors.Join(rest...)
+		for i := range per {
+			if per[i] == nil {
+				per[i] = fallback
+			}
+		}
+	}
+	return per
+}

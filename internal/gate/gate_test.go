@@ -1,0 +1,122 @@
+package gate
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestShapeOf(t *testing.T) {
+	s := "x"
+	cases := []struct {
+		pm   []*string
+		want string
+	}{
+		{[]*string{nil, nil, nil}, "***"},
+		{[]*string{&s, nil, &s}, "s*s"},
+		{[]*string{&s}, "s"},
+		{nil, ""},
+	}
+	for _, tc := range cases {
+		if got := shapeOf(tc.pm); got != tc.want {
+			t.Fatalf("shapeOf = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	tn := newTenant(TenantConfig{Name: "t", APIKey: "k", RatePerSec: 10, Burst: 2})
+	now := time.Unix(1000, 0)
+	if ok, _ := tn.take(now, 1); !ok {
+		t.Fatal("first token refused")
+	}
+	if ok, _ := tn.take(now, 1); !ok {
+		t.Fatal("burst token refused")
+	}
+	ok, retry := tn.take(now, 1)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v, want ~100ms", retry)
+	}
+	// 100ms at 10/s refills one token.
+	if ok, _ := tn.take(now.Add(100*time.Millisecond), 1); !ok {
+		t.Fatal("refilled token refused")
+	}
+	// Unlimited tenants never refuse.
+	free := newTenant(TenantConfig{Name: "f", APIKey: "k2"})
+	for i := 0; i < 100; i++ {
+		if ok, _ := free.take(now, 5); !ok {
+			t.Fatal("unlimited tenant refused")
+		}
+	}
+}
+
+func TestInFlightQuota(t *testing.T) {
+	tn := newTenant(TenantConfig{Name: "t", APIKey: "k", MaxInFlight: 2})
+	if !tn.acquire() || !tn.acquire() {
+		t.Fatal("slots under quota refused")
+	}
+	if tn.acquire() {
+		t.Fatal("slot over quota admitted")
+	}
+	tn.release()
+	if !tn.acquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+func TestSplitBatchError(t *testing.T) {
+	cause0 := errors.New("boom0")
+	cause2 := errors.New("boom2")
+	joined := errors.Join(
+		fmt.Errorf("query %d: %w", 0, cause0),
+		fmt.Errorf("query %d: %w", 2, cause2),
+	)
+	per := splitBatchError(joined, 3)
+	if !errors.Is(per[0], cause0) {
+		t.Fatalf("per[0] = %v", per[0])
+	}
+	if per[1] != nil {
+		t.Fatalf("per[1] = %v, want nil", per[1])
+	}
+	if !errors.Is(per[2], cause2) {
+		t.Fatalf("per[2] = %v", per[2])
+	}
+	if per := splitBatchError(nil, 2); per[0] != nil || per[1] != nil {
+		t.Fatal("nil error should split to nils")
+	}
+	// Unattributable errors land on every unresolved slot.
+	per = splitBatchError(errors.New("global failure"), 2)
+	if per[0] == nil || per[1] == nil {
+		t.Fatalf("global failure not fanned out: %v", per)
+	}
+}
+
+func TestTenantSetValidation(t *testing.T) {
+	if _, err := newTenantSet([]TenantConfig{{Name: "", APIKey: "k"}}); err == nil {
+		t.Fatal("nameless tenant accepted")
+	}
+	if _, err := newTenantSet([]TenantConfig{
+		{Name: "a", APIKey: "k"}, {Name: "a", APIKey: "k2"},
+	}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := newTenantSet([]TenantConfig{
+		{Name: "a", APIKey: "k"}, {Name: "b", APIKey: "k"},
+	}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+	ts, err := newTenantSet([]TenantConfig{{Name: "a", APIKey: "k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.authenticate("k") == nil {
+		t.Fatal("valid key refused")
+	}
+	if ts.authenticate("wrong") != nil || ts.authenticate("") != nil {
+		t.Fatal("invalid key admitted")
+	}
+}

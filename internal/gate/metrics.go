@@ -1,0 +1,44 @@
+package gate
+
+import "fxdist/internal/obs"
+
+// gateMetrics exposes the gate on the process-wide metric registry
+// (scraped at /metrics alongside the cluster's own metrics).
+type gateMetrics struct {
+	batches  *obs.Counter
+	inflight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+func newGateMetrics() *gateMetrics {
+	r := obs.Default()
+	return &gateMetrics{
+		batches: r.Counter("fxgate_batches_total",
+			"Coalesced batch dispatches driven through RetrieveBatch."),
+		inflight: r.Gauge("fxgate_inflight",
+			"Requests currently in flight through the gate."),
+		latency: r.Histogram("fxgate_request_seconds",
+			"End-to-end gate request latency.", nil),
+	}
+}
+
+// request counts one admitted request.
+func (m *gateMetrics) request(tenant, method string) {
+	obs.Default().Counter("fxgate_requests_total",
+		"JSON-RPC requests admitted, by tenant and method.",
+		obs.L("tenant", tenant), obs.L("method", method)).Inc()
+}
+
+// rejected counts one rejected request by reason: unauthorized,
+// rate_limited, quota, shed, burn.
+func (m *gateMetrics) rejected(tenant, reason string) {
+	obs.Default().Counter("fxgate_rejected_total",
+		"Requests rejected at the front door, by tenant and reason.",
+		obs.L("tenant", tenant), obs.L("reason", reason)).Inc()
+}
+
+// coalesced counts queries that shared a dispatch with shape-mates.
+func (m *gateMetrics) coalesced(n uint64) {
+	obs.Default().Counter("fxgate_coalesced_queries_total",
+		"Queries served inside a multi-query coalesced dispatch.").Add(n)
+}

@@ -41,9 +41,12 @@ type DeviceSample struct {
 // Event is one wide event: the full story of one retrieval. The engine
 // executor emits one per query; the log decides whether it is kept.
 type Event struct {
-	Time    time.Time     `json:"time"`
-	Backend string        `json:"backend"`
-	Shape   string        `json:"shape"`
+	Time    time.Time `json:"time"`
+	Backend string    `json:"backend"`
+	Shape   string    `json:"shape"`
+	// Tenant is the caller attribution (a gateway tenant name), empty
+	// for unattributed retrievals. See engine.ContextWithCaller.
+	Tenant  string        `json:"tenant,omitempty"`
 	TraceID uint64        `json:"trace_id,omitempty"`
 	Elapsed time.Duration `json:"elapsed_ns"`
 

@@ -1,11 +1,13 @@
 package fxdist
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
 
 	"fxdist/internal/audit"
+	"fxdist/internal/engine"
 	"fxdist/internal/obs"
 	"fxdist/internal/telemetry"
 )
@@ -128,6 +130,23 @@ type QueryLogStats = telemetry.LogStats
 // QueryLogConfig tunes a backend's event sampling (ring capacity, head
 // events per shape, 1-in-N tail sampling).
 type QueryLogConfig = telemetry.Config
+
+// ContextWithCaller attributes every retrieval under ctx to caller (a
+// tenant name, a job id, ...): the wide-event query log records it as
+// the event's tenant, so per-caller slices of the telemetry reports
+// fall out of the same event stream.
+func ContextWithCaller(ctx context.Context, caller string) context.Context {
+	return engine.ContextWithCaller(ctx, caller)
+}
+
+// ContextWithCallers attributes the queries of one RetrieveBatch under
+// ctx to callers, index-aligned with the batch (query i is attributed
+// to callers[i]) — the seam a coalescing gateway uses to drive one
+// engine batch on behalf of many tenants and still get per-tenant wide
+// events.
+func ContextWithCallers(ctx context.Context, callers []string) context.Context {
+	return engine.ContextWithCallers(ctx, callers)
+}
 
 // QueryEvents returns up to n recent kept events of one backend
 // ("memory", "durable", "replicated", "netdist"), most recent first.

@@ -223,9 +223,10 @@ const (
 )
 
 // Open builds a cluster of the backend kind cfg implies (see Config)
-// and applies the options. It is the single entry point subsuming the
-// deprecated NewCluster, NewReplicatedCluster, CreateDurableCluster,
-// OpenDurableCluster and DialCluster constructors.
+// and applies the options. It is the single entry point for every
+// backend (the pre-Open constructor zoo — NewCluster, DialCluster and
+// friends — was removed after a deprecation cycle; see README for the
+// migration table).
 func Open(cfg Config, opts ...Option) (*Cluster, error) {
 	var s openSettings
 	for _, opt := range opts {
