@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,10 +20,12 @@ import (
 // single Client multiplexes any number of in-flight calls over the
 // transport's connection pool.
 type Client struct {
-	endpoint string
-	apiKey   string
-	httpc    *http.Client
-	nextID   atomic.Uint64
+	endpoint      string
+	apiKey        string
+	httpc         *http.Client
+	nextID        atomic.Uint64
+	retryAttempts int
+	retryMaxWait  time.Duration
 }
 
 // Option configures New.
@@ -41,6 +44,22 @@ func WithHTTPClient(h *http.Client) Option {
 	return func(c *Client) { c.httpc = h }
 }
 
+// WithRetryOn429 retries calls the gateway rejected with a 429-class
+// error (rate_limited or overloaded), sleeping the server's Retry-After
+// hint between attempts — the cooperative half of the gateway's
+// admission control. maxAttempts counts total tries (values below 2
+// disable retrying); maxWait caps the cumulative time spent sleeping,
+// after which the last rejection is returned as is (zero means no cap).
+// Rejections carrying no hint back off exponentially from 25ms. Other
+// error classes are never retried here: device-level retry policy
+// belongs to the cluster's retry controller, not the edge client.
+func WithRetryOn429(maxAttempts int, maxWait time.Duration) Option {
+	return func(c *Client) {
+		c.retryAttempts = maxAttempts
+		c.retryMaxWait = maxWait
+	}
+}
+
 // New builds a client for an fxgate RPC endpoint, e.g.
 // "http://127.0.0.1:8080/rpc".
 func New(endpoint string, opts ...Option) *Client {
@@ -51,8 +70,38 @@ func New(endpoint string, opts ...Option) *Client {
 	return c
 }
 
-// call runs one JSON-RPC request and unmarshals its result into out.
+// call runs one JSON-RPC request, retrying 429-class rejections per the
+// client's WithRetryOn429 policy, and unmarshals the result into out.
 func (c *Client) call(ctx context.Context, method string, params any, out any) error {
+	var waited time.Duration
+	for attempt := 1; ; attempt++ {
+		err := c.callOnce(ctx, method, params, out)
+		if err == nil || attempt >= c.retryAttempts {
+			return err
+		}
+		var fe *fxdist.Error
+		if !errors.As(err, &fe) ||
+			(fe.Code != fxdist.ErrCodeRateLimited && fe.Code != fxdist.ErrCodeOverloaded) {
+			return err
+		}
+		delay := fe.RetryAfter
+		if delay <= 0 {
+			delay = 25 * time.Millisecond << (attempt - 1)
+		}
+		if c.retryMaxWait > 0 && waited+delay > c.retryMaxWait {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return classifyTransport(ctx, ctx.Err())
+		}
+		waited += delay
+	}
+}
+
+// callOnce runs one JSON-RPC round trip.
+func (c *Client) callOnce(ctx context.Context, method string, params any, out any) error {
 	var raw json.RawMessage
 	if params != nil {
 		b, err := json.Marshal(params)

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fxdist"
+)
+
+// rateLimitingServer rejects the first reject calls with a JSON-RPC
+// 429-class error carrying a Retry-After hint, then answers.
+func rateLimitingServer(t *testing.T, reject int, hint time.Duration) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request: %v", err)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if int(n) <= reject {
+			e := fxdist.NewError(fxdist.ErrCodeRateLimited, "tenant over budget")
+			e.RetryAfter = hint
+			w.WriteHeader(http.StatusTooManyRequests)
+			resp := Response{JSONRPC: "2.0", ID: req.ID, Error: FromError(e)}
+			if err := json.NewEncoder(w).Encode(&resp); err != nil {
+				t.Error(err)
+			}
+			return
+		}
+		result, _ := json.Marshal(RetrieveResult{APIVersion: APIVersion, Records: [][]string{{"a", "b"}}})
+		resp := Response{JSONRPC: "2.0", ID: req.ID, Result: result}
+		if err := json.NewEncoder(w).Encode(&resp); err != nil {
+			t.Error(err)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryOn429HonorsRetryAfter(t *testing.T) {
+	srv, calls := rateLimitingServer(t, 2, 10*time.Millisecond)
+	c := New(srv.URL, WithRetryOn429(4, time.Second))
+	defer c.Close()
+
+	start := time.Now()
+	res, err := c.Retrieve(context.Background(), map[string]string{"part": "p1"})
+	if err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("got %v", res.Records)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	// Two rejections, each with a 10ms hint: the client must have slept
+	// at least that long in total.
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("client returned after %v, ignored Retry-After", waited)
+	}
+}
+
+func TestRetryOn429DisabledByDefault(t *testing.T) {
+	srv, calls := rateLimitingServer(t, 1, time.Millisecond)
+	c := New(srv.URL)
+	defer c.Close()
+
+	_, err := c.Retrieve(context.Background(), map[string]string{"part": "p1"})
+	var fe *fxdist.Error
+	if !errors.As(err, &fe) || fe.Code != fxdist.ErrCodeRateLimited {
+		t.Fatalf("got %v, want rate_limited", err)
+	}
+	if fe.RetryAfter != time.Millisecond {
+		t.Fatalf("RetryAfter %v not surfaced", fe.RetryAfter)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry configured)", got)
+	}
+}
+
+func TestRetryOn429RespectsAttemptCeiling(t *testing.T) {
+	srv, calls := rateLimitingServer(t, 100, time.Millisecond)
+	c := New(srv.URL, WithRetryOn429(3, time.Second))
+	defer c.Close()
+
+	_, err := c.Retrieve(context.Background(), map[string]string{"part": "p1"})
+	var fe *fxdist.Error
+	if !errors.As(err, &fe) || fe.Code != fxdist.ErrCodeRateLimited {
+		t.Fatalf("got %v, want rate_limited", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want exactly maxAttempts", got)
+	}
+}
+
+func TestRetryOn429RespectsWaitBudget(t *testing.T) {
+	// The server demands 10s per retry; a 50ms budget must give up
+	// immediately rather than sleep.
+	srv, calls := rateLimitingServer(t, 100, 10*time.Second)
+	c := New(srv.URL, WithRetryOn429(5, 50*time.Millisecond))
+	defer c.Close()
+
+	start := time.Now()
+	_, err := c.Retrieve(context.Background(), map[string]string{"part": "p1"})
+	if err == nil {
+		t.Fatal("succeeded against a permanently limiting server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client slept %v past its wait budget", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (hint exceeds budget)", got)
+	}
+}
+
+func TestRetryOn429DoesNotRetryOtherErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		var req Request
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		w.Header().Set("Content-Type", "application/json")
+		resp := Response{JSONRPC: "2.0", ID: req.ID,
+			Error: FromError(fxdist.NewError(fxdist.ErrCodeInvalidQuery, "unknown field"))}
+		_ = json.NewEncoder(w).Encode(&resp)
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetryOn429(5, time.Second))
+	defer c.Close()
+
+	_, err := c.Retrieve(context.Background(), map[string]string{"bogus": "x"})
+	var fe *fxdist.Error
+	if !errors.As(err, &fe) || fe.Code != fxdist.ErrCodeInvalidQuery {
+		t.Fatalf("got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls for a non-retryable error", got)
+	}
+}
+
+func TestRetryOn429ContextCancel(t *testing.T) {
+	srv, _ := rateLimitingServer(t, 100, 10*time.Second)
+	c := New(srv.URL, WithRetryOn429(5, 0)) // no wait cap: only ctx stops it
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := c.Retrieve(ctx, map[string]string{"part": "p1"})
+	var fe *fxdist.Error
+	if !errors.As(err, &fe) || fe.Code != fxdist.ErrCodeTimeout {
+		t.Fatalf("got %v, want timeout from the canceled wait", err)
+	}
+}

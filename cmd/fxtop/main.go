@@ -4,7 +4,9 @@
 // -metrics-addr listener, and renders fleet health — QPS and per-shape
 // rates from counter deltas, p50/p99 latency from the merged
 // histograms, plan-cache hit rate, mempool recycle rate, circuit
-// breaker states, and per-node liveness/lag with fault flags.
+// breaker states, and per-node liveness/lag with fault flags. While a
+// live rescale runs it also polls /debug/rescale and renders the
+// migration's phase, per-bucket progress and copy rate.
 //
 // Usage:
 //
@@ -59,6 +61,10 @@ func poll(addr string) (*snapshot, error) {
 	if err := fetchJSON(addr, "/debug/resilience?format=json", &cur.resil); err != nil {
 		return nil, err
 	}
+	// The rescale endpoint only mounts while a migration driver is (or
+	// was) registered; a node that never rescaled 404s, so this poll is
+	// best-effort.
+	fetchJSON(addr, "/debug/rescale", &cur.rescale) //nolint:errcheck // endpoint is optional
 	return cur, nil
 }
 

@@ -14,9 +14,28 @@ import (
 // plus the node's own resilience document (breakers live in the
 // coordinator process, not in the pulled per-server snapshots).
 type snapshot struct {
-	at     time.Time
-	fleets map[string]fxdist.FleetReport
-	resil  resilienceDoc
+	at      time.Time
+	fleets  map[string]fxdist.FleetReport
+	resil   resilienceDoc
+	rescale rescaleDoc
+}
+
+// rescaleDoc mirrors the /debug/rescale GET document (the migration
+// drivers registered on the target, by name).
+type rescaleDoc struct {
+	Rescales map[string]rescaleRow `json:"rescales"`
+}
+
+type rescaleRow struct {
+	Phase        string  `json:"phase"`
+	OldM         int     `json:"old_m"`
+	NewM         int     `json:"new_m"`
+	TotalMoves   int     `json:"total_moves"`
+	Copied       int     `json:"copied"`
+	MoveFraction float64 `json:"move_fraction"`
+	Paused       bool    `json:"paused"`
+	Err          string  `json:"err"`
+	LastGuardErr string  `json:"last_guard_err"`
 }
 
 // resilienceDoc mirrors the /debug/resilience JSON shape fxtop renders
@@ -85,7 +104,43 @@ func render(w io.Writer, prev, cur *snapshot) {
 		}
 		renderFleet(w, name, rep, prevRep, dt)
 	}
+	renderRescale(w, prev, cur, dt)
 	renderResilience(w, cur.resil)
+}
+
+// renderRescale shows migration progress for every live rescale on the
+// target: phase, bucket counts, and the copy rate from frame deltas.
+func renderRescale(w io.Writer, prev, cur *snapshot, dt time.Duration) {
+	if len(cur.rescale.Rescales) == 0 {
+		return
+	}
+	names := make([]string, 0, len(cur.rescale.Rescales))
+	for n := range cur.rescale.Rescales {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := cur.rescale.Rescales[name]
+		prevCopied := -1.0
+		if prev != nil {
+			if pr, ok := prev.rescale.Rescales[name]; ok {
+				prevCopied = float64(pr.Copied)
+			}
+		}
+		line := fmt.Sprintf("\nrescale %-14s %d -> %d devices  phase %-9s %d/%d buckets (%.1f%%)  copy %s",
+			name, r.OldM, r.NewM, r.Phase, r.Copied, r.TotalMoves,
+			100*r.MoveFraction, rate(float64(r.Copied), prevCopied, dt))
+		if r.Paused {
+			line += "  [paused]"
+		}
+		fmt.Fprintln(w, line)
+		if r.Err != "" {
+			fmt.Fprintf(w, "  err: %s\n", r.Err)
+		}
+		if r.LastGuardErr != "" {
+			fmt.Fprintf(w, "  guard: %s\n", r.LastGuardErr)
+		}
+	}
 }
 
 func renderFleet(w io.Writer, name string, rep fxdist.FleetReport, prev *fxdist.FleetReport, dt time.Duration) {

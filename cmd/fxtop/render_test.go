@@ -90,6 +90,46 @@ func TestRenderFirstFrame(t *testing.T) {
 	}
 }
 
+// TestRenderRescaleRow: a registered migration driver renders its
+// progress row with a copy rate from frame deltas; guard stalls and
+// pauses are called out.
+func TestRenderRescaleRow(t *testing.T) {
+	t0 := time.Unix(1700000000, 0)
+	prev := testSnapshot(t0, 20)
+	prev.rescale = rescaleDoc{Rescales: map[string]rescaleRow{
+		"netdist-next": {Phase: "copying", OldM: 4, NewM: 8, TotalMoves: 64, Copied: 16, MoveFraction: 0.25},
+	}}
+	cur := testSnapshot(t0.Add(2*time.Second), 30)
+	cur.rescale = rescaleDoc{Rescales: map[string]rescaleRow{
+		"netdist-next": {Phase: "dual-read", OldM: 4, NewM: 8, TotalMoves: 64, Copied: 64,
+			MoveFraction: 1, Paused: true,
+			LastGuardErr: "rebalance: only 1 audited queries on the new epoch, need 4 before cutover"},
+	}}
+
+	var b strings.Builder
+	render(&b, prev, cur)
+	out := b.String()
+	for _, want := range []string{
+		"rescale netdist-next",
+		"4 -> 8 devices",
+		"phase dual-read",
+		"64/64 buckets (100.0%)",
+		"copy 24.0/s", // (64-16)/2s
+		"[paused]",
+		"guard: rebalance: only 1 audited queries",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q\n%s", want, out)
+		}
+	}
+	// No rescale registered: the section stays out of the frame.
+	var b2 strings.Builder
+	render(&b2, nil, testSnapshot(t0, 8))
+	if strings.Contains(b2.String(), "rescale ") {
+		t.Errorf("rescale row rendered without a registered driver:\n%s", b2.String())
+	}
+}
+
 // TestRenderEmpty covers the no-fleet hint (coordinator not pulling).
 func TestRenderEmpty(t *testing.T) {
 	var b strings.Builder

@@ -90,6 +90,14 @@ func WithRequestTimeout(d time.Duration) DialOption {
 	return netdist.WithTimeout(d)
 }
 
+// WithDialInjector installs a fault injector on a dialed coordinator's
+// per-device requests — the DialOption form of WithFaultInjector, for
+// coordinators dialed outside Open (e.g. RescaleConfig.DialOptions, so
+// chaos schedules also hit the migration stream and dual reads).
+func WithDialInjector(in *FaultInjector) DialOption {
+	return netdist.WithInjector(in)
+}
+
 // SaveSnapshot writes the file — and, when alloc is non-nil, its
 // allocator spec — to w as a self-contained snapshot.
 func SaveSnapshot(w io.Writer, file *File, alloc Allocator) error {

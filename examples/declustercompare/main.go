@@ -24,14 +24,15 @@ func main() {
 	md := fxdist.NewModulo(fs)
 	gdm1, err := fxdist.NewGDM(fs, fxdist.GDM1Multipliers)
 	check(err)
+	dhw := fxdist.NewDHW(fs)
 
-	methods := []fxdist.GroupAllocator{md, gdm1, fx}
+	methods := []fxdist.GroupAllocator{md, gdm1, dhw, fx}
 	fmt.Printf("file system: F = %v, M = %d\n\n", sizes, m)
 	fmt.Println("average largest response size over all queries with k unspecified fields:")
-	fmt.Printf("%-3s %10s %10s %10s %10s\n", "k", "Modulo", "GDM1", "FX", "Optimal")
+	fmt.Printf("%-3s %10s %10s %10s %10s %10s\n", "k", "Modulo", "GDM1", "DHW", "FX", "Optimal")
 	for _, row := range fxdist.ResponseTable(fs, methods, []int{2, 3, 4, 5, 6}) {
-		fmt.Printf("%-3d %10.1f %10.1f %10.1f %10.1f\n",
-			row.K, row.Avg[0], row.Avg[1], row.Avg[2], row.Optimal)
+		fmt.Printf("%-3d %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+			row.K, row.Avg[0], row.Avg[1], row.Avg[2], row.Avg[3], row.Optimal)
 	}
 
 	// The GDM trial-and-error search the paper alludes to: sample random
@@ -60,8 +61,8 @@ func main() {
 	// Why FX wins: the transform images interlock. Show the device of the
 	// same bucket under each method.
 	bucket := []int{1, 2, 3, 4, 5, 6}
-	fmt.Printf("\nbucket %v -> Modulo:%d GDM1:%d FX:%d\n",
-		bucket, md.Device(bucket), gdm1.Device(bucket), fx.Device(bucket))
+	fmt.Printf("\nbucket %v -> Modulo:%d GDM1:%d DHW:%d FX:%d\n",
+		bucket, md.Device(bucket), gdm1.Device(bucket), dhw.Device(bucket), fx.Device(bucket))
 
 	// Optimality certificates across query shapes.
 	fmt.Println("\nstrict-optimality certificates (3 unspecified fields):")

@@ -68,6 +68,11 @@ type Modulo = decluster.Modulo
 // GDM is the Generalized Disk Modulo baseline [DuSo82].
 type GDM = decluster.GDM
 
+// DHW is the Doerr–Hebbinghaus–Werth latin-square low-discrepancy
+// allocator: each field contributes one row of a latin square over Z_M
+// built from the bit-reversal radical inverse, folded under addition.
+type DHW = decluster.DHW
+
 // Transformation method kinds (paper §4.1).
 const (
 	// I is the identity transformation.
@@ -121,6 +126,17 @@ func NewModulo(fs FileSystem) *Modulo { return decluster.NewModulo(fs) }
 func NewGDM(fs FileSystem, multipliers []int) (*GDM, error) {
 	return decluster.NewGDM(fs, multipliers)
 }
+
+// NewDHW builds the latin-square low-discrepancy allocator — the
+// large-M baseline whose per-query deviations grow polylogarithmically
+// in M (Doerr, Hebbinghaus, Werth).
+func NewDHW(fs FileSystem) *DHW { return decluster.NewDHW(fs) }
+
+// DoerrBound returns the per-device deviation allowance over the strict
+// bound ceil(|R(q)|/M) that low-discrepancy declustering grants a query
+// leaving freeFields dimensions unspecified: O((log M)^(freeFields-1)),
+// floored at 1. The rescale auditor gates cutover on it.
+func DoerrBound(m, freeFields int) int { return decluster.DoerrBound(m, freeFields) }
 
 // TableAllocator is an explicit bucket-to-device mapping — the escape
 // hatch for methods that are not group folds (it satisfies Allocator but

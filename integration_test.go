@@ -16,6 +16,22 @@ import (
 // bucket counts: they all retrieve through the shared engine executor
 // and derive their bucket sets from the same inverse mapping.
 func TestRetrievalPathsAgree(t *testing.T) {
+	// The differential sweep runs once per declustering method: the
+	// backends must agree regardless of which allocator partitions the
+	// file, including the latin-square DHW baseline.
+	t.Run("fx", func(t *testing.T) {
+		retrievalPathsAgree(t, func(fs fxdist.FileSystem) (fxdist.GroupAllocator, error) {
+			return fxdist.NewFX(fs)
+		})
+	})
+	t.Run("dhw", func(t *testing.T) {
+		retrievalPathsAgree(t, func(fs fxdist.FileSystem) (fxdist.GroupAllocator, error) {
+			return fxdist.NewDHW(fs), nil
+		})
+	})
+}
+
+func retrievalPathsAgree(t *testing.T, newAlloc func(fxdist.FileSystem) (fxdist.GroupAllocator, error)) {
 	spec := fxdist.RecordSpec{Fields: []fxdist.FieldSpec{
 		{Name: "part", Cardinality: 400},
 		{Name: "supplier", Cardinality: 60},
@@ -38,7 +54,7 @@ func TestRetrievalPathsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fx, err := fxdist.NewFX(fs)
+	fx, err := newAlloc(fs)
 	if err != nil {
 		t.Fatal(err)
 	}

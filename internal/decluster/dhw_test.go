@@ -1,0 +1,150 @@
+package decluster
+
+import (
+	"testing"
+)
+
+// TestDHWRowsArePermutations: each field's contribution row restricted
+// to any window of M consecutive values is a permutation of Z_M — the
+// latin-square property that keeps every single-field marginal exactly
+// uniform.
+func TestDHWRowsArePermutations(t *testing.T) {
+	for _, c := range []struct {
+		sizes []int
+		m     int
+	}{
+		{[]int{8, 8}, 8},
+		{[]int{16, 16, 16}, 16},
+		{[]int{32, 8, 4}, 4},
+		{[]int{64, 64}, 32},
+		{[]int{2, 2}, 2},
+	} {
+		fs := MustFileSystem(c.sizes, c.m)
+		d := NewDHW(fs)
+		for i, size := range c.sizes {
+			for base := 0; base+c.m <= size; base += c.m {
+				seen := make([]bool, c.m)
+				for v := base; v < base+c.m; v++ {
+					cv := d.Contribution(i, v)
+					if cv < 0 || cv >= c.m {
+						t.Fatalf("sizes=%v M=%d: contribution(%d,%d)=%d outside Z_M", c.sizes, c.m, i, v, cv)
+					}
+					if seen[cv] {
+						t.Fatalf("sizes=%v M=%d field %d window %d: value %d repeats", c.sizes, c.m, i, base, cv)
+					}
+					seen[cv] = true
+				}
+			}
+		}
+	}
+}
+
+// TestDHWFullFileUniformity: a latin-square fold spreads the full grid
+// exactly evenly, like every other allocator in the family.
+func TestDHWFullFileUniformity(t *testing.T) {
+	for _, c := range []struct {
+		sizes []int
+		m     int
+	}{
+		{[]int{8, 8}, 8},
+		{[]int{16, 4, 4}, 16},
+		{[]int{32, 2}, 8},
+	} {
+		fs := MustFileSystem(c.sizes, c.m)
+		d := NewDHW(fs)
+		h := LoadHistogram(d, fs)
+		want := fs.NumBuckets() / fs.M
+		for dev, got := range h {
+			if got != want {
+				t.Errorf("sizes=%v M=%d: device %d holds %d buckets, want %d", c.sizes, c.m, dev, got, want)
+			}
+		}
+	}
+}
+
+// TestDHWDeviceEqualsContributionFold: DHW is a proper group allocator.
+func TestDHWDeviceEqualsContributionFold(t *testing.T) {
+	fs := MustFileSystem([]int{8, 16, 4}, 8)
+	d := NewDHW(fs)
+	if d.Op() != AddGroup {
+		t.Fatalf("Op() = %v, want AddGroup", d.Op())
+	}
+	fs.EachBucket(func(b []int) {
+		dev := 0
+		for i, v := range b {
+			dev = d.Op().Combine(dev, d.Contribution(i, v), fs.M)
+		}
+		if got := d.Device(b); got != dev {
+			t.Fatalf("Device(%v) = %d, fold = %d", b, got, dev)
+		}
+	})
+}
+
+// TestDHWSpecRoundTrip: DHW serializes through the allocator spec like
+// the other methods, so snapshots and rescale prepare carry it.
+func TestDHWSpecRoundTrip(t *testing.T) {
+	fs := MustFileSystem([]int{16, 16}, 8)
+	d := NewDHW(fs)
+	spec, err := SpecOf(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Method != MethodDHW {
+		t.Fatalf("method %q", spec.Method)
+	}
+	rebuilt, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.EachBucket(func(b []int) {
+		if rebuilt.Device(b) != d.Device(b) {
+			t.Fatalf("rebuilt allocator disagrees at %v", b)
+		}
+	})
+}
+
+// TestDHWSingleFieldDeviation: on a single free field the latin-square
+// rows answer every partial-match query within the Doerr allowance of
+// the strict optimum.
+func TestDHWSingleFieldDeviation(t *testing.T) {
+	fs := MustFileSystem([]int{32, 32}, 16)
+	d := NewDHW(fs)
+	m := fs.M
+	// Fix field 0, leave field 1 free: the response set is one row of
+	// the latin square plus the fixed contribution — exactly
+	// sizes[1]/M buckets per device.
+	for v0 := 0; v0 < fs.Sizes[0]; v0++ {
+		counts := make([]int, m)
+		for v1 := 0; v1 < fs.Sizes[1]; v1++ {
+			counts[d.Device([]int{v0, v1})]++
+		}
+		strict := (fs.Sizes[1] + m - 1) / m
+		allow := DoerrBound(m, 1)
+		for dev, got := range counts {
+			if got > strict+allow {
+				t.Fatalf("fixed v0=%d: device %d holds %d responses, strict %d + allowance %d",
+					v0, dev, got, strict, allow)
+			}
+		}
+	}
+}
+
+func TestDoerrBound(t *testing.T) {
+	cases := []struct {
+		m, free, want int
+	}{
+		{8, 1, 1},   // single free field: floor of 1
+		{8, 2, 3},   // log2 8 = 3
+		{8, 3, 9},   // 3^2
+		{16, 2, 4},  // log2 16 = 4
+		{2, 2, 1},   // log2 2 = 1
+		{8, 0, 1},   // degenerate: clamped to 1 free field
+		{1, 1, 1},   // degenerate m
+		{32, 3, 25}, // 5^2
+	}
+	for _, c := range cases {
+		if got := DoerrBound(c.m, c.free); got != c.want {
+			t.Errorf("DoerrBound(%d, %d) = %d, want %d", c.m, c.free, got, c.want)
+		}
+	}
+}

@@ -14,6 +14,7 @@ const (
 	MethodFX     Method = "fx"
 	MethodModulo Method = "modulo"
 	MethodGDM    Method = "gdm"
+	MethodDHW    Method = "dhw"
 )
 
 // Spec is a serializable description of an allocator: everything needed
@@ -49,6 +50,8 @@ func SpecOf(a Allocator) (Spec, error) {
 	case *GDM:
 		spec.Method = MethodGDM
 		spec.Multipliers = impl.Multipliers()
+	case *DHW:
+		spec.Method = MethodDHW
 	default:
 		return Spec{}, fmt.Errorf("decluster: cannot describe allocator type %T", a)
 	}
@@ -78,7 +81,29 @@ func (s Spec) Build() (GroupAllocator, error) {
 		return NewModulo(fs), nil
 	case MethodGDM:
 		return NewGDM(fs, s.Multipliers)
+	case MethodDHW:
+		return NewDHW(fs), nil
 	default:
 		return nil, fmt.Errorf("decluster: unknown method %q", s.Method)
 	}
+}
+
+// Rescaled returns the spec for the same file redeclustered over newM
+// devices — the elastic-rescale derivation. Only doubling (newM == 2*M)
+// and halving (newM == M/2) are supported: those are the steps where
+// the T_M low-bit identity makes the new owner of every bucket
+// derivable from its old one (doubling M appends one low bit to T_M).
+// The method and its per-field parameters are preserved; whether the
+// derivation identity actually holds for the rebuilt allocator is
+// checked by rebalance.VerifyDerivation, not assumed here.
+func (s Spec) Rescaled(newM int) (Spec, error) {
+	if newM != 2*s.M && s.M != 2*newM {
+		return Spec{}, fmt.Errorf("decluster: rescale M=%d to %d: only doubling or halving is supported", s.M, newM)
+	}
+	ns := s
+	ns.M = newM
+	ns.Sizes = append([]int(nil), s.Sizes...)
+	ns.Kinds = append([]int(nil), s.Kinds...)
+	ns.Multipliers = append([]int(nil), s.Multipliers...)
+	return ns, nil
 }

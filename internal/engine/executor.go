@@ -376,6 +376,20 @@ type call struct {
 	stages      []obs.StageSample
 }
 
+// settled reports whether every device task has finished. Observing the
+// closed done channel is the happens-before edge that makes the
+// per-device slices (answers, errs, devDur) safe to read; an abandoned
+// call (waiter cancelled, stragglers still writing) is not settled and
+// its per-device state must not be touched.
+func (c *call) settled() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // stampFanout closes the fanout stage (fan-out start → last device
 // answer); no-op on uninstrumented calls.
 func (c *call) stampFanout() {
@@ -655,11 +669,14 @@ func (e *Executor) finish(c *call, res Result, err error) {
 			e.obs.RetrieveDone(elapsed, res.DeviceBuckets)
 		}
 	}
+	// An abandoned call's stragglers may still be writing the per-device
+	// slices; record and emit only read them once the call settled.
+	settled := c.settled()
 	if c.instr {
-		e.record(c, err)
+		e.record(c, err, settled)
 	}
 	if e.events != nil {
-		e.emit(c, res, err)
+		e.emit(c, res, err, settled)
 	}
 }
 
@@ -670,7 +687,7 @@ func (e *Executor) finish(c *call, res Result, err error) {
 // the trace is retained, the latency histogram gets an exemplar
 // pointing at it (via the optional ExemplarObserver), closing the loop
 // bucket → trace ID → kept tree.
-func (e *Executor) emit(c *call, res Result, err error) {
+func (e *Executor) emit(c *call, res Result, err error, settled bool) {
 	m := len(c.answers)
 	bound := 0
 	if m > 0 {
@@ -692,19 +709,21 @@ func (e *Executor) emit(c *call, res Result, err error) {
 		RQ:           c.rq,
 		Bound:        bound,
 		Stages:       c.stages,
-		Devices:      make([]telemetry.DeviceSample, m),
 	}
-	for dev := 0; dev < m; dev++ {
-		ds := telemetry.DeviceSample{Device: dev, Buckets: c.answers[dev].Buckets}
-		if c.devDur != nil {
-			ds.Scan = c.devDur[dev]
-		}
-		if c.errs[dev] != nil {
-			ds.Err = c.errs[dev].Error()
-		}
-		ev.Devices[dev] = ds
-		if ds.Buckets > ev.MaxDeviceBuckets {
-			ev.MaxDeviceBuckets = ds.Buckets
+	if settled {
+		ev.Devices = make([]telemetry.DeviceSample, m)
+		for dev := 0; dev < m; dev++ {
+			ds := telemetry.DeviceSample{Device: dev, Buckets: c.answers[dev].Buckets}
+			if c.devDur != nil {
+				ds.Scan = c.devDur[dev]
+			}
+			if c.errs[dev] != nil {
+				ds.Err = c.errs[dev].Error()
+			}
+			ev.Devices[dev] = ds
+			if ds.Buckets > ev.MaxDeviceBuckets {
+				ev.MaxDeviceBuckets = ds.Buckets
+			}
 		}
 	}
 	// The audited bucket counts are the merged result's (a degraded
@@ -763,15 +782,17 @@ func stageSample(stage string, wall time.Duration, a obs.AllocStat) obs.StageSam
 
 // record closes the audit stage, hands the completed stage breakdown to
 // the profiler, and offers the query to the flight recorder.
-func (e *Executor) record(c *call, err error) {
+func (e *Executor) record(c *call, err error, settled bool) {
 	now := time.Now()
 	auditWall := now.Sub(c.lastStamp)
 	a := obs.ReadAllocs()
 	auditAlloc := a.Sub(c.mark)
 	total := now.Sub(c.started)
 	var devSum time.Duration
-	for _, d := range c.devDur {
-		devSum += d
+	if settled {
+		for _, d := range c.devDur {
+			devSum += d
+		}
 	}
 	c.stages = []obs.StageSample{
 		stageSample(obs.StagePlan, c.planWall, c.planAlloc),
@@ -798,18 +819,20 @@ func (e *Executor) record(c *call, err error) {
 		RQ:           c.rq,
 		Bound:        bound,
 		Stages:       c.stages,
-		Devices:      make([]obs.FlightDevice, m),
 		Events:       c.span.Snapshot().Events,
 	}
 	if err != nil {
 		rec.Err = err.Error()
 	}
-	for dev := 0; dev < m; dev++ {
-		fd := obs.FlightDevice{Device: dev, Buckets: c.answers[dev].Buckets, Scan: c.devDur[dev]}
-		if c.errs[dev] != nil {
-			fd.Err = c.errs[dev].Error()
+	if settled {
+		rec.Devices = make([]obs.FlightDevice, m)
+		for dev := 0; dev < m; dev++ {
+			fd := obs.FlightDevice{Device: dev, Buckets: c.answers[dev].Buckets, Scan: c.devDur[dev]}
+			if c.errs[dev] != nil {
+				fd.Err = c.errs[dev].Error()
+			}
+			rec.Devices[dev] = fd
 		}
-		rec.Devices[dev] = fd
 	}
 	e.flight.Note(rec)
 }

@@ -26,10 +26,20 @@ import (
 // Payloads use uvarints for counts/ids and zigzag varints for signed
 // ints; strings are uvarint length + raw bytes. Request payload:
 //
-//	flags(1: bit0=Ping bit1=Stats) id traceID parentSpan zigzag(asDevice)
+//	flags(1: bit0=Ping bit1=Stats bit2=rescale extension) id traceID
+//	parentSpan zigzag(asDevice)
 //	uvarint(len(Spec)) zigzag(Spec...)
 //	uvarint(numFields) then per field: 1 byte specified, if set
 //	uvarint(len)+bytes of the value
+//	[bit2 only] uvarint(Epoch) uvarint(Control) zigzag(Bucket)
+//	uvarint(len)+bytes of SpecJSON
+//	uvarint(numRecords) then records as in the response payload
+//
+// The rescale extension (Epoch, Control, Bucket, SpecJSON, Payload) is
+// gated by flags bit2 and appended after the value filters, so frames
+// from pre-rescale peers — which never set the bit — decode unchanged,
+// and pre-rescale decoders never see the extension (a rescale requires
+// every server at this version; Prepare fails cleanly on older ones).
 //
 // Response payload:
 //
@@ -125,6 +135,72 @@ func (f *frameReader) byte() (byte, error) {
 	return b, nil
 }
 
+// hasRescaleExt reports whether the request needs the flags-bit2
+// trailing extension on the wire.
+func (req *Request) hasRescaleExt() bool {
+	return req.Epoch != 0 || req.Control != 0
+}
+
+// recordsSize returns the wire size of a record list (shared by the
+// response body and the request's install payload).
+func recordsSize(recs []mkhash.Record) int {
+	n := uvarintLen(uint64(len(recs)))
+	for _, r := range recs {
+		n += uvarintLen(uint64(len(r)))
+		for _, field := range r {
+			n += stringSize(field)
+		}
+	}
+	return n
+}
+
+func appendRecords(b []byte, recs []mkhash.Record) []byte {
+	b = appendUvarint(b, uint64(len(recs)))
+	for _, r := range recs {
+		b = appendUvarint(b, uint64(len(r)))
+		for _, field := range r {
+			b = appendString(b, field)
+		}
+	}
+	return b
+}
+
+// decodeRecordsPlain reads a record list with plain (GC-owned) copies —
+// the control path; the query hot path uses the pooled decode in
+// decodeResponse instead.
+func decodeRecordsPlain(f *frameReader) ([]mkhash.Record, error) {
+	nr, err := f.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nr > uint64(len(f.buf)-f.off) {
+		return nil, errFrameCorrupt
+	}
+	if nr == 0 {
+		return nil, nil
+	}
+	recs := make([]mkhash.Record, 0, nr)
+	for i := uint64(0); i < nr; i++ {
+		nf, err := f.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nf > uint64(len(f.buf)-f.off) {
+			return nil, errFrameCorrupt
+		}
+		rec := make(mkhash.Record, nf)
+		for j := range rec {
+			v, err := f.bytes()
+			if err != nil {
+				return nil, err
+			}
+			rec[j] = string(v)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
 // requestSize returns the exact payload size appendRequest will emit.
 func requestSize(req *Request) int {
 	n := 1 + uvarintLen(req.ID) + uvarintLen(req.TraceID) + uvarintLen(req.ParentSpan) +
@@ -139,6 +215,12 @@ func requestSize(req *Request) int {
 			n += stringSize(req.Values[i])
 		}
 	}
+	if req.hasRescaleExt() {
+		n += uvarintLen(uint64(req.Epoch)) + uvarintLen(uint64(req.Control)) +
+			uvarintLen(zigzag(int64(req.Bucket))) +
+			uvarintLen(uint64(len(req.SpecJSON))) + len(req.SpecJSON) +
+			recordsSize(req.Payload)
+	}
 	return n
 }
 
@@ -149,6 +231,9 @@ func appendRequest(b []byte, req *Request) []byte {
 	}
 	if req.Stats {
 		flags |= 2
+	}
+	if req.hasRescaleExt() {
+		flags |= 4
 	}
 	b = append(b, flags)
 	b = appendUvarint(b, req.ID)
@@ -168,6 +253,14 @@ func appendRequest(b []byte, req *Request) []byte {
 			b = append(b, 0)
 		}
 	}
+	if req.hasRescaleExt() {
+		b = appendUvarint(b, uint64(req.Epoch))
+		b = appendUvarint(b, uint64(req.Control))
+		b = appendUvarint(b, zigzag(int64(req.Bucket)))
+		b = appendUvarint(b, uint64(len(req.SpecJSON)))
+		b = append(b, req.SpecJSON...)
+		b = appendRecords(b, req.Payload)
+	}
 	return b
 }
 
@@ -181,6 +274,8 @@ func decodeRequest(buf []byte, req *Request) error {
 	}
 	req.Ping = flags&1 != 0
 	req.Stats = flags&2 != 0
+	req.Epoch, req.Control, req.Bucket = 0, 0, 0
+	req.SpecJSON, req.Payload = nil, nil
 	if req.ID, err = f.uvarint(); err != nil {
 		return err
 	}
@@ -234,6 +329,33 @@ func decodeRequest(buf []byte, req *Request) error {
 				return err
 			}
 			req.Values[i] = string(v)
+		}
+	}
+	if flags&4 != 0 {
+		ep, err := f.uvarint()
+		if err != nil {
+			return err
+		}
+		req.Epoch = int(ep)
+		op, err := f.uvarint()
+		if err != nil {
+			return err
+		}
+		req.Control = int(op)
+		bk, err := f.zigzag()
+		if err != nil {
+			return err
+		}
+		req.Bucket = int(bk)
+		sj, err := f.bytes()
+		if err != nil {
+			return err
+		}
+		if len(sj) > 0 {
+			req.SpecJSON = append([]byte(nil), sj...)
+		}
+		if req.Payload, err = decodeRecordsPlain(&f); err != nil {
+			return err
 		}
 	}
 	return nil

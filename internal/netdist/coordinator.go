@@ -324,6 +324,8 @@ type Coordinator struct {
 	timeout time.Duration
 	noPool  bool
 	arena   bool
+	backend string
+	epoch   int
 	eng     *engine.Executor
 	feng    *engine.Executor
 	prof    *obs.CostProfiler
@@ -377,11 +379,29 @@ func WithInjector(in *resilience.Injector) DialOption {
 }
 
 // WithFleetName sets the name this coordinator's federated fleet view
-// registers under on /debug/cluster (default "netdist"). Give each
-// coordinator in a multi-fleet process its own name so their reports
-// don't shadow each other.
+// registers under on /debug/cluster (default: the backend name). Give
+// each coordinator in a multi-fleet process its own name so their
+// reports don't shadow each other.
 func WithFleetName(name string) DialOption {
 	return func(c *Coordinator) { c.fleetName = name }
+}
+
+// WithBackendName sets the label this coordinator's telemetry registers
+// under — the optimality auditor, plan cache, cost profiler, flight
+// recorder, event log and (unless WithFleetName overrides it) fleet
+// view. Default "netdist". The elastic rescale dials its new-epoch
+// coordinator as "netdist-next" so the cutover guard can read the new
+// epoch's per-shape discrepancy separately from the serving backend's.
+func WithBackendName(name string) DialOption {
+	return func(c *Coordinator) { c.backend = name }
+}
+
+// WithEpoch stamps every query this coordinator sends with the given
+// declustering epoch (see Request.Epoch). Default 0 — the epoch every
+// server starts at. The rescale's new-epoch coordinator dials with the
+// next epoch so servers answer from the prepared view.
+func WithEpoch(epoch int) DialOption {
+	return func(c *Coordinator) { c.epoch = epoch }
 }
 
 // WithoutMemPool disables the coordinator's buffer pools: wire frames,
@@ -405,10 +425,17 @@ func WithArenaResults() DialOption {
 // The file provides the schema and hash functions used to lower value
 // queries to bucket coordinates — it can be empty of records.
 func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, error) {
-	c := &Coordinator{file: file, tracer: obs.DefaultTracer(), prof: obs.CostProfilerFor("netdist"), fleetName: "netdist"}
+	c := &Coordinator{file: file, tracer: obs.DefaultTracer()}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.backend == "" {
+		c.backend = "netdist"
+	}
+	if c.fleetName == "" {
+		c.fleetName = c.backend
+	}
+	c.prof = obs.CostProfilerFor(c.backend)
 	c.fed = telemetry.NewFederator(c.fleetName)
 	for i, addr := range addrs {
 		dc, err := c.dialDevice(addr)
@@ -433,11 +460,11 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 		Observer:     coordObserver{},
 		Tracer:       c.tracer,
 		Span:         "netdist.retrieve",
-		Audit:        audit.For("netdist"),
-		Plans:        plancache.New("netdist"),
+		Audit:        audit.For(c.backend),
+		Plans:        plancache.New(c.backend),
 		Profile:      c.prof,
-		Flight:       obs.FlightRecorderFor("netdist"),
-		Events:       telemetry.LogFor("netdist"),
+		Flight:       obs.FlightRecorderFor(c.backend),
+		Events:       telemetry.LogFor(c.backend),
 		NoPool:       c.noPool,
 		ArenaResults: c.arena,
 	})
@@ -448,7 +475,7 @@ func Dial(file *mkhash.File, addrs []string, opts ...DialOption) (*Coordinator, 
 	c.eng = eng
 	c.feng = eng.Derive("netdist.retrieve-failover", c.failover)
 	if c.rcfg != nil {
-		c.ctrl = retry.NewController("netdist", *c.rcfg)
+		c.ctrl = retry.NewController(c.backend, *c.rcfg)
 		// Hedge backups impersonate the slow device against its ring
 		// successor's backup partition — only the failover path may
 		// hedge (a plain deployment's successor has no copy to answer
@@ -696,6 +723,7 @@ type remoteDevice struct {
 func (d *remoteDevice) Scan(ctx context.Context, q query.Query, pm mkhash.PartialMatch) (engine.Answer, error) {
 	req := NewRequest(q.Spec, pm)
 	req.AsDevice = d.as
+	req.Epoch = d.c.epoch
 	if span := engine.SpanFromContext(ctx); span != nil {
 		req.TraceID, req.ParentSpan = span.Trace(), span.SpanID()
 	}
@@ -759,6 +787,34 @@ func (c *Coordinator) PlanCache() *plancache.Cache { return c.eng.Plans() }
 
 // M returns the device count.
 func (c *Coordinator) M() int { return len(c.conns) }
+
+// Backend returns the telemetry label the coordinator registers under
+// (see WithBackendName).
+func (c *Coordinator) Backend() string { return c.backend }
+
+// Epoch returns the declustering epoch stamped on this coordinator's
+// queries (see WithEpoch).
+func (c *Coordinator) Epoch() int { return c.epoch }
+
+// Addrs returns the device server addresses in device order — what the
+// rescale needs to dial the new-epoch coordinator over a superset (or
+// prefix) of the old one's servers.
+func (c *Coordinator) Addrs() []string {
+	c.connMu.RLock()
+	defer c.connMu.RUnlock()
+	addrs := make([]string, len(c.conns))
+	for i, dc := range c.conns {
+		addrs[i] = dc.addr
+	}
+	return addrs
+}
+
+// EngineRetrieve runs one retrieval and returns the raw engine result —
+// the seam the dual-read combinator (engine.DualReader) races two
+// coordinators through during a rescale window.
+func (c *Coordinator) EngineRetrieve(ctx context.Context, pm mkhash.PartialMatch) (engine.Result, error) {
+	return c.eng.Retrieve(ctx, pm)
+}
 
 // ask runs one instrumented round trip against device dev's server,
 // classifying errors into the per-device counters and wrapping failures

@@ -45,8 +45,15 @@ func NewReplicatedServer(deviceID int, spec decluster.Spec, primary, backup map[
 // answerAs runs one query against the backup partition, impersonating the
 // failed ring predecessor.
 func (s *Server) answerAs(req Request) Response {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	if !s.hasBackup || req.AsDevice != s.backupFor {
 		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: device %d holds no backup for device %d", s.deviceID, req.AsDevice)}
+	}
+	if req.Epoch != s.epoch {
+		// Backup partitions are not re-declustered live; replicated
+		// deployments sit out rescales (Prepare refuses them).
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: backup partition serves epoch %d only, not %d", s.epoch, req.Epoch)}
 	}
 	q := query.New(req.Spec)
 	if err := q.Validate(s.fs); err != nil {

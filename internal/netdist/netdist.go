@@ -70,7 +70,51 @@ type Request struct {
 	// that predate the field answer it as a malformed query (harmless:
 	// the coordinator's stats pull just records the failure).
 	Stats bool
+
+	// Epoch selects which declustering epoch a query runs against during
+	// an elastic rescale: the server's current view, or — between Prepare
+	// and Cutover — the prepared next view at epoch current+1. Outside a
+	// rescale every peer is at epoch 0 and the field rides as zero. On
+	// the binary wire the rescale extension (Epoch through Payload) is a
+	// trailing-optional section gated by a flags bit, so pre-rescale
+	// peers interoperate; a rescale itself requires every server at this
+	// version (Prepare fails cleanly on older ones).
+	Epoch int
+	// Control, when non-zero, marks a rescale control operation (the
+	// Op* constants) instead of a query. Control ops bypass load
+	// shedding — the migration driver bounds its own concurrency — and
+	// serialise against queries on the server's view lock.
+	Control int
+	// Bucket is the linear bucket index for OpFetch / OpInstall.
+	Bucket int
+	// SpecJSON carries the next epoch's allocator spec (a JSON-encoded
+	// decluster.Spec) for OpPrepare.
+	SpecJSON []byte
+	// Payload carries the bucket's records for OpInstall.
+	Payload []mkhash.Record
 }
+
+// Rescale control operations (Request.Control).
+const (
+	// OpPrepare hands the server the next epoch's allocator spec: it
+	// builds the view (file system + inverse mapper) and starts serving
+	// queries at epoch current+1 alongside the current epoch.
+	OpPrepare = 1 + iota
+	// OpFetch returns one bucket's records from the current partition.
+	OpFetch
+	// OpInstall stores one bucket's records into the (prepared or
+	// already-current) next-epoch partition. Idempotent: re-installing
+	// a bucket overwrites it with identical content.
+	OpInstall
+	// OpCutover promotes the prepared view to current, bumps the epoch,
+	// and prunes buckets the server no longer owns. A no-op on servers
+	// with nothing prepared (fresh rescale targets already at the new
+	// epoch), so the driver can broadcast it idempotently.
+	OpCutover
+	// OpAbort drops the prepared view and deletes every bucket installed
+	// during the rescale, returning the server to its pre-rescale state.
+	OpAbort
+)
 
 // NewRequest builds the wire request for a hashed query and its
 // value-level filters.
@@ -118,9 +162,18 @@ type Response struct {
 // Server is one device's network frontend.
 type Server struct {
 	deviceID int
-	fs       decluster.FileSystem
-	im       *query.InverseMapper
-	buckets  map[int][]mkhash.Record
+	// dataMu guards the epoch views (fs, im, buckets, epoch, next):
+	// queries take the read side, rescale control ops the write side.
+	// Outside a rescale the lock is uncontended.
+	dataMu  sync.RWMutex
+	fs      decluster.FileSystem
+	im      *query.InverseMapper
+	buckets map[int][]mkhash.Record
+	// epoch is the current declustering epoch; next, when non-nil, is
+	// the prepared next-epoch view of an in-flight rescale (see
+	// Request.Epoch and the Op* control operations).
+	epoch int
+	next  *nextView
 	// Replication (NewReplicatedServer): the backup partition held for
 	// the ring predecessor.
 	backup    map[int][]mkhash.Record
@@ -336,6 +389,18 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if req.Control != 0 {
+			// Rescale control ops bypass shedding (the migration driver
+			// bounds its own concurrency and must make progress under
+			// load); they serialise with queries on the view lock.
+			resp := s.control(&req)
+			err := codec.writeResponse(&resp)
+			serverHits.Put(resp.Records)
+			if err != nil {
+				return
+			}
+			continue
+		}
 		if n, limit := s.inflightN.Add(1), s.shedLimit.Load(); limit > 0 && n > limit {
 			s.inflightN.Add(-1)
 			s.sm.shed.Inc()
@@ -376,19 +441,31 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// answer runs one query against the local partition.
+// answer runs one query against the local partition of the epoch the
+// request names: the current view, or — during a rescale window — the
+// prepared next view. Holding the read lock across the scan keeps the
+// view (and its bucket map) stable against a concurrent cutover.
 func (s *Server) answer(req Request) Response {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	fs, im := s.fs, s.im
+	if req.Epoch != s.epoch {
+		if s.next == nil || req.Epoch != s.epoch+1 {
+			return Response{ID: req.ID, Err: fmt.Sprintf("netdist: epoch %d not served (current %d)", req.Epoch, s.epoch)}
+		}
+		fs, im = s.next.fs, s.next.im
+	}
 	q := query.New(req.Spec)
-	if err := q.Validate(s.fs); err != nil {
+	if err := q.Validate(fs); err != nil {
 		return Response{ID: req.ID, Err: err.Error()}
 	}
-	if len(req.Values) != s.fs.NumFields() || len(req.Specified) != s.fs.NumFields() {
-		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: %d value filters for %d fields", len(req.Values), s.fs.NumFields())}
+	if len(req.Values) != fs.NumFields() || len(req.Specified) != fs.NumFields() {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: %d value filters for %d fields", len(req.Values), fs.NumFields())}
 	}
 	resp := Response{ID: req.ID}
-	s.im.EachOnDevice(q, s.deviceID, func(coords []int) {
+	im.EachOnDevice(q, s.deviceID, func(coords []int) {
 		resp.Buckets++
-		for _, r := range s.buckets[s.fs.Linear(coords)] {
+		for _, r := range s.buckets[fs.Linear(coords)] {
 			resp.Scanned++
 			if valueMatch(req, r) {
 				resp.Records = serverHits.AppendOne(resp.Records, r)

@@ -1,0 +1,324 @@
+package netdist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"fxdist/internal/decluster"
+	"fxdist/internal/mkhash"
+	"fxdist/internal/query"
+)
+
+// Server-side half of the elastic rescale protocol. A rescale runs as
+// an epoch transition: the migration driver Prepares every surviving
+// server with the next epoch's allocator spec (the server then answers
+// queries at both epochs), streams each moving bucket with Fetch from
+// its old owner and Install on its new one, and finally Cutovers — the
+// prepared view becomes current, the epoch bumps, and buckets the
+// server no longer owns are pruned. Abort at any point before cutover
+// deletes the installed buckets and drops the prepared view, returning
+// the server byte-for-byte to its pre-rescale state (the migration only
+// ever copies; the old partition stays authoritative until cutover).
+
+// nextView is the prepared next-epoch state of an in-flight rescale.
+type nextView struct {
+	spec  decluster.Spec
+	alloc decluster.GroupAllocator
+	fs    decluster.FileSystem
+	im    *query.InverseMapper
+	// installed tracks buckets written during this rescale so Abort can
+	// delete exactly them.
+	installed map[int]struct{}
+}
+
+// SetEpoch declares the server's base epoch. Fresh servers joining a
+// cluster mid-rescale (the grow targets M..2M-1) start at the new epoch
+// with an empty partition: they were never part of the old epoch, so
+// there is nothing to prepare or cut over on them. Call before Serve.
+func (s *Server) SetEpoch(epoch int) {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	s.epoch = epoch
+}
+
+// Epoch returns the server's current declustering epoch.
+func (s *Server) Epoch() int {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	return s.epoch
+}
+
+// control dispatches one rescale control operation.
+func (s *Server) control(req *Request) Response {
+	switch req.Control {
+	case OpPrepare:
+		return s.prepare(req)
+	case OpFetch:
+		return s.fetch(req)
+	case OpInstall:
+		return s.install(req)
+	case OpCutover:
+		return s.cutover(req)
+	case OpAbort:
+		return s.abort(req)
+	default:
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: unknown control op %d", req.Control)}
+	}
+}
+
+// prepare builds the next-epoch view from the spec in the request.
+// Idempotent: re-preparing with the same spec succeeds (the resume path
+// after a coordinator crash), with a different one fails.
+func (s *Server) prepare(req *Request) Response {
+	var spec decluster.Spec
+	if err := json.Unmarshal(req.SpecJSON, &spec); err != nil {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: prepare: decode spec: %v", err)}
+	}
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if s.hasBackup {
+		return Response{ID: req.ID, Err: "netdist: prepare: replicated deployments do not support live rescale"}
+	}
+	if s.next != nil {
+		if specEqual(s.next.spec, spec) {
+			return Response{ID: req.ID}
+		}
+		return Response{ID: req.ID, Err: "netdist: prepare: a different rescale is already prepared (abort it first)"}
+	}
+	alloc, err := spec.Build()
+	if err != nil {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: prepare: %v", err)}
+	}
+	fs := alloc.FileSystem()
+	if fs.NumFields() != s.fs.NumFields() {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: prepare: %d fields, serving %d", fs.NumFields(), s.fs.NumFields())}
+	}
+	for i, size := range s.fs.Sizes {
+		if fs.Sizes[i] != size {
+			return Response{ID: req.ID, Err: fmt.Sprintf("netdist: prepare: field %d sized %d, serving %d", i, fs.Sizes[i], size)}
+		}
+	}
+	if s.deviceID >= fs.M {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: prepare: device %d retires under M=%d and serves no next epoch", s.deviceID, fs.M)}
+	}
+	s.next = &nextView{
+		spec:      spec,
+		alloc:     alloc,
+		fs:        fs,
+		im:        query.NewInverseMapper(alloc),
+		installed: make(map[int]struct{}),
+	}
+	return Response{ID: req.ID}
+}
+
+// fetch returns one bucket's records from the current partition. An
+// absent bucket (nothing hashed there) is an empty, successful answer.
+func (s *Server) fetch(req *Request) Response {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
+	if req.Bucket < 0 || req.Bucket >= s.fs.NumBuckets() {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: fetch: bucket %d outside grid", req.Bucket)}
+	}
+	recs := s.buckets[req.Bucket]
+	resp := Response{ID: req.ID, Buckets: 1, Scanned: len(recs)}
+	for _, r := range recs {
+		resp.Records = serverHits.AppendOne(resp.Records, r)
+	}
+	return resp
+}
+
+// install stores one bucket into the next-epoch partition. The bucket
+// must belong to this device under the prepared spec (or under the
+// current spec on a fresh server already at the new epoch). Records are
+// copied out of the request, so wire buffers never alias the partition.
+func (s *Server) install(req *Request) Response {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	owner := s.im.Allocator()
+	gridFS := s.fs
+	if s.next != nil {
+		owner, gridFS = s.next.alloc, s.next.fs
+	}
+	if req.Bucket < 0 || req.Bucket >= gridFS.NumBuckets() {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: install: bucket %d outside grid", req.Bucket)}
+	}
+	coords := gridFS.Coords(req.Bucket, nil)
+	if dev := owner.Device(coords); dev != s.deviceID {
+		return Response{ID: req.ID, Err: fmt.Sprintf("netdist: install: bucket %v belongs to device %d, not %d", coords, dev, s.deviceID)}
+	}
+	if len(req.Payload) == 0 {
+		// An empty move: make the install idempotent by clearing any
+		// previous (also empty-in-practice) content.
+		delete(s.buckets, req.Bucket)
+	} else {
+		recs := make([]mkhash.Record, len(req.Payload))
+		for i, r := range req.Payload {
+			rec := make(mkhash.Record, len(r))
+			for j, f := range r {
+				rec[j] = strings.Clone(f)
+			}
+			recs[i] = rec
+		}
+		s.buckets[req.Bucket] = recs
+	}
+	if s.next != nil {
+		s.next.installed[req.Bucket] = struct{}{}
+	}
+	return Response{ID: req.ID, Buckets: 1, Scanned: len(req.Payload)}
+}
+
+// cutover promotes the prepared view to current and prunes buckets this
+// device no longer owns. A server with nothing prepared answers success
+// (fresh rescale targets are already at the new epoch), so the driver's
+// broadcast — and its replay after a crash — is idempotent.
+func (s *Server) cutover(req *Request) Response {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if s.next == nil {
+		return Response{ID: req.ID}
+	}
+	nv := s.next
+	var coords []int
+	for idx := range s.buckets {
+		coords = nv.fs.Coords(idx, coords[:0])
+		if nv.alloc.Device(coords) != s.deviceID {
+			delete(s.buckets, idx)
+		}
+	}
+	s.fs, s.im = nv.fs, nv.im
+	s.epoch++
+	s.next = nil
+	return Response{ID: req.ID}
+}
+
+// abort drops the prepared view and deletes every bucket installed
+// during the rescale — the rollback to the pre-rescale epoch. A server
+// with nothing prepared answers success (idempotent broadcast).
+func (s *Server) abort(req *Request) Response {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
+	if s.next == nil {
+		return Response{ID: req.ID}
+	}
+	for idx := range s.next.installed {
+		delete(s.buckets, idx)
+	}
+	s.next = nil
+	return Response{ID: req.ID}
+}
+
+// specEqual compares two allocator specs field by field.
+func specEqual(a, b decluster.Spec) bool {
+	if a.Method != b.Method || a.M != b.M ||
+		len(a.Sizes) != len(b.Sizes) || len(a.Kinds) != len(b.Kinds) || len(a.Multipliers) != len(b.Multipliers) {
+		return false
+	}
+	for i := range a.Sizes {
+		if a.Sizes[i] != b.Sizes[i] {
+			return false
+		}
+	}
+	for i := range a.Kinds {
+		if a.Kinds[i] != b.Kinds[i] {
+			return false
+		}
+	}
+	for i := range a.Multipliers {
+		if a.Multipliers[i] != b.Multipliers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coordinator-side control methods. Each is one round trip against one
+// device's server, passing through the fault injector like every other
+// request, so chaos schedules exercise the migration stream too.
+
+// control runs one rescale control round trip against device dev.
+func (c *Coordinator) controlOp(ctx context.Context, dev int, req Request) (Response, error) {
+	req.AsDevice = -1
+	dc := c.conn(dev)
+	if c.injector != nil {
+		if ierr := c.injector.Before(ctx, dev); ierr != nil {
+			c.dm[dev].errors.Inc()
+			return Response{}, &DeviceError{Device: dev, Addr: dc.addr, Err: ierr}
+		}
+	}
+	resp, id, _, release, err := dc.roundTrip(ctx, req, c.timeout)
+	if err != nil {
+		c.dm[dev].errors.Inc()
+		if errors.Is(err, ErrTimeout) {
+			c.dm[dev].timeouts.Inc()
+		}
+		return Response{}, &DeviceError{Device: dev, Addr: dc.addr, RequestID: id, Err: err}
+	}
+	if resp.Err != "" {
+		if release != nil {
+			release()
+		}
+		dc.hits.Put(resp.Records)
+		c.dm[dev].errors.Inc()
+		return Response{}, &DeviceError{Device: dev, Addr: dc.addr, RequestID: id, Remote: true, Err: errors.New(resp.Err)}
+	}
+	if len(resp.Records) > 0 {
+		// Control responses outlive the wire buffers: deep-copy the
+		// records and recycle the pooled slabs immediately.
+		recs := make([]mkhash.Record, len(resp.Records))
+		for i, r := range resp.Records {
+			rec := make(mkhash.Record, len(r))
+			for j, f := range r {
+				rec[j] = strings.Clone(f)
+			}
+			recs[i] = rec
+		}
+		dc.hits.Put(resp.Records)
+		resp.Records = recs
+	}
+	if release != nil {
+		release()
+	}
+	return resp, nil
+}
+
+// Prepare hands device dev the next epoch's allocator spec.
+func (c *Coordinator) Prepare(ctx context.Context, dev int, spec decluster.Spec) error {
+	b, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("netdist: encode rescale spec: %w", err)
+	}
+	_, err = c.controlOp(ctx, dev, Request{Control: OpPrepare, SpecJSON: b})
+	return err
+}
+
+// FetchBucket returns bucket's records from device dev's current
+// partition (empty when nothing hashed there).
+func (c *Coordinator) FetchBucket(ctx context.Context, dev, bucket int) ([]mkhash.Record, error) {
+	resp, err := c.controlOp(ctx, dev, Request{Control: OpFetch, Bucket: bucket})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Records, nil
+}
+
+// InstallBucket stores bucket's records into device dev's next-epoch
+// partition. Idempotent.
+func (c *Coordinator) InstallBucket(ctx context.Context, dev, bucket int, recs []mkhash.Record) error {
+	_, err := c.controlOp(ctx, dev, Request{Control: OpInstall, Bucket: bucket, Payload: recs})
+	return err
+}
+
+// CutoverDevice promotes device dev's prepared view to current.
+func (c *Coordinator) CutoverDevice(ctx context.Context, dev int) error {
+	_, err := c.controlOp(ctx, dev, Request{Control: OpCutover})
+	return err
+}
+
+// AbortRescale drops device dev's prepared view and installed buckets.
+func (c *Coordinator) AbortRescale(ctx context.Context, dev int) error {
+	_, err := c.controlOp(ctx, dev, Request{Control: OpAbort})
+	return err
+}

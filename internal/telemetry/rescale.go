@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// RescaleEvent is one wide event from the elastic-rescale migration
+// driver: phase transitions, per-batch copy progress, retries, the
+// cutover guard's verdicts. The ring behind RescaleEvents keeps the
+// recent window for /debug/rescale; everything is also a line in the
+// driver's status, so losing old entries loses no state.
+type RescaleEvent struct {
+	Time  time.Time `json:"time"`
+	Phase string    `json:"phase"`
+	Msg   string    `json:"msg"`
+	// Copied/Total snapshot migration progress at the time of the
+	// event; Bucket/From/To identify a per-bucket event (-1 otherwise).
+	Copied int `json:"copied"`
+	Total  int `json:"total"`
+	Bucket int `json:"bucket"`
+	From   int `json:"from"`
+	To     int `json:"to"`
+}
+
+const rescaleRingSize = 256
+
+var (
+	rescaleMu   sync.Mutex
+	rescaleRing []RescaleEvent
+	rescaleNext int
+)
+
+// LogRescale appends one migration event to the process-wide ring.
+func LogRescale(ev RescaleEvent) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	rescaleMu.Lock()
+	defer rescaleMu.Unlock()
+	if len(rescaleRing) < rescaleRingSize {
+		rescaleRing = append(rescaleRing, ev)
+		return
+	}
+	rescaleRing[rescaleNext] = ev
+	rescaleNext = (rescaleNext + 1) % rescaleRingSize
+}
+
+// RescaleEvents returns the retained migration events, oldest first.
+func RescaleEvents() []RescaleEvent {
+	rescaleMu.Lock()
+	defer rescaleMu.Unlock()
+	out := make([]RescaleEvent, 0, len(rescaleRing))
+	out = append(out, rescaleRing[rescaleNext:]...)
+	out = append(out, rescaleRing[:rescaleNext]...)
+	return out
+}

@@ -3,6 +3,8 @@ package fxdist
 import (
 	"context"
 	"errors"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fxdist/internal/audit"
@@ -53,6 +55,8 @@ type openSettings struct {
 	fileOpts    []FileOption
 	noPool      bool
 	arena       bool
+	rescaleJrnl string
+	dialEpoch   int
 
 	// Resilience (see resilience.go for the options).
 	resilSet    bool
@@ -196,6 +200,27 @@ func WithArenaResults() Option {
 	return func(s *openSettings) { s.arena = true }
 }
 
+// WithRescale sets the default journal path for live rescales started
+// with Cluster.Rescale: migration progress persists there, so a
+// coordinator killed mid-rescale resumes from the journal instead of
+// re-streaming every bucket. Only meaningful on the distributed
+// backend.
+func WithRescale(journalPath string) Option {
+	return func(s *openSettings) { s.rescaleJrnl = journalPath }
+}
+
+// WithDialEpoch pins the distributed coordinator's requests to the
+// fleet's serving epoch. Every completed live rescale advances the
+// servers' epoch by one, and servers reject requests naming any other
+// epoch (a stale coordinator fanning out over the pre-rescale device
+// set would otherwise silently return partial answers). A coordinator
+// that lived through the rescale is re-pinned automatically; use this
+// to dial a fleet from a fresh process after n rescales. Zero, the
+// default, matches a fleet that has never rescaled.
+func WithDialEpoch(epoch int) Option {
+	return func(s *openSettings) { s.dialEpoch = epoch }
+}
+
 // Cluster is the unified handle over every backend kind — in-memory,
 // replicated, durable, distributed — built by Open. All kinds retrieve
 // through the same engine executor and plan cache, so the handle offers
@@ -210,8 +235,22 @@ type Cluster struct {
 	mem      *MemoryCluster
 	dur      *DurableCluster
 	repl     *ReplicatedCluster
-	coord    *Coordinator
 	failover bool
+
+	// coordMu guards coord, which Rescale swaps at cutover while
+	// retrievals are in flight.
+	coordMu sync.RWMutex
+	coord   *Coordinator
+
+	// resc is the live rescale, nil outside a rescale window; its
+	// routing intercepts retrievals during dual-read. rescaleJournal is
+	// the default journal path (WithRescale); dialOpts are the options
+	// the coordinator was dialed with, reused for the new epoch's
+	// coordinator so timeouts, retry budgets, pooling and injectors
+	// survive a rescale.
+	resc           atomic.Pointer[Rescale]
+	rescaleJournal string
+	dialOpts       []DialOption
 }
 
 // Backend kinds reported by Cluster.Kind.
@@ -262,6 +301,9 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 		if s.arena {
 			dialOpts = append(dialOpts, netdist.WithArenaResults())
 		}
+		if s.dialEpoch > 0 {
+			dialOpts = append(dialOpts, netdist.WithEpoch(s.dialEpoch))
+		}
 		coord, err := netdist.Dial(cfg.File, cfg.Addrs, dialOpts...)
 		if err != nil {
 			return nil, err
@@ -273,6 +315,8 @@ func Open(cfg Config, opts ...Option) (*Cluster, error) {
 			coord.StartStatsPull(s.statsEvery)
 		}
 		c.kind, c.coord, c.failover = KindNetdist, coord, s.failover
+		c.rescaleJournal = s.rescaleJrnl
+		c.dialOpts = dialOpts
 
 	case cfg.Dir != "":
 		if s.replicated {
@@ -349,8 +393,16 @@ func (c *Cluster) Durable() *DurableCluster { return c.dur }
 func (c *Cluster) Replicated() *ReplicatedCluster { return c.repl }
 
 // Coordinator returns the underlying distributed coordinator, nil for
-// other kinds.
-func (c *Cluster) Coordinator() *Coordinator { return c.coord }
+// other kinds. During a rescale the handle is swapped at cutover; see
+// Cluster.Rescale.
+func (c *Cluster) Coordinator() *Coordinator { return c.coordinator() }
+
+// coordinator reads the current coordinator under the swap lock.
+func (c *Cluster) coordinator() *Coordinator {
+	c.coordMu.RLock()
+	defer c.coordMu.RUnlock()
+	return c.coord
+}
 
 // M returns the device count.
 func (c *Cluster) M() int {
@@ -362,7 +414,7 @@ func (c *Cluster) M() int {
 	case KindReplicated:
 		return c.repl.M()
 	default:
-		return c.coord.M()
+		return c.coordinator().M()
 	}
 }
 
@@ -391,12 +443,19 @@ func (c *Cluster) RetrieveContext(ctx context.Context, pm PartialMatch) (Retriev
 	case KindReplicated:
 		return c.repl.RetrieveContext(ctx, pm)
 	default:
+		// A live rescale window intercepts retrievals: dual reads while
+		// both epochs serve, new-epoch reads once the old one drains.
+		if r := c.resc.Load(); r != nil {
+			if res, err, handled := r.retrieve(ctx, pm); handled {
+				return res, err
+			}
+		}
 		var res DistributedResult
 		var err error
 		if c.failover {
-			res, err = c.coord.RetrieveWithFailoverContext(ctx, pm)
+			res, err = c.coordinator().RetrieveWithFailoverContext(ctx, pm)
 		} else {
-			res, err = c.coord.RetrieveContext(ctx, pm)
+			res, err = c.coordinator().RetrieveContext(ctx, pm)
 		}
 		// A degraded retrieval (WithPartialResults) carries the surviving
 		// devices' answer alongside its PartialResult error.
@@ -421,7 +480,20 @@ func (c *Cluster) RetrieveBatch(ctx context.Context, pms []PartialMatch) ([]Retr
 	case KindReplicated:
 		return c.repl.RetrieveBatch(ctx, pms)
 	default:
-		dres, err := c.coord.RetrieveBatch(ctx, pms)
+		// During a rescale window, run the batch query-by-query through
+		// the epoch-aware path (dual reads don't batch across epochs).
+		if r := c.resc.Load(); r != nil && r.intercepting() {
+			out := make([]RetrieveResult, len(pms))
+			for i, pm := range pms {
+				res, err := c.RetrieveContext(ctx, pm)
+				if err != nil {
+					return out, err
+				}
+				out[i] = res
+			}
+			return out, nil
+		}
+		dres, err := c.coordinator().RetrieveBatch(ctx, pms)
 		out := make([]RetrieveResult, len(dres))
 		for i, r := range dres {
 			out[i] = fromDistributed(r)
@@ -454,7 +526,10 @@ func (c *Cluster) Close() error {
 	case KindDurable:
 		return c.dur.Close()
 	case KindNetdist:
-		c.coord.Close()
+		if r := c.resc.Load(); r != nil {
+			r.closeNew()
+		}
+		c.coordinator().Close()
 	}
 	return nil
 }
@@ -469,7 +544,7 @@ func (c *Cluster) planCache() *plancache.Cache {
 	case KindReplicated:
 		return c.repl.PlanCache()
 	default:
-		return c.coord.PlanCache()
+		return c.coordinator().PlanCache()
 	}
 }
 

@@ -1,0 +1,392 @@
+package fxdist_test
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fxdist"
+)
+
+// deployRescaleTargets starts empty device servers for devices
+// firstDev..spec.M-1 at the given epoch — the fresh half of a growing
+// cluster.
+func deployRescaleTargets(t *testing.T, spec fxdist.AllocatorSpec, firstDev, epoch int) (addrs []string, stop func()) {
+	t.Helper()
+	var servers []*fxdist.DeviceServer
+	stop = func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for dev := firstDev; dev < spec.M; dev++ {
+		srv, err := fxdist.NewRescaleTargetServer(dev, spec, epoch)
+		if err != nil {
+			stop()
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+		addrs = append(addrs, l.Addr().String())
+		go srv.Serve(l) //nolint:errcheck // ends when srv.Close closes l
+	}
+	return addrs, stop
+}
+
+// rescaleQueries builds a few partial matches of different shapes.
+func rescaleQueries(t *testing.T, file *fxdist.File) []fxdist.PartialMatch {
+	t.Helper()
+	var pms []fxdist.PartialMatch
+	for _, pairs := range []map[string]string{
+		{"b": "b-3"},
+		{"a": "a-7"},
+		{"a": "a-12", "b": "b-1"},
+		{"b": "b-9"},
+	} {
+		pm, err := file.Spec(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pms = append(pms, pm)
+	}
+	return pms
+}
+
+// canonical returns the records in a canonical, comparable form.
+func canonical(recs []fxdist.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = strings.Join(r, "\x00")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func runRescale(t *testing.T, oldM, newM int) {
+	t.Helper()
+	file := buildTestFile(t)
+	fs, err := file.FileSystem(oldM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stopOld, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopOld()
+
+	spec, err := fxdist.DescribeAllocator(fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSpec, err := spec.Rescaled(newM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newAddrs := append([]string(nil), addrs...)
+	if newM > oldM {
+		taddrs, stopTargets := deployRescaleTargets(t, newSpec, oldM, 1)
+		defer stopTargets()
+		newAddrs = append(newAddrs, taddrs...)
+	} else {
+		newAddrs = newAddrs[:newM]
+	}
+
+	cl, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs},
+		fxdist.WithRescale(filepath.Join(t.TempDir(), "rescale.journal")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pms := rescaleQueries(t, file)
+
+	// Query continuously through the whole rescale: the acceptance bar is
+	// zero failed retrievals across every phase transition.
+	var failed atomic.Int64
+	var queries atomic.Int64
+	stopPump := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopPump:
+				return
+			default:
+			}
+			if _, err := cl.Retrieve(pms[i%len(pms)]); err != nil {
+				failed.Add(1)
+				t.Errorf("query failed mid-rescale: %v", err)
+			}
+			queries.Add(1)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	resc, err := cl.Rescale(ctx, fxdist.RescaleConfig{
+		Addrs:           newAddrs,
+		NewM:            newM,
+		Allocator:       fx,
+		GuardMinQueries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resc.Wait(); err != nil {
+		t.Fatalf("rescale: %v (status %+v)", err, resc.Status())
+	}
+	close(stopPump)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d queries failed during the rescale", n, queries.Load())
+	}
+	if got := cl.M(); got != newM {
+		t.Fatalf("cluster reports M=%d after rescale, want %d", got, newM)
+	}
+	st := resc.Status()
+	if st.Phase != "done" {
+		t.Fatalf("final phase %q, want done", st.Phase)
+	}
+	if st.DualReads.Mismatches != 0 {
+		t.Fatalf("%d dual-read mismatches", st.DualReads.Mismatches)
+	}
+
+	// Byte-identical against a statically deployed newM cluster.
+	staticAlloc, err := fxdist.BuildAllocator(newSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saddrs, stopStatic, err := fxdist.DeployLocal(file, staticAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopStatic()
+	scl, err := fxdist.Open(fxdist.Config{File: file, Addrs: saddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scl.Close()
+	for i, pm := range pms {
+		got, err := cl.Retrieve(pm)
+		if err != nil {
+			t.Fatalf("post-rescale query %d: %v", i, err)
+		}
+		want, err := scl.Retrieve(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, w := canonical(got.Records), canonical(want.Records)
+		if len(g) != len(w) {
+			t.Fatalf("query %d: %d records after rescale, static cluster has %d", i, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("query %d record %d differs:\n rescaled: %q\n static:   %q", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+func TestRescaleGrowLive(t *testing.T) {
+	runRescale(t, 4, 8)
+}
+
+// TestRescaleGrowUnderFaults injects flapping and latency into the new
+// epoch's coordinator — the same connections the migration stream and
+// the dual-read new leg use — and requires the rescale to complete with
+// zero failed queries and byte-identical results anyway: the driver
+// retries transient faults and a dual read survives its new leg dying
+// because the old epoch still answers.
+func TestRescaleGrowUnderFaults(t *testing.T) {
+	file := buildTestFile(t)
+	fs, _ := file.FileSystem(4)
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stopOld, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopOld()
+	spec, _ := fxdist.DescribeAllocator(fx)
+	newSpec, err := spec.Rescaled(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taddrs, stopTargets := deployRescaleTargets(t, newSpec, 4, 1)
+	defer stopTargets()
+
+	// The retry budget is part of the cluster's dial options, so the
+	// new-epoch coordinator inherits it — injected faults on the new
+	// read leg are retried, not surfaced.
+	cl, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs},
+		fxdist.WithRetryBudget(5, time.Millisecond, 10*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pms := rescaleQueries(t, file)
+	var failed atomic.Int64
+	stopPump := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopPump:
+				return
+			default:
+			}
+			if _, err := cl.Retrieve(pms[i%len(pms)]); err != nil {
+				failed.Add(1)
+				t.Errorf("query failed mid-rescale under faults: %v", err)
+			}
+		}
+	}()
+
+	in := fxdist.NewFaultInjector("chaos-rescale", 7, map[int]fxdist.FaultSchedule{
+		5: {FlapEvery: 3},
+		2: {Latency: 2 * time.Millisecond},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	resc, err := cl.Rescale(ctx, fxdist.RescaleConfig{
+		Addrs:           append(append([]string(nil), addrs...), taddrs...),
+		NewM:            8,
+		Allocator:       fx,
+		GuardMinQueries: 2,
+		DialOptions:     []fxdist.DialOption{fxdist.WithDialInjector(in)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resc.Wait(); err != nil {
+		t.Fatalf("rescale under faults: %v (status %+v)", err, resc.Status())
+	}
+	close(stopPump)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d queries failed during the faulted rescale", n)
+	}
+	if st := resc.Status(); st.DualReads.Mismatches != 0 {
+		t.Fatalf("%d dual-read mismatches", st.DualReads.Mismatches)
+	}
+
+	// Byte-identical against a static 8-device deployment.
+	staticAlloc, err := fxdist.BuildAllocator(newSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saddrs, stopStatic, err := fxdist.DeployLocal(file, staticAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopStatic()
+	scl, err := fxdist.Open(fxdist.Config{File: file, Addrs: saddrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scl.Close()
+	for i, pm := range pms {
+		got, _ := cl.Retrieve(pm)
+		want, _ := scl.Retrieve(pm)
+		g, w := canonical(got.Records), canonical(want.Records)
+		if strings.Join(g, "\n") != strings.Join(w, "\n") {
+			t.Fatalf("query %d: records differ from static cluster after faulted rescale", i)
+		}
+	}
+}
+
+func TestRescaleShrinkLive(t *testing.T) {
+	runRescale(t, 4, 2)
+}
+
+func TestRescaleAbortRollsBack(t *testing.T) {
+	file := buildTestFile(t)
+	fs, _ := file.FileSystem(4)
+	fx, err := fxdist.NewFX(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, stopOld, err := fxdist.DeployLocal(file, fx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopOld()
+	spec, _ := fxdist.DescribeAllocator(fx)
+	newSpec, err := spec.Rescaled(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taddrs, stopTargets := deployRescaleTargets(t, newSpec, 4, 1)
+	defer stopTargets()
+
+	cl, err := fxdist.Open(fxdist.Config{File: file, Addrs: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx := context.Background()
+	resc, err := cl.Rescale(ctx, fxdist.RescaleConfig{
+		Addrs:     append(append([]string(nil), addrs...), taddrs...),
+		NewM:      8,
+		Allocator: fx,
+		// An unmeetable floor keeps the driver parked in dual-read so the
+		// abort lands before cutover.
+		GuardMinQueries: 1 << 62,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the copy phase to finish, then abort.
+	deadline := time.Now().Add(30 * time.Second)
+	for resc.Status().Phase != "dual-read" {
+		if time.Now().After(deadline) {
+			t.Fatalf("rescale never reached dual-read: %+v", resc.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resc.Abort()
+	if err := resc.Wait(); err == nil {
+		t.Fatal("aborted rescale reported success")
+	}
+	if got := cl.M(); got != 4 {
+		t.Fatalf("cluster reports M=%d after abort, want 4", got)
+	}
+	// The old epoch answers exactly as before.
+	pms := rescaleQueries(t, file)
+	for i, pm := range pms {
+		got, err := cl.Retrieve(pm)
+		if err != nil {
+			t.Fatalf("query %d after abort: %v", i, err)
+		}
+		want, err := file.Search(pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Records) != len(want) {
+			t.Fatalf("query %d: %d records after abort, want %d", i, len(got.Records), len(want))
+		}
+	}
+}
