@@ -4,6 +4,7 @@ import (
 	"context"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -32,7 +33,10 @@ type DualReader struct {
 	Old func(ctx context.Context, pm mkhash.PartialMatch) (Result, error)
 	New func(ctx context.Context, pm mkhash.PartialMatch) (Result, error)
 	// OnMismatch, when set, is called once per diverging query with the
-	// query and both answers. Called from the background checker.
+	// query and both answers. Called from the background checker; the
+	// winner's Records are a private deep copy taken before Retrieve
+	// returned (the caller may have Released the real result's pooled
+	// lease by then), so the handler may hold them indefinitely.
 	OnMismatch func(pm mkhash.PartialMatch, winner, loser Result)
 
 	started    atomic.Uint64
@@ -109,9 +113,15 @@ func (d *DualReader) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Resu
 	d.recordWin(winner.old)
 
 	// Cross-check against the loser off the caller's path. The winner's
-	// digest is taken synchronously: the caller owns winner.res after we
-	// return and may Release its lease.
+	// digest — and, when a mismatch handler wants the records, a deep
+	// copy of them — is taken synchronously: the caller owns winner.res
+	// after we return and may Release its lease, after which the pooled
+	// record memory is rewritten under us.
 	wsum := multisetDigest(winner.res.Records)
+	winnerSnap := winner.res
+	if d.OnMismatch != nil {
+		winnerSnap.Records = cloneRecords(winner.res.Records)
+	}
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
@@ -126,7 +136,7 @@ func (d *DualReader) Retrieve(ctx context.Context, pm mkhash.PartialMatch) (Resu
 		if multisetDigest(second.res.Records) != wsum {
 			d.mismatches.Add(1)
 			if d.OnMismatch != nil {
-				d.OnMismatch(pm, winner.res, second.res)
+				d.OnMismatch(pm, winnerSnap, second.res)
 			}
 		}
 	}()
@@ -139,6 +149,21 @@ func (d *DualReader) recordWin(old bool) {
 	} else {
 		d.newWins.Add(1)
 	}
+}
+
+// cloneRecords deep-copies recs, including the field strings — arena
+// results build those with unsafe.String over pooled slabs, so a
+// shallow copy would still dangle after the lease is released.
+func cloneRecords(recs []mkhash.Record) []mkhash.Record {
+	out := make([]mkhash.Record, len(recs))
+	for i, r := range recs {
+		rec := make(mkhash.Record, len(r))
+		for j, f := range r {
+			rec[j] = strings.Clone(f)
+		}
+		out[i] = rec
+	}
+	return out
 }
 
 // multisetDigest hashes each record independently (fields length-

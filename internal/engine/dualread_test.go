@@ -144,6 +144,38 @@ func TestDualReaderMismatchDetectedAcrossOrder(t *testing.T) {
 	}
 }
 
+// TestDualReaderMismatchWinnerIsStableCopy pins the OnMismatch
+// contract: the winner handed to the handler is a deep copy taken
+// before Retrieve returned, so a caller releasing the real result's
+// pooled lease (and the pool rewriting its memory) after Retrieve
+// cannot corrupt what the handler sees.
+func TestDualReaderMismatchWinnerIsStableCopy(t *testing.T) {
+	winnerRecs := []mkhash.Record{{"a", "1"}}
+	got := make(chan Result, 1)
+	gate := make(chan struct{})
+	d := &DualReader{
+		Old: leg(Result{Records: winnerRecs}, nil, 0),
+		New: func(ctx context.Context, _ mkhash.PartialMatch) (Result, error) {
+			<-gate
+			return dualResult(mkhash.Record{"divergent"}), nil
+		},
+		OnMismatch: func(_ mkhash.PartialMatch, winner, _ Result) { got <- winner },
+	}
+	res, err := d.Retrieve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller owns res now and may Release it — model the pool
+	// rewriting the backing memory before the cross-check runs.
+	res.Records[0][0] = "scribbled"
+	close(gate)
+	d.Drain()
+	w := <-got
+	if len(w.Records) != 1 || w.Records[0][0] != "a" || w.Records[0][1] != "1" {
+		t.Fatalf("OnMismatch winner aliases released memory: %v", w.Records)
+	}
+}
+
 func TestMultisetDigestProperties(t *testing.T) {
 	a := []mkhash.Record{{"ab", "c"}, {"x"}}
 	b := []mkhash.Record{{"x"}, {"ab", "c"}}

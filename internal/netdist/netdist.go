@@ -162,10 +162,11 @@ type Response struct {
 // Server is one device's network frontend.
 type Server struct {
 	deviceID int
-	// dataMu guards the epoch views (fs, im, buckets, epoch, next):
-	// queries take the read side, rescale control ops the write side.
-	// Outside a rescale the lock is uncontended.
+	// dataMu guards the epoch views (spec, fs, im, buckets, epoch,
+	// next): queries take the read side, rescale control ops the write
+	// side. Outside a rescale the lock is uncontended.
 	dataMu  sync.RWMutex
+	spec    decluster.Spec
 	fs      decluster.FileSystem
 	im      *query.InverseMapper
 	buckets map[int][]mkhash.Record
@@ -226,6 +227,7 @@ func NewServer(deviceID int, spec decluster.Spec, buckets map[int][]mkhash.Recor
 	}
 	return &Server{
 		deviceID:  deviceID,
+		spec:      spec,
 		fs:        fs,
 		im:        query.NewInverseMapper(alloc),
 		buckets:   buckets,

@@ -71,7 +71,12 @@ func (s *Server) control(req *Request) Response {
 
 // prepare builds the next-epoch view from the spec in the request.
 // Idempotent: re-preparing with the same spec succeeds (the resume path
-// after a coordinator crash), with a different one fails.
+// after a coordinator crash), with a different one fails. A server that
+// already serves the requested spec answers success WITHOUT creating a
+// next view: after a partial cutover the driver's replay re-broadcasts
+// Prepare, and an already-promoted server must not prepare a spurious
+// current→current transition — the replayed cutover would bump it a
+// second epoch ahead of the stragglers and split the fleet.
 func (s *Server) prepare(req *Request) Response {
 	var spec decluster.Spec
 	if err := json.Unmarshal(req.SpecJSON, &spec); err != nil {
@@ -81,6 +86,9 @@ func (s *Server) prepare(req *Request) Response {
 	defer s.dataMu.Unlock()
 	if s.hasBackup {
 		return Response{ID: req.ID, Err: "netdist: prepare: replicated deployments do not support live rescale"}
+	}
+	if specEqual(s.spec, spec) {
+		return Response{ID: req.ID}
 	}
 	if s.next != nil {
 		if specEqual(s.next.spec, spec) {
@@ -188,7 +196,7 @@ func (s *Server) cutover(req *Request) Response {
 			delete(s.buckets, idx)
 		}
 	}
-	s.fs, s.im = nv.fs, nv.im
+	s.spec, s.fs, s.im = nv.spec, nv.fs, nv.im
 	s.epoch++
 	s.next = nil
 	return Response{ID: req.ID}

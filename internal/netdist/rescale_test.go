@@ -267,6 +267,68 @@ func TestRescaleProtocolAbort(t *testing.T) {
 	}
 }
 
+// TestRescalePartialCutoverReplayConverges replays the driver's
+// recovery sequence after a partial cutover: some devices promoted,
+// others didn't, and a rebuilt driver re-broadcasts Prepare to the
+// survivors followed by Cutover to the union. Prepare on an
+// already-promoted server must not manufacture a spurious next view —
+// otherwise the replayed cutover bumps it a second epoch ahead of the
+// stragglers and the fleet diverges instead of converging.
+func TestRescalePartialCutoverReplayConverges(t *testing.T) {
+	file := buildFile(t, 200)
+	ctx := context.Background()
+	oldAlloc, newSpec, oldCoord, newCoord, cleanup := deployRescaleFixture(t, file, 2, 4)
+	defer cleanup()
+
+	pm := mkhash.PartialMatch{nil, str("sup3"), nil}
+	baseline, err := oldCoord.Retrieve(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dev := 0; dev < 2; dev++ {
+		if err := newCoord.Prepare(ctx, dev, newSpec); err != nil {
+			t.Fatalf("prepare %d: %v", dev, err)
+		}
+	}
+	newAlloc, err := newSpec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved := copyMoves(t, ctx, newCoord, oldAlloc, newAlloc, -1); moved == 0 {
+		t.Fatal("fixture moved no buckets")
+	}
+
+	// Partial cutover: device 0 promotes, device 1 stays a straggler
+	// (the crash/partition point).
+	if err := newCoord.CutoverDevice(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery replay, twice — convergence must also be stable under
+	// repeated replays.
+	for round := 0; round < 2; round++ {
+		for dev := 0; dev < 2; dev++ {
+			if err := newCoord.Prepare(ctx, dev, newSpec); err != nil {
+				t.Fatalf("round %d: replay prepare %d: %v", round, dev, err)
+			}
+		}
+		for dev := 0; dev < 4; dev++ {
+			if err := newCoord.CutoverDevice(ctx, dev); err != nil {
+				t.Fatalf("round %d: replay cutover %d: %v", round, dev, err)
+			}
+		}
+		// Every device now answers at the new epoch — a double-promoted
+		// device would reject the coordinator's epoch-1 queries.
+		final, err := newCoord.Retrieve(pm)
+		if err != nil {
+			t.Fatalf("round %d: new epoch after replay: %v", round, err)
+		}
+		if !reflect.DeepEqual(recordKeys(final.Records), recordKeys(baseline.Records)) {
+			t.Fatalf("round %d: post-replay records differ from baseline", round)
+		}
+	}
+}
+
 // TestRescaleControlValidation exercises the server-side rejection
 // paths over the wire.
 func TestRescaleControlValidation(t *testing.T) {

@@ -219,13 +219,20 @@ func (r *Rescale) retrieve(ctx context.Context, pm PartialMatch) (RetrieveResult
 	switch r.route.Load() {
 	case rescRouteDual:
 		// Hold the gate while the dual read may touch the old epoch; the
-		// drain takes the write side after flipping the route, so a
-		// recheck under the lock decides authoritatively.
+		// drain (and a rollback) takes the write side after flipping the
+		// route, so a recheck under the lock decides authoritatively.
 		r.oldGate.RLock()
 		defer r.oldGate.RUnlock()
-		if r.route.Load() != rescRouteDual {
+		switch r.route.Load() {
+		case rescRouteNew:
+			// The drain won the race: the old epoch is released.
 			res, err := r.newCoord.EngineRetrieve(ctx, pm)
 			return res, err, true
+		case rescRouteOld:
+			// A rollback won the race: the new epoch's prepared views
+			// are about to drop, so fall back to the plain old-epoch
+			// path (handled=false).
+			return RetrieveResult{}, nil, false
 		}
 		res, err := r.dual.Retrieve(ctx, pm)
 		return res, err, true

@@ -367,9 +367,43 @@ func TestRescaleAbortRollsBack(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	// Hammer retrievals across the abort: the rollback must never fail
+	// a query — a dual read racing the route flip has to fall back to
+	// the old epoch, not chase the new epoch's dropped views.
+	pmsLive := rescaleQueries(t, file)
+	stop := make(chan struct{})
+	errCh := make(chan error, 1)
+	var hammer sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		hammer.Add(1)
+		go func(g int) {
+			defer hammer.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := cl.Retrieve(pmsLive[(g+i)%len(pmsLive)]); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
 	resc.Abort()
 	if err := resc.Wait(); err == nil {
 		t.Fatal("aborted rescale reported success")
+	}
+	close(stop)
+	hammer.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("query failed during abort rollback: %v", err)
+	default:
 	}
 	if got := cl.M(); got != 4 {
 		t.Fatalf("cluster reports M=%d after abort, want 4", got)
